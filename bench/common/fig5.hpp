@@ -1,0 +1,73 @@
+// Shared driver for the Fig. 5(a)–(e) benches: one application, seven
+// versions (CPU/MIC x OMP/Lock/Pipe + CPU-MIC), modeled execution and
+// communication time, plus the headline ratios the paper reports.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "bench/common/harness.hpp"
+
+namespace phigraph::bench {
+
+struct Fig5Bands {
+  std::string mic_pipe_vs_lock;   // paper's MIC Pipe / MIC Lock speedup
+  std::string mic_best_vs_omp;    // best framework MIC version / MIC OMP
+  std::string hetero_vs_best;     // CPU-MIC / best single-device framework run
+};
+
+template <core::VertexProgram Program>
+void fig5_run(const std::string& figure, const std::string& app,
+              const graph::Csr& g, const Program& prog, int iters,
+              partition::Ratio hetero_ratio, bool mic_uses_pipe,
+              const Fig5Bands& bands, const AppCost& cost = {}) {
+  const auto scale = get_scale();
+  print_header(figure + ": " + app, g, scale);
+
+  using Mode = core::ExecMode;
+  auto cpu = [&](Mode m) { return with_cost(cpu_setup(m), cost); };
+  auto mic = [&](Mode m) { return with_cost(mic_setup(m), cost); };
+  const auto cpu_omp = run_device(g, prog, cpu(Mode::kOmpStyle), iters);
+  const auto cpu_lock = run_device(g, prog, cpu(Mode::kLocking), iters);
+  const auto cpu_pipe = run_device(g, prog, cpu(Mode::kPipelining), iters);
+  const auto mic_omp = run_device(g, prog, mic(Mode::kOmpStyle), iters);
+  const auto mic_lock = run_device(g, prog, mic(Mode::kLocking), iters);
+  const auto mic_pipe = run_device(g, prog, mic(Mode::kPipelining), iters);
+
+  // Heterogeneous: hybrid partitioning at the per-app best ratio; CPU runs
+  // locking (faster there), MIC runs pipelining except for BFS (paper §V-C).
+  const auto owner = partition::hybrid_partition(
+      g, hetero_ratio, {.num_blocks = 256, .seed = 42});
+  const auto hetero = run_hetero(
+      g, prog, owner, cpu(Mode::kLocking),
+      mic(mic_uses_pipe ? Mode::kPipelining : Mode::kLocking), iters);
+
+  print_row("CPU OMP", cpu_omp.modeled.execution());
+  print_row("CPU Lock", cpu_lock.modeled.execution());
+  print_row("CPU Pipe", cpu_pipe.modeled.execution());
+  print_row("MIC OMP", mic_omp.modeled.execution());
+  print_row("MIC Lock", mic_lock.modeled.execution());
+  print_row("MIC Pipe", mic_pipe.modeled.execution());
+  print_row("CPU-MIC", hetero.modeled.execution_seconds,
+            hetero.modeled.comm_seconds);
+
+  const double best_single =
+      std::min({cpu_lock.modeled.execution(), cpu_pipe.modeled.execution(),
+                mic_lock.modeled.execution(), mic_pipe.modeled.execution()});
+  const double mic_best_fw =
+      std::min(mic_lock.modeled.execution(), mic_pipe.modeled.execution());
+
+  print_ratio("MIC Pipe speedup over MIC Lock",
+              mic_lock.modeled.execution() / mic_pipe.modeled.execution(),
+              bands.mic_pipe_vs_lock);
+  print_ratio("MIC framework speedup over MIC OMP",
+              mic_omp.modeled.execution() / mic_best_fw, bands.mic_best_vs_omp);
+  print_ratio("CPU OMP vs CPU Lock",
+              cpu_omp.modeled.execution() / cpu_lock.modeled.execution(),
+              "~1.0 (OMP wins by ~2.5% on average)");
+  print_ratio("CPU-MIC speedup over best single device",
+              best_single / hetero.modeled.total(), bands.hetero_vs_best);
+  print_footer();
+}
+
+}  // namespace phigraph::bench

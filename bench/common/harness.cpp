@@ -1,0 +1,119 @@
+#include "bench/common/harness.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::bench {
+
+Scale get_scale() {
+  const char* env = std::getenv("PHIGRAPH_SCALE");
+  const std::string which = env ? env : "small";
+  if (which == "paper") {
+    // The paper's dataset sizes (§V-B). The TopoSort DAG is 200M edges —
+    // expect long generation times on a small host.
+    return {"paper", 1'600'000, 31'000'000, 436'000, 1'100'000,
+            40'000,  200'000'000, 40, 15, 8};
+  }
+  if (which == "tiny") {
+    return {"tiny", 20'000, 250'000, 8'000, 24'000, 600, 150'000, 12, 10, 5};
+  }
+  PG_CHECK_MSG(which == "small", "PHIGRAPH_SCALE must be tiny|small|paper");
+  // Default: structure-preserving scale-down; runs in seconds. The DAG
+  // keeps the paper's edges >> vertices density (its whole point).
+  return {"small", 100'000, 1'800'000, 30'000, 90'000,
+          1'200,   2'000'000, 16, 15, 6};
+}
+
+int host_threads() {
+  if (const char* env = std::getenv("PHIGRAPH_HOST_THREADS"))
+    return std::max(1, std::atoi(env));
+  return 4;
+}
+
+graph::Csr make_pokec(const Scale& s, bool weighted) {
+  auto g = gen::pokec_like(s.pokec_n, s.pokec_m, /*seed=*/0x90CEC);
+  if (weighted) gen::add_random_weights(g, 0xED6E);
+  return g;
+}
+
+graph::Csr make_dblp(const Scale& s) {
+  return gen::dblp_like(s.dblp_n, s.dblp_m, /*seed=*/0xDB19);
+}
+
+graph::Csr make_dag(const Scale& s) {
+  return gen::dag_like(s.dag_n, s.dag_m, /*seed=*/0xDA6, s.dag_levels);
+}
+
+DeviceSetup cpu_setup(core::ExecMode mode, bool use_simd) {
+  DeviceSetup d;
+  d.spec = sim::xeon_e5_2680();
+  d.engine.mode = mode;
+  d.engine.simd_bytes = simd::kCpuSimdBytes;
+  d.engine.use_simd = use_simd && mode != core::ExecMode::kOmpStyle;
+  d.engine.threads = host_threads();
+  d.engine.movers = std::max(1, host_threads() / 2);
+  // The paper's best CPU configuration: 16 threads total (1 per core);
+  // for pipelining we model a 12 + 4 split of the same total.
+  d.profile.mode = mode;
+  d.profile.use_simd = d.engine.use_simd;
+  d.profile.lanes = 4;
+  if (mode == core::ExecMode::kPipelining) {
+    d.profile.threads = 12;
+    d.profile.movers = 4;
+  } else {
+    d.profile.threads = 16;
+    d.profile.movers = 0;
+  }
+  return d;
+}
+
+DeviceSetup mic_setup(core::ExecMode mode, bool use_simd) {
+  DeviceSetup d;
+  d.spec = sim::xeon_phi_se10p();
+  d.engine.mode = mode;
+  d.engine.simd_bytes = simd::kMicSimdBytes;
+  d.engine.use_simd = use_simd && mode != core::ExecMode::kOmpStyle;
+  d.engine.threads = host_threads();
+  d.engine.movers = std::max(1, host_threads() / 2);
+  // The paper's best MIC configurations: 240 threads for OMP/locking,
+  // 180 workers + 60 movers for pipelining.
+  d.profile.mode = mode;
+  d.profile.use_simd = d.engine.use_simd;
+  d.profile.lanes = 16;
+  if (mode == core::ExecMode::kPipelining) {
+    d.profile.threads = 180;
+    d.profile.movers = 60;
+  } else {
+    d.profile.threads = 240;
+    d.profile.movers = 0;
+  }
+  return d;
+}
+
+void print_header(const std::string& title, const graph::Csr& g,
+                  const Scale& s) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("   workload: %u vertices, %llu edges (scale: %s)\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), s.name.c_str());
+  std::printf("   %-12s %12s %12s\n", "version", "exec (s)", "comm (s)");
+}
+
+void print_row(const std::string& version, double exec_s, double comm_s) {
+  if (comm_s > 0)
+    std::printf("   %-12s %12.4f %12.4f\n", version.c_str(), exec_s, comm_s);
+  else
+    std::printf("   %-12s %12.4f %12s\n", version.c_str(), exec_s, "-");
+}
+
+void print_ratio(const std::string& label, double ratio,
+                 const std::string& paper_band) {
+  std::printf("   -> %-38s %6.2fx   (paper: %s)\n", label.c_str(), ratio,
+              paper_band.c_str());
+}
+
+void print_footer() { std::printf("\n"); }
+
+}  // namespace phigraph::bench

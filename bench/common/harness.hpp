@@ -1,0 +1,164 @@
+// Shared bench harness: workload construction at a configurable scale, the
+// paper's device/thread setups, engine runs that produce counter traces, and
+// the modeled CPU / MIC / CPU-MIC timings printed by each figure bench.
+//
+// The engines execute for real on the host (with a modest host thread
+// count); the *modeled* times price the measured traces for the paper's
+// devices and thread configurations (16 threads on the Xeon E5-2680;
+// 240 threads, or 180 workers + 60 movers, on the Xeon Phi SE10P).
+//
+// Environment knobs:
+//   PHIGRAPH_SCALE        = tiny | small (default) | paper
+//   PHIGRAPH_HOST_THREADS = engine worker threads on this host (default 4)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/core/hetero_engine.hpp"
+#include "src/gen/generators.hpp"
+#include "src/metrics/counters.hpp"
+#include "src/partition/partition.hpp"
+#include "src/sim/device_spec.hpp"
+#include "src/sim/model.hpp"
+
+namespace phigraph::bench {
+
+// ---- scale -----------------------------------------------------------------
+
+struct Scale {
+  std::string name;
+  vid_t pokec_n;
+  eid_t pokec_m;
+  vid_t dblp_n;
+  eid_t dblp_m;  // undirected edges (doubled when converted)
+  vid_t dag_n;
+  eid_t dag_m;
+  int dag_levels;
+  int pagerank_iters;
+  int sc_iters;
+};
+
+/// Scale from PHIGRAPH_SCALE. "paper" reproduces the paper's dataset sizes
+/// (Pokec 1.6M/31M, DBLP 436K/1.1M, DAG 40K/200M) — slow on small hosts.
+[[nodiscard]] Scale get_scale();
+
+[[nodiscard]] int host_threads();
+
+// ---- workloads ----------------------------------------------------------------
+
+/// Pokec stand-in (PageRank, BFS, SSSP; SSSP adds random weights).
+[[nodiscard]] graph::Csr make_pokec(const Scale& s, bool weighted);
+/// DBLP stand-in (SemiClustering).
+[[nodiscard]] graph::Csr make_dblp(const Scale& s);
+/// Dense random DAG (TopoSort).
+[[nodiscard]] graph::Csr make_dag(const Scale& s);
+
+// ---- device setups ----------------------------------------------------------------
+
+/// Engine configuration (host-sized threads) plus the modeled device and
+/// thread profile (paper-sized threads).
+struct DeviceSetup {
+  core::EngineConfig engine;
+  sim::ExecProfile profile;
+  sim::DeviceSpec spec;
+};
+
+[[nodiscard]] DeviceSetup cpu_setup(core::ExecMode mode, bool use_simd = true);
+[[nodiscard]] DeviceSetup mic_setup(core::ExecMode mode, bool use_simd = true);
+
+/// Per-application cost weights for the performance model (see
+/// sim::ExecProfile): 1/1/false for the arithmetic-reduction apps;
+/// SemiClustering's merge/scoring is far heavier and branchy.
+struct AppCost {
+  double combine_weight = 1.0;
+  double update_weight = 1.0;
+  bool branchy = false;
+};
+
+inline DeviceSetup with_cost(DeviceSetup d, const AppCost& cost) {
+  d.profile.combine_weight = cost.combine_weight;
+  d.profile.update_weight = cost.update_weight;
+  d.profile.branchy = cost.branchy;
+  return d;
+}
+
+
+// ---- runs ----------------------------------------------------------------------
+
+template <core::VertexProgram Program>
+struct DeviceRunResult {
+  metrics::RunTrace trace;
+  sim::PhaseTimes modeled;
+  double host_seconds = 0;
+  int supersteps = 0;
+};
+
+template <core::VertexProgram Program>
+DeviceRunResult<Program> run_device(const graph::Csr& g, const Program& prog,
+                                    DeviceSetup setup, int max_supersteps) {
+  setup.engine.max_supersteps = max_supersteps;
+  setup.profile.msg_bytes = sizeof(typename Program::message_t);
+  setup.profile.value_bytes = sizeof(typename Program::vertex_value_t);
+  setup.profile.num_vertices = g.num_vertices();
+  core::DeviceEngine<Program> engine(core::LocalGraph::whole(g), prog,
+                                     setup.engine);
+  auto run = engine.run();
+  DeviceRunResult<Program> out;
+  out.modeled = sim::model_run(run.trace, setup.spec, setup.profile);
+  out.trace = std::move(run.trace);
+  out.host_seconds = run.host_seconds;
+  out.supersteps = run.supersteps;
+  return out;
+}
+
+template <core::VertexProgram Program>
+struct HeteroRunResult {
+  metrics::RunTrace cpu_trace;
+  metrics::RunTrace mic_trace;
+  sim::HeteroEstimate modeled;
+  int supersteps = 0;
+};
+
+template <core::VertexProgram Program>
+HeteroRunResult<Program> run_hetero(const graph::Csr& g, const Program& prog,
+                                    std::vector<Device> owner,
+                                    DeviceSetup cpu, DeviceSetup mic,
+                                    int max_supersteps,
+                                    const sim::LinkSpec& link = {}) {
+  cpu.engine.max_supersteps = mic.engine.max_supersteps = max_supersteps;
+  cpu.profile.msg_bytes = mic.profile.msg_bytes =
+      sizeof(typename Program::message_t);
+  cpu.profile.value_bytes = mic.profile.value_bytes =
+      sizeof(typename Program::vertex_value_t);
+  vid_t cpu_n = 0;
+  for (Device d : owner)
+    if (d == Device::Cpu) ++cpu_n;
+  cpu.profile.num_vertices = std::max<vid_t>(1, cpu_n);
+  mic.profile.num_vertices =
+      std::max<vid_t>(1, g.num_vertices() - cpu_n);
+  core::HeteroEngine<Program> he(g, std::move(owner), prog, cpu.engine,
+                                 mic.engine);
+  auto res = he.run();
+  HeteroRunResult<Program> out;
+  out.modeled =
+      sim::model_hetero(res.cpu.trace, cpu.spec, cpu.profile, res.mic.trace,
+                        mic.spec, mic.profile, link);
+  out.supersteps = res.cpu.supersteps;
+  out.cpu_trace = std::move(res.cpu.trace);
+  out.mic_trace = std::move(res.mic.trace);
+  return out;
+}
+
+// ---- printing --------------------------------------------------------------------
+
+void print_header(const std::string& title, const graph::Csr& g,
+                  const Scale& s);
+void print_row(const std::string& version, double exec_s, double comm_s = 0);
+void print_ratio(const std::string& label, double ratio,
+                 const std::string& paper_band);
+void print_footer();
+
+}  // namespace phigraph::bench

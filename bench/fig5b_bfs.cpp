@@ -1,0 +1,21 @@
+// Fig. 5(b): BFS on the Pokec-like graph. The paper's outlier: few messages
+// per superstep, so locking beats pipelining even on the MIC.
+#include "bench/common/fig5.hpp"
+#include "src/apps/bfs.hpp"
+
+int main() {
+  using namespace phigraph;
+  const auto scale = bench::get_scale();
+  const auto g = bench::make_pokec(scale, /*weighted=*/false);
+  // Source a mid-degree vertex: traversals from a front hub blast most of
+  // the graph in one superstep; a tail vertex barely traverses. Use a mean-degree
+  // vertex (degrees are front-loaded, so ~n/16).
+  bench::fig5_run("Fig 5(b)", "BFS", g, apps::Bfs{g.num_vertices() / 16},
+                  /*iters=*/1000,
+                  partition::Ratio{4, 3},
+                  /*mic_uses_pipe=*/false,  // paper uses locking for BFS
+                  {.mic_pipe_vs_lock = "0.84x (locking 1.19x faster)",
+                   .mic_best_vs_omp = "1.54x (Lock vs OMP)",
+                   .hetero_vs_best = "1.32x at ratio 4:3"});
+  return 0;
+}

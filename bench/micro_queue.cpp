@@ -1,0 +1,74 @@
+// Ablation: SPSC queue and pipeline throughput — the per-message cost of the
+// worker/mover handoff that the pipelining scheme pays to avoid per-message
+// locking.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "src/pipeline/message_pipeline.hpp"
+#include "src/pipeline/spsc_queue.hpp"
+
+namespace {
+
+using namespace phigraph;
+using pipeline::Envelope;
+using pipeline::MessagePipeline;
+using pipeline::SpscQueue;
+
+void bm_spsc_single_thread(benchmark::State& state) {
+  SpscQueue<Envelope<float>> q(static_cast<std::size_t>(state.range(0)));
+  const Envelope<float> env{42, 1.0f};
+  for (auto _ : state) {
+    // Fill half, drain half: steady-state ring behaviour without wrap stalls.
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(q.try_push(env));
+    Envelope<float> out{};
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(q.try_pop(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+
+void bm_spsc_two_threads(benchmark::State& state) {
+  SpscQueue<Envelope<float>> q(1024);
+  constexpr std::int64_t kBatch = 1 << 16;
+  for (auto _ : state) {
+    std::thread consumer([&] {
+      Envelope<float> out{};
+      std::int64_t got = 0;
+      while (got < kBatch)
+        if (q.try_pop(out)) ++got;
+    });
+    const Envelope<float> env{7, 2.0f};
+    for (std::int64_t i = 0; i < kBatch; ++i)
+      while (!q.try_push(env)) std::this_thread::yield();
+    consumer.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+
+void bm_pipeline_routing(benchmark::State& state) {
+  const int movers = static_cast<int>(state.range(0));
+  MessagePipeline<float> pipe(1, movers, 4096);
+  constexpr std::int64_t kBatch = 1 << 15;
+  for (auto _ : state) {
+    pipe.reset();
+    std::vector<std::thread> mover_threads;
+    for (int m = 0; m < movers; ++m)
+      mover_threads.emplace_back([&pipe, m] {
+        const auto moved = pipe.mover_loop(m, [](const Envelope<float>&) {});
+        benchmark::DoNotOptimize(moved);
+      });
+    for (std::int64_t i = 0; i < kBatch; ++i)
+      pipe.push(0, static_cast<vid_t>(i), 1.0f);
+    pipe.worker_done();
+    for (auto& t : mover_threads) t.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+
+}  // namespace
+
+BENCHMARK(bm_spsc_single_thread)->Arg(256)->Arg(4096);
+BENCHMARK(bm_spsc_two_threads)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_pipeline_routing)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

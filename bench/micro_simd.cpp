@@ -1,0 +1,84 @@
+// Ablation: throughput of the portable SIMD vector types at each width and
+// backend (generic loop vs SSE vs AVX2 vs AVX-512), on the reduction kernel
+// the runtime actually executes (a vertical min/add sweep over a message
+// column block, paper Listing 1's process_messages loop).
+#include <benchmark/benchmark.h>
+
+#include "src/common/aligned.hpp"
+#include "src/common/rng.hpp"
+#include "src/simd/simd.hpp"
+
+namespace {
+
+using namespace phigraph;
+
+template <typename T, int W>
+void bm_vertical_min(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  aligned_vector<T> data(rows * W);
+  Rng rng(7);
+  for (auto& x : data) x = static_cast<T>(rng.below(1000));
+
+  using V = simd::Vec<T, W>;
+  const auto* vecs = reinterpret_cast<const V*>(data.data());
+  for (auto _ : state) {
+    V res = vecs[0];
+    for (std::size_t i = 1; i < rows; ++i) res = min(res, vecs[i]);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows) * W);
+  state.SetLabel(simd::backend_name(simd::backend_of<T, W>()));
+}
+
+template <typename T, int W>
+void bm_vertical_add(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  aligned_vector<T> data(rows * W);
+  Rng rng(9);
+  for (auto& x : data) x = static_cast<T>(rng.below(100));
+
+  using V = simd::Vec<T, W>;
+  const auto* vecs = reinterpret_cast<const V*>(data.data());
+  for (auto _ : state) {
+    V res = V::zero();
+    for (std::size_t i = 0; i < rows; ++i) res = res + vecs[i];
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows) * W);
+  state.SetLabel(simd::backend_name(simd::backend_of<T, W>()));
+}
+
+// Scalar baseline for the same element count as the 16-wide block.
+template <typename T>
+void bm_scalar_min_baseline(benchmark::State& state) {
+  const std::size_t elems = static_cast<std::size_t>(state.range(0)) * 16;
+  aligned_vector<T> data(elems);
+  Rng rng(7);
+  for (auto& x : data) x = static_cast<T>(rng.below(1000));
+  for (auto _ : state) {
+    T res = data[0];
+    for (std::size_t i = 1; i < elems; ++i) res = res < data[i] ? res : data[i];
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems));
+}
+
+}  // namespace
+
+// "CPU profile" width (SSE, 4 floats) vs "MIC profile" width (AVX-512, 16).
+BENCHMARK(bm_vertical_min<float, 4>)->Arg(1024);
+BENCHMARK(bm_vertical_min<float, 8>)->Arg(1024);
+BENCHMARK(bm_vertical_min<float, 16>)->Arg(1024);
+BENCHMARK(bm_vertical_min<std::int32_t, 4>)->Arg(1024);
+BENCHMARK(bm_vertical_min<std::int32_t, 16>)->Arg(1024);
+BENCHMARK(bm_vertical_min<double, 8>)->Arg(1024);
+BENCHMARK(bm_vertical_add<float, 4>)->Arg(1024);
+BENCHMARK(bm_vertical_add<float, 16>)->Arg(1024);
+// Generic (non-intrinsic) instantiations for comparison.
+BENCHMARK(bm_vertical_min<float, 2>)->Arg(1024);
+BENCHMARK(bm_scalar_min_baseline<float>)->Arg(1024);
+
+BENCHMARK_MAIN();

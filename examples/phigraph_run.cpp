@@ -1,0 +1,229 @@
+// phigraph_run — the "driver code" of the paper's Fig. 2 as a CLI tool:
+// load (or generate) a graph, load (or compute) a partitioning file, pick an
+// application and execution scheme, run, and dump per-vertex results.
+//
+//   phigraph_run --app=sssp --graph=web.adj --source=0 --mode=pipe
+//   phigraph_run --app=pagerank --gen=pokec:100000:1800000 --hetero
+//                --ratio=3:5 --partition-out=web.part --out=ranks.txt
+//
+// Flags:
+//   --app=pagerank|bfs|sssp|sc|cc|toposort   (required)
+//   --graph=FILE         adjacency-list (.adj), binary (.pgb) or edge list
+//   --gen=KIND:N:M       pokec | dblp | dag | er  (instead of --graph)
+//   --source=V           BFS/SSSP source (default 0)
+//   --iters=K            superstep cap (default: app-dependent)
+//   --mode=omp|lock|pipe execution scheme (default lock)
+//   --threads=T          worker threads (default 4); --movers=M (default 2)
+//   --simd=cpu|mic       lane profile: SSE 4-wide or 512-bit 16-wide
+//   --hetero             run CPU+MIC with hybrid partitioning
+//   --ratio=A:B          CPU:MIC workload ratio (default 1:1)
+//   --partition=FILE     use an existing partitioning file
+//   --partition-out=FILE save the computed partitioning
+//   --out=FILE           write per-vertex results
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/apps/bfs.hpp"
+#include "src/apps/connected_components.hpp"
+#include "src/apps/pagerank.hpp"
+#include "src/apps/semiclustering.hpp"
+#include "src/apps/sssp.hpp"
+#include "src/apps/toposort.hpp"
+#include "src/core/hetero_engine.hpp"
+#include "src/gen/generators.hpp"
+#include "src/graph/io.hpp"
+#include "src/partition/partition.hpp"
+
+namespace {
+
+using namespace phigraph;
+
+struct Options {
+  std::string app;
+  std::string graph_path;
+  std::string gen_spec;
+  std::string out_path;
+  std::string partition_path;
+  std::string partition_out;
+  vid_t source = 0;
+  int iters = 0;
+  core::ExecMode mode = core::ExecMode::kLocking;
+  int threads = 4;
+  int movers = 2;
+  int simd_bytes = simd::kMicSimdBytes;
+  bool hetero = false;
+  partition::Ratio ratio{1, 1};
+};
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "phigraph_run: %s\n(see header comment for flags)\n",
+               msg);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = val("--app")) o.app = *v;
+    else if (auto v2 = val("--graph")) o.graph_path = *v2;
+    else if (auto v3 = val("--gen")) o.gen_spec = *v3;
+    else if (auto v4 = val("--source")) o.source = static_cast<vid_t>(std::stoul(*v4));
+    else if (auto v5 = val("--iters")) o.iters = std::stoi(*v5);
+    else if (auto v6 = val("--mode")) {
+      if (*v6 == "omp") o.mode = core::ExecMode::kOmpStyle;
+      else if (*v6 == "lock") o.mode = core::ExecMode::kLocking;
+      else if (*v6 == "pipe") o.mode = core::ExecMode::kPipelining;
+      else usage("bad --mode");
+    } else if (auto v7 = val("--threads")) o.threads = std::stoi(*v7);
+    else if (auto v8 = val("--movers")) o.movers = std::stoi(*v8);
+    else if (auto v9 = val("--simd")) {
+      o.simd_bytes = (*v9 == "cpu") ? simd::kCpuSimdBytes : simd::kMicSimdBytes;
+    } else if (arg == "--hetero") o.hetero = true;
+    else if (auto v10 = val("--ratio")) {
+      if (std::sscanf(v10->c_str(), "%d:%d", &o.ratio.cpu, &o.ratio.mic) != 2)
+        usage("bad --ratio, expected A:B");
+    } else if (auto v11 = val("--partition")) o.partition_path = *v11;
+    else if (auto v12 = val("--partition-out")) o.partition_out = *v12;
+    else if (auto v13 = val("--out")) o.out_path = *v13;
+    else usage(("unknown flag: " + arg).c_str());
+  }
+  if (o.app.empty()) usage("--app is required");
+  if (o.graph_path.empty() && o.gen_spec.empty())
+    usage("one of --graph or --gen is required");
+  return o;
+}
+
+graph::Csr load_graph(const Options& o, bool needs_weights) {
+  graph::Csr g;
+  if (!o.gen_spec.empty()) {
+    char kind[16];
+    unsigned long long n = 0, m = 0;
+    if (std::sscanf(o.gen_spec.c_str(), "%15[^:]:%llu:%llu", kind, &n, &m) != 3)
+      usage("bad --gen, expected KIND:N:M");
+    const std::string k = kind;
+    if (k == "pokec") g = gen::pokec_like(static_cast<vid_t>(n), m, 1);
+    else if (k == "dblp") g = gen::dblp_like(static_cast<vid_t>(n), m, 1);
+    else if (k == "dag") g = gen::dag_like(static_cast<vid_t>(n), m, 1);
+    else if (k == "er") g = gen::erdos_renyi(static_cast<vid_t>(n), m, 1);
+    else usage("bad --gen kind (pokec|dblp|dag|er)");
+  } else if (o.graph_path.size() > 4 &&
+             o.graph_path.substr(o.graph_path.size() - 4) == ".pgb") {
+    g = graph::load_binary(o.graph_path);
+  } else if (o.graph_path.size() > 4 &&
+             o.graph_path.substr(o.graph_path.size() - 4) == ".adj") {
+    g = graph::load_adjacency_list(o.graph_path);
+  } else {
+    g = graph::load_edge_list(o.graph_path);
+  }
+  if (needs_weights && !g.has_edge_values()) {
+    std::fprintf(stderr, "graph is unweighted; generating random weights\n");
+    gen::add_random_weights(g, 7);
+  }
+  return g;
+}
+
+core::EngineConfig make_cfg(const Options& o, int default_iters) {
+  core::EngineConfig cfg;
+  cfg.mode = o.mode;
+  cfg.threads = o.threads;
+  cfg.movers = o.movers;
+  cfg.simd_bytes = o.simd_bytes;
+  cfg.max_supersteps = o.iters > 0 ? o.iters : default_iters;
+  return cfg;
+}
+
+template <typename Program, typename Format>
+int run_app(const Options& o, const graph::Csr& g, const Program& prog,
+            int default_iters, Format&& format) {
+  std::vector<typename Program::vertex_value_t> values;
+  int supersteps = 0;
+  if (o.hetero) {
+    std::vector<Device> owner =
+        !o.partition_path.empty()
+            ? partition::load_partition(o.partition_path)
+            : partition::hybrid_partition(g, o.ratio, {.num_blocks = 256});
+    if (!o.partition_out.empty())
+      partition::save_partition(owner, o.partition_out);
+    auto cpu_cfg = make_cfg(o, default_iters);
+    cpu_cfg.simd_bytes = simd::kCpuSimdBytes;
+    auto mic_cfg = make_cfg(o, default_iters);
+    mic_cfg.simd_bytes = simd::kMicSimdBytes;
+    core::HeteroEngine<Program> engine(g, std::move(owner), prog, cpu_cfg,
+                                       mic_cfg);
+    auto res = engine.run();
+    values = std::move(res.global_values);
+    supersteps = res.cpu.supersteps;
+  } else {
+    auto res = core::run_single(g, prog, make_cfg(o, default_iters));
+    values = std::move(res.values);
+    supersteps = res.run.supersteps;
+  }
+  std::printf("ran %s on %u vertices / %llu edges: %d supersteps\n",
+              o.app.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), supersteps);
+  if (!o.out_path.empty()) {
+    std::ofstream out(o.out_path);
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      out << v << ' ' << format(values[v]) << '\n';
+    std::printf("wrote %s\n", o.out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  if (o.app == "pagerank") {
+    const auto g = load_graph(o, false);
+    return run_app(o, g, apps::PageRank{}, 20,
+                   [](float v) { return std::to_string(v); });
+  }
+  if (o.app == "bfs") {
+    const auto g = load_graph(o, false);
+    return run_app(o, g, apps::Bfs{o.source}, 10'000,
+                   [](std::int32_t v) { return std::to_string(v); });
+  }
+  if (o.app == "sssp") {
+    const auto g = load_graph(o, true);
+    return run_app(o, g, apps::Sssp{o.source}, 10'000, [](float v) {
+      return v == apps::Sssp::kInfinity ? std::string("inf")
+                                        : std::to_string(v);
+    });
+  }
+  if (o.app == "sc") {
+    const auto g = load_graph(o, true);
+    return run_app(o, g, apps::SemiClustering{}, 8,
+                   [](const apps::ClusterList& l) {
+                     std::string s;
+                     if (l.count > 0) {
+                       const auto& c = l.clusters[0];
+                       for (std::uint32_t i = 0; i < c.size; ++i)
+                         s += (i ? "," : "") + std::to_string(c.members[i]);
+                     }
+                     return s;
+                   });
+  }
+  if (o.app == "cc") {
+    const auto g = load_graph(o, false);
+    return run_app(o, g, apps::ConnectedComponents{}, 10'000,
+                   [](std::int32_t v) { return std::to_string(v); });
+  }
+  if (o.app == "toposort") {
+    const auto g = load_graph(o, false);
+    return run_app(o, g, apps::TopoSort{}, 100'000,
+                   [](const apps::TopoValue& v) { return std::to_string(v.order); });
+  }
+  usage("unknown --app (pagerank|bfs|sssp|sc|cc|toposort)");
+}

@@ -1,0 +1,66 @@
+// Breadth-First Search vertex program (paper §V-B).
+//
+// "initially, the source vertex is set as active, and its vertex value,
+//  level, is 0, while other vertices are inactive. In each iteration, active
+//  vertices send their level value plus 1 as messages to neighbors.
+//  Unvisited vertices which receive messages set their level, using any
+//  message that is received ... message reduction is not needed."
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/core/program_traits.hpp"
+
+namespace phigraph::apps {
+
+class Bfs {
+ public:
+  using vertex_value_t = std::int32_t;  // level; -1 = unvisited
+  using message_t = std::int32_t;
+  static constexpr bool kAllActive = false;
+  static constexpr bool kNeedsReduction = false;  // any message will do
+  static constexpr bool kSimdReduce = false;
+
+  explicit Bfs(vid_t source) : source_(source) {}
+
+  [[nodiscard]] std::int32_t identity() const noexcept {
+    return std::numeric_limits<std::int32_t>::max();
+  }
+  // Used only for remote combining: all same-superstep BFS messages carry
+  // the same level, but min keeps the semantics tight anyway.
+  [[nodiscard]] std::int32_t combine(std::int32_t a, std::int32_t b) const noexcept {
+    return std::min(a, b);
+  }
+
+  void init_vertex(vid_t global, std::int32_t& value, bool& active,
+                   const core::InitInfo& /*info*/) const noexcept {
+    value = global == source_ ? 0 : -1;
+    active = global == source_;
+  }
+
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    const std::int32_t next_level = g.vertex_value[u] + 1;
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      sink.send_messages(g.edges[i], next_level);
+  }
+
+  template <typename VArr>
+  void process_messages(VArr& /*vmsgs*/) const {
+    // No reduction sub-step for BFS.
+  }
+
+  template <typename View>
+  bool update_vertex(const std::int32_t& msg, View& g, vid_t u) const noexcept {
+    if (g.vertex_value[u] >= 0) return false;  // already visited
+    g.vertex_value[u] = msg;
+    return true;
+  }
+
+ private:
+  vid_t source_;
+};
+
+}  // namespace phigraph::apps

@@ -1,0 +1,61 @@
+// PageRank vertex program (paper §V-B).
+//
+// "the message generation sub-step propagates the PageRank value of each
+//  vertex to its neighbors, by dividing the value by the number of outbound
+//  edges. The message reduction sub-step sums up the received PageRank
+//  values from the neighbors, utilizing SIMD processing. The vertex update
+//  sub-step updates each vertex's PageRank value using the sum."
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/core/program_traits.hpp"
+
+namespace phigraph::apps {
+
+class PageRank {
+ public:
+  using vertex_value_t = float;
+  using message_t = float;
+  static constexpr bool kAllActive = true;  // every vertex sends, every round
+  static constexpr bool kNeedsReduction = true;
+  static constexpr bool kSimdReduce = true;
+
+  explicit PageRank(float damping = 0.85f) : damping_(damping) {}
+
+  [[nodiscard]] float identity() const noexcept { return 0.0f; }
+  [[nodiscard]] float combine(float a, float b) const noexcept { return a + b; }
+
+  void init_vertex(vid_t /*global*/, float& value, bool& active,
+                   const core::InitInfo& /*info*/) const noexcept {
+    value = 1.0f;
+    active = true;
+  }
+
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    const eid_t deg = g.vertices[u + 1] - g.vertices[u];
+    if (deg == 0) return;
+    const float share = g.vertex_value[u] / static_cast<float>(deg);
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      sink.send_messages(g.edges[i], share);
+  }
+
+  /// SIMD sum over the vector message array (paper Listing 1 structure).
+  template <typename VArr>
+  void process_messages(VArr& vmsgs) const {
+    auto res = vmsgs[0];
+    for (std::size_t i = 1; i < vmsgs.size(); ++i) res = res + vmsgs[i];
+    vmsgs[0] = res;
+  }
+
+  template <typename View>
+  bool update_vertex(const float& msg, View& g, vid_t u) const noexcept {
+    g.vertex_value[u] = (1.0f - damping_) + damping_ * msg;
+    return true;
+  }
+
+ private:
+  float damping_;
+};
+
+}  // namespace phigraph::apps

@@ -1,0 +1,213 @@
+// Semi-Clustering vertex program (paper §V-B; algorithm from Pregel §5.3).
+//
+// Each vertex maintains at most kScMaxClusters semi-clusters (vertex-id
+// lists with a score). Per superstep a vertex sends its cluster list to all
+// neighbors; received lists are merged (dedup by member set, keep the
+// top-scoring few) and each received cluster not containing the vertex is
+// also considered in extended form with the vertex added.
+//
+// Score of cluster c: S_c = (I_c − f_B · B_c) / (V_c (V_c − 1) / 2), where
+// I_c is the sum of internal edge weights and B_c the sum of boundary edge
+// weights. We carry I_c and Σ_m w_total(m) in the cluster; B_c follows as
+// Σ w_total − 2 I_c (each internal edge is counted from both endpoints in
+// the duplicated-undirected representation).
+//
+// The message type is a fat POD, not a basic type, and the merge is not a
+// basic-arithmetic reduction, so this application uses the scalar CSB path —
+// the same exception the paper makes ("SIMD reduction is not utilized").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/core/program_traits.hpp"
+
+namespace phigraph::apps {
+
+inline constexpr int kScMaxClusterSize = 4;  // V_max
+inline constexpr int kScMaxClusters = 2;     // C_max kept per vertex/message
+
+struct SemiCluster {
+  float score = 0;
+  float inner = 0;  // I_c: sum of intra-cluster edge weights (per direction)
+  float wsum = 0;   // Σ over members of their total incident weight
+  std::uint32_t size = 0;
+  vid_t members[kScMaxClusterSize] = {};  // sorted ascending
+
+  [[nodiscard]] bool contains(vid_t v) const noexcept {
+    for (std::uint32_t i = 0; i < size; ++i)
+      if (members[i] == v) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool same_members(const SemiCluster& o) const noexcept {
+    if (size != o.size) return false;
+    for (std::uint32_t i = 0; i < size; ++i)
+      if (members[i] != o.members[i]) return false;
+    return true;
+  }
+
+  [[nodiscard]] float boundary() const noexcept { return wsum - 2.0f * inner; }
+
+  /// Strict total order: score descending, then member list ascending —
+  /// makes top-N merging associative and commutative (deterministic results
+  /// under any parallel combine order).
+  [[nodiscard]] bool better_than(const SemiCluster& o) const noexcept {
+    if (score != o.score) return score > o.score;
+    if (size != o.size) return size < o.size;
+    for (std::uint32_t i = 0; i < size; ++i)
+      if (members[i] != o.members[i]) return members[i] < o.members[i];
+    return false;
+  }
+};
+
+struct ClusterList {
+  std::uint32_t count = 0;
+  SemiCluster clusters[kScMaxClusters] = {};
+};
+
+class SemiClustering {
+ public:
+  using vertex_value_t = ClusterList;
+  using message_t = ClusterList;
+  static constexpr bool kAllActive = false;
+  static constexpr bool kNeedsReduction = true;
+  static constexpr bool kSimdReduce = false;  // non-basic message type
+
+  explicit SemiClustering(float f_boundary = 0.2f) : f_boundary_(f_boundary) {}
+
+  [[nodiscard]] ClusterList identity() const noexcept { return ClusterList{}; }
+
+  /// Merge two lists: union, dedup by member set, keep the top kScMaxClusters
+  /// under the total order. Associative and commutative.
+  [[nodiscard]] ClusterList combine(const ClusterList& a,
+                                    const ClusterList& b) const noexcept {
+    ClusterList out;
+    auto offer = [&out](const SemiCluster& c) {
+      for (std::uint32_t i = 0; i < out.count; ++i)
+        if (out.clusters[i].same_members(c)) return;
+      if (out.count < kScMaxClusters) {
+        out.clusters[out.count++] = c;
+      } else {
+        // Replace the worst entry if c beats it.
+        int worst = 0;
+        for (int i = 1; i < kScMaxClusters; ++i)
+          if (out.clusters[worst].better_than(out.clusters[i])) worst = i;
+        if (c.better_than(out.clusters[worst])) out.clusters[worst] = c;
+      }
+    };
+    // Offer in merged total order so replacement decisions are order-free.
+    SemiCluster all[2 * kScMaxClusters];
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < a.count; ++i) all[n++] = a.clusters[i];
+    for (std::uint32_t i = 0; i < b.count; ++i) all[n++] = b.clusters[i];
+    insertion_sort(all, n);
+    for (std::uint32_t i = 0; i < n; ++i) offer(all[i]);
+    sort_list(out);
+    return out;
+  }
+
+  void init_vertex(vid_t global, ClusterList& value, bool& active,
+                   const core::InitInfo& info) const noexcept {
+    SemiCluster self;
+    self.size = 1;
+    self.members[0] = global;
+    self.inner = 0;
+    self.wsum = info.out_weight;
+    self.score = 1.0f;  // Pregel: a lone vertex scores 1
+    value.count = 1;
+    value.clusters[0] = self;
+    active = true;  // everyone advertises its singleton in superstep 0
+  }
+
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    const ClusterList& mine = g.vertex_value[u];
+    if (mine.count == 0) return;
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      sink.send_messages(g.edges[i], mine);
+  }
+
+  template <typename VArr>
+  void process_messages(VArr& vmsgs) const {
+    // Scalar path only (kSimdReduce == false): the engine reduces columns
+    // with combine(); this SIMD hook is never instantiated.
+    (void)vmsgs;
+  }
+
+  template <typename View>
+  bool update_vertex(const ClusterList& msg, View& g, vid_t u) const {
+    const vid_t me = g.global_id[u];
+
+    // My total incident weight and a handle on my edges for I_add lookups.
+    float my_wtotal = 0;
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      my_wtotal += g.edge_value[i];
+
+    ClusterList candidates = msg;
+    for (std::uint32_t ci = 0; ci < msg.count; ++ci) {
+      const SemiCluster& c = msg.clusters[ci];
+      if (c.contains(me) || c.size >= kScMaxClusterSize) continue;
+      // Extend c with me: new internal weight = my edges into c's members.
+      float i_add = 0;
+      for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+        if (c.contains(g.edges[i])) i_add += g.edge_value[i];
+      SemiCluster ext = c;
+      // Insert me keeping members sorted.
+      std::uint32_t p = ext.size;
+      while (p > 0 && ext.members[p - 1] > me) {
+        ext.members[p] = ext.members[p - 1];
+        --p;
+      }
+      ext.members[p] = me;
+      ++ext.size;
+      ext.inner = c.inner + i_add;
+      ext.wsum = c.wsum + my_wtotal;
+      const float pairs =
+          static_cast<float>(ext.size) * static_cast<float>(ext.size - 1) / 2.0f;
+      ext.score = (ext.inner - f_boundary_ * ext.boundary()) / pairs;
+      ClusterList one;
+      one.count = 1;
+      one.clusters[0] = ext;
+      candidates = combine(candidates, one);
+    }
+
+    const ClusterList merged = combine(g.vertex_value[u], candidates);
+    const bool changed = !lists_equal(merged, g.vertex_value[u]);
+    g.vertex_value[u] = merged;
+    return changed;
+  }
+
+ private:
+  /// Tiny fixed-capacity sort; avoids std::sort's introsort machinery (and
+  /// GCC's spurious -Warray-bounds on it) for these <= 4-element arrays.
+  static void insertion_sort(SemiCluster* c, std::uint32_t n) noexcept {
+    for (std::uint32_t i = 1; i < n; ++i) {
+      SemiCluster key = c[i];
+      std::uint32_t j = i;
+      while (j > 0 && key.better_than(c[j - 1])) {
+        c[j] = c[j - 1];
+        --j;
+      }
+      c[j] = key;
+    }
+  }
+
+  static void sort_list(ClusterList& l) noexcept {
+    insertion_sort(l.clusters, l.count);
+  }
+
+  static bool lists_equal(const ClusterList& a, const ClusterList& b) noexcept {
+    if (a.count != b.count) return false;
+    for (std::uint32_t i = 0; i < a.count; ++i)
+      if (!a.clusters[i].same_members(b.clusters[i]) ||
+          a.clusters[i].score != b.clusters[i].score)
+        return false;
+    return true;
+  }
+
+  float f_boundary_;
+};
+
+}  // namespace phigraph::apps

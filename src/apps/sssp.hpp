@@ -1,0 +1,71 @@
+// Single Source Shortest Paths vertex program — the paper's running example
+// (§III, Listing 1). Positive weighted directed graph, Bellman-Ford style
+// relaxation over BSP supersteps, SIMD min-reduction of messages.
+#pragma once
+
+#include <limits>
+
+#include "src/common/types.hpp"
+#include "src/core/program_traits.hpp"
+
+namespace phigraph::apps {
+
+/// min() overload so the user-style process_messages body below works for
+/// both the vectorized instantiation (simd::min via ADL) and a scalar one.
+inline float min(float a, float b) noexcept { return a < b ? a : b; }
+
+class Sssp {
+ public:
+  using vertex_value_t = float;  // tentative distance from the source
+  using message_t = float;
+  static constexpr bool kAllActive = false;
+  static constexpr bool kNeedsReduction = true;
+  static constexpr bool kSimdReduce = true;
+
+  /// The paper initializes distances to "a large constant".
+  static constexpr float kInfinity = std::numeric_limits<float>::max();
+
+  explicit Sssp(vid_t source) : source_(source) {}
+
+  [[nodiscard]] float identity() const noexcept { return kInfinity; }
+  [[nodiscard]] float combine(float a, float b) const noexcept {
+    return a < b ? a : b;
+  }
+
+  void init_vertex(vid_t global, float& value, bool& active,
+                   const core::InitInfo& /*info*/) const noexcept {
+    value = global == source_ ? 0.0f : kInfinity;
+    active = global == source_;
+  }
+
+  // Listing 1, generate_messages: propagate my distance plus edge weight.
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    const float my_dist = g.vertex_value[u];
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      sink.send_messages(g.edges[i], my_dist + g.edge_value[i]);
+  }
+
+  // Listing 1, process_messages: SIMD min-reduce into vmsgs[0].
+  template <typename VArr>
+  void process_messages(VArr& vmsgs) const {
+    auto res = vmsgs[0];
+    for (std::size_t i = 1; i < vmsgs.size(); ++i) res = min(res, vmsgs[i]);
+    vmsgs[0] = res;
+  }
+
+  // Listing 1, update_vertex: adopt a shorter distance and reactivate.
+  template <typename View>
+  bool update_vertex(const float& msg, View& g, vid_t u) const noexcept {
+    if (msg < g.vertex_value[u]) {
+      g.vertex_value[u] = msg;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  vid_t source_;
+};
+
+}  // namespace phigraph::apps

@@ -1,0 +1,76 @@
+// Topological sorting vertex program (paper §V-B).
+//
+// "initially, vertices with zero in-degree are set as active ... In each
+//  iteration, active vertices send messages containing value 1 to their
+//  neighbors, and set themselves as inactive. Vertices receiving messages
+//  sum up the messages, and decrease their in-degree value using the sum.
+//  If a vertex's in-degree becomes 0 after the subtraction, it sets itself
+//  as active."
+//
+// The linear ordering is recoverable from `order` (the superstep at which a
+// vertex's remaining in-degree reached zero): sorting by order — ties broken
+// arbitrarily — is a valid topological order, since every edge strictly
+// increases it.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.hpp"
+#include "src/core/program_traits.hpp"
+
+namespace phigraph::apps {
+
+struct TopoValue {
+  std::int32_t remaining = 0;  // in-degree not yet consumed
+  std::int32_t order = -1;     // topological level; -1 = not yet ordered
+};
+
+class TopoSort {
+ public:
+  using vertex_value_t = TopoValue;
+  using message_t = std::int32_t;
+  static constexpr bool kAllActive = false;
+  static constexpr bool kNeedsReduction = true;
+  static constexpr bool kSimdReduce = true;
+
+  [[nodiscard]] std::int32_t identity() const noexcept { return 0; }
+  [[nodiscard]] std::int32_t combine(std::int32_t a, std::int32_t b) const noexcept {
+    return a + b;
+  }
+
+  void init_vertex(vid_t /*global*/, TopoValue& value, bool& active,
+                   const core::InitInfo& info) const noexcept {
+    value.remaining = static_cast<std::int32_t>(info.in_degree);
+    value.order = info.in_degree == 0 ? 0 : -1;
+    active = info.in_degree == 0;
+  }
+
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      sink.send_messages(g.edges[i], std::int32_t{1});
+    // The engine's BSP semantics deactivate every sender after generation,
+    // which is exactly the "set themselves as inactive" step.
+  }
+
+  /// SIMD sum of in-degree decrements.
+  template <typename VArr>
+  void process_messages(VArr& vmsgs) const {
+    auto res = vmsgs[0];
+    for (std::size_t i = 1; i < vmsgs.size(); ++i) res = res + vmsgs[i];
+    vmsgs[0] = res;
+  }
+
+  template <typename View>
+  bool update_vertex(const std::int32_t& msg, View& g, vid_t u) const noexcept {
+    auto& v = g.vertex_value[u];
+    v.remaining -= msg;
+    if (v.remaining == 0) {
+      v.order = g.superstep + 1;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace phigraph::apps

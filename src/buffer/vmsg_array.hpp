@@ -1,0 +1,44 @@
+// vmsg_array — the view handed to the user's process_messages() (paper §III).
+//
+//   template <typename MessageValue>
+//   void process_messages(vmsg_array<vfloat>& vmsgs) {
+//     vfloat res = vmsgs[0];
+//     for (int i = 1; i < vmsgs.size(); ++i) res = min(res, vmsgs[i]);
+//     vmsgs[0] = res;
+//   }
+//
+// Each element is one *row* of the vector array: W messages, one per buffer
+// column, loaded into the same SIMD lanes. Element type V is either a
+// simd::Vec<Msg, W> (vectorized path) or the scalar Msg itself (W = 1 /
+// novec ablation).
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::buffer {
+
+template <typename V>
+class VMsgArray {
+ public:
+  VMsgArray(V* rows, std::size_t num_rows) noexcept
+      : rows_(rows), num_rows_(num_rows) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return num_rows_; }
+
+  [[nodiscard]] V& operator[](std::size_t i) noexcept {
+    PG_DCHECK(i < num_rows_);
+    return rows_[i];
+  }
+  [[nodiscard]] const V& operator[](std::size_t i) const noexcept {
+    PG_DCHECK(i < num_rows_);
+    return rows_[i];
+  }
+
+ private:
+  V* rows_;
+  std::size_t num_rows_;
+};
+
+}  // namespace phigraph::buffer

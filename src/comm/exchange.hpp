@@ -1,0 +1,46 @@
+// Two-rank rendezvous exchange — the in-process stand-in for the paper's
+// MPI symmetric computing (CPU = rank 0, MIC = rank 1).
+//
+// Each superstep the devices swap exactly one combined message batch (the
+// paper: "The combination result is sent to the other device as a single MPI
+// message") plus one termination-control word. Exchange<T> implements the
+// blocking pairwise swap both uses need.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::comm {
+
+template <typename T>
+class Exchange {
+ public:
+  /// Deposits `mine` as rank `rank`'s contribution and blocks until the
+  /// other rank's contribution is available; returns it. Reusable across
+  /// rounds: a slot is only refilled after its previous value was consumed.
+  T exchange(int rank, T mine) {
+    PG_CHECK(rank == 0 || rank == 1);
+    const int peer = 1 - rank;
+    std::unique_lock<std::mutex> l(mu_);
+    cv_.wait(l, [&] { return !present_[rank]; });
+    slot_[rank] = std::move(mine);
+    present_[rank] = true;
+    cv_.notify_all();
+    cv_.wait(l, [&] { return present_[peer]; });
+    T theirs = std::move(slot_[peer]);
+    present_[peer] = false;
+    cv_.notify_all();
+    return theirs;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  T slot_[2];
+  bool present_[2] = {false, false};
+};
+
+}  // namespace phigraph::comm

@@ -1,0 +1,38 @@
+// Lightweight contract-checking macros (CppCoreGuidelines I.6/I.8 style).
+//
+// PG_CHECK   — always-on invariant check; aborts with a message on failure.
+// PG_DCHECK  — debug-only check, compiled out in NDEBUG builds; use on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace phigraph::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "phigraph: check failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace phigraph::detail
+
+#define PG_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::phigraph::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PG_CHECK_MSG(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]]                                           \
+      ::phigraph::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PG_DCHECK(expr) ((void)0)
+#else
+#define PG_DCHECK(expr) PG_CHECK(expr)
+#endif

@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for benches and the runtime's phase breakdown.
+#pragma once
+
+#include <chrono>
+
+namespace phigraph {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across many start/stop intervals (per-phase totals).
+class StopWatch {
+ public:
+  void start() noexcept { t_.reset(); }
+  void stop() noexcept { total_ += t_.seconds(); }
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  void clear() noexcept { total_ = 0; }
+
+ private:
+  Timer t_;
+  double total_ = 0;
+};
+
+}  // namespace phigraph

@@ -1,0 +1,63 @@
+// Engine configuration: execution scheme, thread layout, device SIMD profile.
+#pragma once
+
+#include <cstddef>
+
+#include "src/buffer/csb.hpp"
+#include "src/simd/simd.hpp"
+
+namespace phigraph::core {
+
+/// The three execution schemes compared throughout the paper's Fig. 5.
+enum class ExecMode {
+  kOmpStyle,    // "OMP": scalar accumulators + per-vertex heavyweight locks,
+                //        no CSB, no SIMD — what OpenMP-on-sequential-code does
+  kLocking,     // "Lock": direct CSB insertion with per-column locking
+  kPipelining,  // "Pipe": worker/mover pipelined CSB insertion
+};
+
+constexpr const char* exec_mode_name(ExecMode m) noexcept {
+  switch (m) {
+    case ExecMode::kOmpStyle: return "OMP";
+    case ExecMode::kLocking: return "Lock";
+    case ExecMode::kPipelining: return "Pipe";
+  }
+  return "?";
+}
+
+struct EngineConfig {
+  ExecMode mode = ExecMode::kLocking;
+
+  /// Computation threads. In pipelining mode these are the workers and
+  /// `movers` more threads are added (paper's MIC sweet spot: 180 workers +
+  /// 60 movers); in the other modes this is the whole team.
+  int threads = 4;
+  int movers = 2;
+
+  /// SIMD register width in bytes: 16 = CPU profile (SSE4.2),
+  /// 64 = MIC profile (KNC). Determines CSB lane count per message type.
+  int simd_bytes = simd::kMicSimdBytes;
+
+  /// false = the Fig. 5(f) "novec" ablation: scalar message processing.
+  bool use_simd = true;
+
+  /// CSB geometry: vector arrays per vertex group (the paper's k).
+  int csb_k = 2;
+  buffer::ColumnMode column_mode = buffer::ColumnMode::kDynamic;
+
+  /// Dynamic-scheduler chunk: "a thread can obtain multiple tasks each time".
+  std::size_t sched_chunk = 64;
+
+  /// SPSC queue capacity per (worker, mover) pair, in messages.
+  std::size_t queue_capacity = 1024;
+
+  /// Superstep cap (PageRank runs exactly this many; traversals usually
+  /// terminate earlier on their own).
+  int max_supersteps = 1000;
+
+  [[nodiscard]] int total_threads() const noexcept {
+    return mode == ExecMode::kPipelining ? threads + movers : threads;
+  }
+};
+
+}  // namespace phigraph::core

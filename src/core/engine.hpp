@@ -1,0 +1,544 @@
+// DeviceEngine — one device's BSP superstep loop (paper §IV-A, Fig. 2).
+//
+// Per superstep:
+//   1. prepare   — reset CSB bookkeeping and the next-active flags
+//   2. generate  — user generate_messages() for each active vertex; messages
+//                  are routed to the local CSB (locking or pipelined) or to
+//                  the remote buffer (combined)
+//   3. exchange  — swap combined remote batches with the peer device and
+//                  insert received messages into the local CSB
+//   4. process   — SIMD (or scalar) reduction of each vector array
+//   5. update    — user update_vertex() per message-receiving vertex
+//   6. terminate — exchange next-active counts; stop when globally idle
+//
+// The same code runs as the paper's "CPU" and "MIC" instances — only the
+// EngineConfig (thread layout, SIMD profile, execution scheme) differs.
+// Every phase runs under dynamic chunk scheduling (§IV-D) on a persistent
+// thread team, and every phase streams event counters into the run trace
+// consumed by the performance model.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/buffer/csb.hpp"
+#include "src/buffer/vmsg_array.hpp"
+#include "src/comm/exchange.hpp"
+#include "src/comm/remote_buffer.hpp"
+#include "src/common/expect.hpp"
+#include "src/common/timer.hpp"
+#include "src/common/types.hpp"
+#include "src/core/config.hpp"
+#include "src/core/graph_view.hpp"
+#include "src/core/local_graph.hpp"
+#include "src/core/program_traits.hpp"
+#include "src/metrics/counters.hpp"
+#include "src/pipeline/message_pipeline.hpp"
+#include "src/sched/dynamic_scheduler.hpp"
+#include "src/sched/thread_team.hpp"
+#include "src/simd/simd.hpp"
+
+namespace phigraph::core {
+
+/// Outcome of a run: superstep count, the counter trace, and host-side phase
+/// times (the *modeled* device times come from src/sim, not from here).
+struct RunResult {
+  int supersteps = 0;
+  metrics::RunTrace trace;
+  double host_seconds = 0;
+  double gen_seconds = 0;
+  double exchange_seconds = 0;
+  double process_seconds = 0;
+  double update_seconds = 0;
+};
+
+template <VertexProgram Program>
+class DeviceEngine {
+ public:
+  using Msg = typename Program::message_t;
+  using Value = typename Program::vertex_value_t;
+  using Batch = std::vector<pipeline::Envelope<Msg>>;
+
+  /// Wiring to the other device of a heterogeneous run.
+  struct PeerLink {
+    int rank = 0;  // 0 = CPU, 1 = MIC (the paper's MPI ranks)
+    comm::Exchange<Batch>* data = nullptr;
+    comm::Exchange<std::uint64_t>* control = nullptr;
+  };
+
+  DeviceEngine(LocalGraph lg, Program prog, EngineConfig cfg,
+               std::optional<PeerLink> peer = std::nullopt)
+      : lg_(std::move(lg)),
+        prog_(std::move(prog)),
+        cfg_(cfg),
+        peer_(peer),
+        lanes_(simd::lanes_for<Msg>(cfg.simd_bytes)) {
+    PG_CHECK_MSG(cfg_.mode != ExecMode::kOmpStyle || !peer_,
+                 "the OMP baseline is single-device only (as in the paper)");
+    const vid_t n = lg_.num_local_vertices();
+    values_.resize(n);
+    active_.assign(n, 0);
+    next_active_.assign(n, 0);
+    if (cfg_.mode == ExecMode::kOmpStyle) {
+      acc_.resize(n);
+      has_msg_.assign(n, 0);
+      vertex_locks_ = std::make_unique<sched::SpinLock[]>(n);
+    } else {
+      typename buffer::Csb<Msg>::Config bc;
+      bc.lanes = lanes_;
+      bc.k = cfg_.csb_k;
+      bc.mode = cfg_.column_mode;
+      csb_.emplace(std::span<const vid_t>(lg_.in_degree), bc);
+    }
+    if (peer_) remote_.emplace(lg_.global_num_vertices);
+    if (cfg_.mode == ExecMode::kPipelining)
+      pipe_.emplace(cfg_.threads, cfg_.movers, cfg_.queue_capacity);
+    team_.emplace(cfg_.total_threads());
+    tstats_.resize(static_cast<std::size_t>(cfg_.total_threads()));
+    init_vertices();
+  }
+
+  [[nodiscard]] std::span<const Value> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const LocalGraph& local_graph() const noexcept { return lg_; }
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+  [[nodiscard]] const buffer::Csb<Msg>& csb() const noexcept { return *csb_; }
+
+  /// Executes supersteps to completion and returns the run trace.
+  RunResult run() {
+    Timer total;
+    RunResult res;
+    StopWatch gen_w, exch_w, proc_w, upd_w;
+
+    int s = 0;
+    for (; s < cfg_.max_supersteps; ++s) {
+      for (auto& t : tstats_) t = ThreadStats{};
+
+      prepare();
+
+      gen_w.start();
+      generate(s);
+      gen_w.stop();
+
+      exch_w.start();
+      if (peer_) exchange_messages();
+      exch_w.stop();
+
+      proc_w.start();
+      if (cfg_.mode != ExecMode::kOmpStyle && Program::kNeedsReduction)
+        process(s);
+      proc_w.stop();
+
+      upd_w.start();
+      update(s);
+      upd_w.stop();
+
+      std::swap(active_, next_active_);
+
+      res.trace.push_back(collect_counters(s));
+
+      std::uint64_t next = 0;
+      for (const auto& t : tstats_) next += t.next_active;
+      if (peer_) next += peer_->control->exchange(peer_->rank, next);
+      if (!Program::kAllActive && next == 0) {
+        ++s;
+        break;
+      }
+    }
+
+    res.supersteps = s;
+    res.host_seconds = total.seconds();
+    res.gen_seconds = gen_w.total_seconds();
+    res.exchange_seconds = exch_w.total_seconds();
+    res.process_seconds = proc_w.total_seconds();
+    res.update_seconds = upd_w.total_seconds();
+    return res;
+  }
+
+ private:
+  // Per-thread counters, cache-line separated.
+  struct alignas(64) ThreadStats {
+    buffer::InsertStats ins;
+    std::uint64_t active = 0;
+    std::uint64_t edges = 0;
+    std::uint64_t msgs_remote = 0;
+    std::uint64_t msgs_received = 0;
+    std::uint64_t queue_pushes = 0;
+    std::uint64_t queue_full_spins = 0;
+    std::uint64_t vector_rows = 0;
+    std::uint64_t padded_cells = 0;
+    std::uint64_t scalar_msgs = 0;
+    std::uint64_t updated = 0;
+    std::uint64_t next_active = 0;
+    std::uint64_t sched_retrievals = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+
+  // ---- message sinks ---------------------------------------------------------
+
+  /// send_messages() backend for the locking scheme: direct CSB insertion.
+  struct LockingSink {
+    DeviceEngine* e;
+    ThreadStats* ts;
+    void send(vid_t global_dst, const Msg& m) {
+      if (e->is_local(global_dst)) {
+        e->csb_->insert(e->local_id(global_dst), m, ts->ins);
+      } else {
+        e->deposit_remote(global_dst, m, *ts);
+      }
+    }
+    void send_messages(vid_t dst, const Msg& m) { send(dst, m); }  // paper name
+  };
+
+  /// send_messages() backend for the pipelining scheme: workers enqueue;
+  /// movers (elsewhere) perform the insertion.
+  struct PipelineSink {
+    DeviceEngine* e;
+    ThreadStats* ts;
+    int worker;
+    void send(vid_t global_dst, const Msg& m) {
+      if (e->is_local(global_dst)) {
+        ts->queue_full_spins += e->pipe_->push(worker, e->local_id(global_dst), m);
+        ++ts->queue_pushes;
+      } else {
+        e->deposit_remote(global_dst, m, *ts);
+      }
+    }
+    void send_messages(vid_t dst, const Msg& m) { send(dst, m); }
+  };
+
+  /// send_messages() backend for the OMP baseline: combine directly into a
+  /// per-vertex accumulator under a per-vertex lock — the synchronization
+  /// structure of the paper's "OpenMP directives on sequential code".
+  struct OmpSink {
+    DeviceEngine* e;
+    ThreadStats* ts;
+    void send(vid_t global_dst, const Msg& m) {
+      const vid_t u = e->local_id(global_dst);
+      e->vertex_locks_[u].lock();
+      ++ts->ins.lock_acquisitions;
+      if (e->has_msg_[u]) {
+        e->acc_[u] = e->prog_.combine(e->acc_[u], m);
+        ++ts->ins.conflicts;
+      } else {
+        e->acc_[u] = m;
+        e->has_msg_[u] = 1;
+        ++ts->ins.columns_allocated;
+      }
+      e->vertex_locks_[u].unlock();
+      ++ts->ins.inserted;
+      ++ts->scalar_msgs;  // reduction work happens inline, scalar
+    }
+    void send_messages(vid_t dst, const Msg& m) { send(dst, m); }
+  };
+
+  // ---- helpers -------------------------------------------------------------------
+
+  [[nodiscard]] bool is_local(vid_t global) const noexcept {
+    return !peer_ || (*lg_.owner)[global] == lg_.device;
+  }
+  [[nodiscard]] vid_t local_id(vid_t global) const noexcept {
+    return (*lg_.local_of)[global];
+  }
+
+  void deposit_remote(vid_t global_dst, const Msg& m, ThreadStats& ts) {
+    remote_->deposit(global_dst, m, [this](const Msg& a, const Msg& b) {
+      return prog_.combine(a, b);
+    });
+    ++ts.msgs_remote;
+  }
+
+  GraphView<Value> view(int superstep) noexcept {
+    GraphView<Value> v;
+    v.vertices = lg_.local.offsets();
+    v.edges = lg_.local.targets();
+    v.edge_value = lg_.local.edge_values();
+    v.vertex_value = values_;
+    v.in_degree = lg_.in_degree;
+    v.global_id = lg_.global_id;
+    v.superstep = superstep;
+    return v;
+  }
+
+  void init_vertices() {
+    const bool weighted = lg_.local.has_edge_values();
+    for (vid_t u = 0; u < lg_.num_local_vertices(); ++u) {
+      InitInfo info{lg_.in_degree[u], lg_.local.out_degree(u), 0.f};
+      if (weighted)
+        for (float w : lg_.local.out_edge_values(u)) info.out_weight += w;
+      bool act = false;
+      prog_.init_vertex(lg_.global_id[u], values_[u], act, info);
+      active_[u] = act ? 1 : 0;
+    }
+  }
+
+  // ---- phases -------------------------------------------------------------------
+
+  void prepare() {
+    const vid_t n = lg_.num_local_vertices();
+    const std::size_t groups = csb_ ? csb_->num_groups() : 0;
+    sched_.reset(groups + n, cfg_.sched_chunk);
+    team_->run([&](int tid) {
+      auto& ts = tstats_[static_cast<std::size_t>(tid)];
+      while (auto r = sched_.next_chunk()) {
+        for (std::size_t i = r->begin; i < r->end; ++i) {
+          if (i < groups) {
+            csb_->reset_group(i);
+          } else {
+            const vid_t u = static_cast<vid_t>(i - groups);
+            next_active_[u] = 0;
+            if (cfg_.mode == ExecMode::kOmpStyle) has_msg_[u] = 0;
+          }
+        }
+      }
+      (void)ts;
+    });
+  }
+
+  void generate(int superstep) {
+    const vid_t n = lg_.num_local_vertices();
+    sched_.reset(n, cfg_.sched_chunk);
+    auto v = view(superstep);
+
+    auto worker_body = [&](int tid, auto&& sink) {
+      auto& ts = tstats_[static_cast<std::size_t>(tid)];
+      while (auto r = sched_.next_chunk()) {
+        for (std::size_t i = r->begin; i < r->end; ++i) {
+          const vid_t u = static_cast<vid_t>(i);
+          if (!Program::kAllActive && !active_[u]) continue;
+          ++ts.active;
+          ts.edges += lg_.local.out_degree(u);
+          prog_.generate_messages(u, v, sink);
+        }
+      }
+    };
+
+    switch (cfg_.mode) {
+      case ExecMode::kLocking:
+        team_->run([&](int tid) {
+          LockingSink sink{this, &tstats_[static_cast<std::size_t>(tid)]};
+          worker_body(tid, sink);
+        });
+        break;
+      case ExecMode::kPipelining:
+        pipe_->reset();
+        team_->run([&](int tid) {
+          auto& ts = tstats_[static_cast<std::size_t>(tid)];
+          if (tid < cfg_.threads) {
+            PipelineSink sink{this, &ts, tid};
+            worker_body(tid, sink);
+            pipe_->worker_done();
+          } else {
+            const int mover = tid - cfg_.threads;
+            pipe_->mover_loop(mover, [&](const pipeline::Envelope<Msg>& env) {
+              csb_->insert_owned(env.dst, env.value, ts.ins);
+            });
+          }
+        });
+        break;
+      case ExecMode::kOmpStyle:
+        team_->run([&](int tid) {
+          OmpSink sink{this, &tstats_[static_cast<std::size_t>(tid)]};
+          worker_body(tid, sink);
+        });
+        break;
+    }
+    tstats_[0].sched_retrievals += sched_.retrievals();
+  }
+
+  void exchange_messages() {
+    Batch outgoing;
+    outgoing.reserve(remote_->touched_count());
+    remote_->drain([&](vid_t dst, const Msg& m) {
+      outgoing.push_back({dst, m});
+    });
+    tstats_[0].bytes_sent +=
+        outgoing.size() * sizeof(pipeline::Envelope<Msg>);
+
+    Batch incoming = peer_->data->exchange(peer_->rank, std::move(outgoing));
+    tstats_[0].bytes_received +=
+        incoming.size() * sizeof(pipeline::Envelope<Msg>);
+
+    sched_.reset(incoming.size(), cfg_.sched_chunk);
+    team_->run([&](int tid) {
+      auto& ts = tstats_[static_cast<std::size_t>(tid)];
+      while (auto r = sched_.next_chunk()) {
+        for (std::size_t i = r->begin; i < r->end; ++i) {
+          const auto& env = incoming[i];
+          ++ts.msgs_received;
+          if (cfg_.mode == ExecMode::kOmpStyle) {
+            OmpSink sink{this, &ts};
+            sink.send(env.dst, env.value);
+            --ts.ins.inserted;  // counted as received, not locally generated
+          } else {
+            buffer::InsertStats dummy;
+            csb_->insert(local_id(env.dst), env.value, dummy);
+            ts.ins.conflicts += dummy.conflicts;
+            ts.ins.columns_allocated += dummy.columns_allocated;
+            ts.ins.lock_acquisitions += dummy.lock_acquisitions;
+          }
+        }
+      }
+    });
+  }
+
+  void process(int superstep) {
+    (void)superstep;
+    const std::size_t tasks = csb_->num_array_tasks();
+    sched_.reset(tasks, cfg_.sched_chunk);
+    team_->run([&](int tid) {
+      auto& ts = tstats_[static_cast<std::size_t>(tid)];
+      while (auto r = sched_.next_chunk()) {
+        for (std::size_t t = r->begin; t < r->end; ++t) {
+          const std::size_t g = t / static_cast<std::size_t>(cfg_.csb_k);
+          const int a = static_cast<int>(t % static_cast<std::size_t>(cfg_.csb_k));
+          process_array(g, a, ts);
+        }
+      }
+    });
+    tstats_[0].sched_retrievals += sched_.retrievals();
+  }
+
+  void process_array(std::size_t g, int a, ThreadStats& ts) {
+    const int cols = csb_->array_cols(g, a);
+    if (cols == 0) return;
+    const std::uint32_t rows = csb_->array_rows(g, a);
+    if (rows <= 1) return;  // 0 or 1 message per column: nothing to reduce
+
+    if (cfg_.use_simd && lanes_ > 1) {
+      if constexpr (simd::is_simd_basic_v<Msg>) {
+        ts.padded_cells += csb_->pad_array(g, a, rows, prog_.identity());
+        switch (lanes_) {
+          case 4:  vec_reduce<4>(g, a, rows, ts);  return;
+          case 8:  vec_reduce<8>(g, a, rows, ts);  return;
+          case 16: vec_reduce<16>(g, a, rows, ts); return;
+          default: break;  // unusual profile: fall through to scalar
+        }
+      }
+    }
+    scalar_reduce(g, a, cols, ts);
+  }
+
+  template <int W>
+  void vec_reduce(std::size_t g, int a, std::uint32_t rows, ThreadStats& ts) {
+    using V = simd::Vec<Msg, W>;
+    auto* base = reinterpret_cast<V*>(csb_->array_base(g, a));
+    buffer::VMsgArray<V> vmsgs(base, rows);
+    prog_.process_messages(vmsgs);
+    ts.vector_rows += rows;
+  }
+
+  void scalar_reduce(std::size_t g, int a, int cols, ThreadStats& ts) {
+    for (int c = 0; c < cols; ++c) {
+      const vid_t col = static_cast<vid_t>(a * lanes_ + c);
+      const std::uint32_t cnt = csb_->column_count(g, col);
+      if (cnt <= 1) continue;
+      Msg res = csb_->cell(g, col, 0);
+      for (std::uint32_t rrow = 1; rrow < cnt; ++rrow)
+        res = prog_.combine(res, csb_->cell(g, col, rrow));
+      csb_->cell(g, col, 0) = res;
+      ts.scalar_msgs += cnt;
+    }
+  }
+
+  void update(int superstep) {
+    auto v = view(superstep);
+    if (cfg_.mode == ExecMode::kOmpStyle) {
+      const vid_t n = lg_.num_local_vertices();
+      sched_.reset(n, cfg_.sched_chunk);
+      team_->run([&](int tid) {
+        auto& ts = tstats_[static_cast<std::size_t>(tid)];
+        while (auto r = sched_.next_chunk()) {
+          for (std::size_t i = r->begin; i < r->end; ++i) {
+            const vid_t u = static_cast<vid_t>(i);
+            if (!has_msg_[u]) continue;
+            ++ts.updated;
+            if (prog_.update_vertex(acc_[u], v, u)) {
+              next_active_[u] = 1;
+              ++ts.next_active;
+            }
+          }
+        }
+      });
+    } else {
+      const std::size_t tasks = csb_->num_array_tasks();
+      sched_.reset(tasks, cfg_.sched_chunk);
+      team_->run([&](int tid) {
+        auto& ts = tstats_[static_cast<std::size_t>(tid)];
+        while (auto r = sched_.next_chunk()) {
+          for (std::size_t t = r->begin; t < r->end; ++t) {
+            const std::size_t g = t / static_cast<std::size_t>(cfg_.csb_k);
+            const int a = static_cast<int>(t % static_cast<std::size_t>(cfg_.csb_k));
+            const int cols = csb_->array_cols(g, a);
+            for (int c = 0; c < cols; ++c) {
+              const vid_t col = static_cast<vid_t>(a * lanes_ + c);
+              if (csb_->column_count(g, col) == 0) continue;
+              const vid_t u = csb_->column_vertex(g, col);
+              PG_DCHECK(u != kInvalidVertex);
+              ++ts.updated;
+              if (prog_.update_vertex(csb_->cell(g, col, 0), v, u)) {
+                next_active_[u] = 1;
+                ++ts.next_active;
+              }
+            }
+          }
+        }
+      });
+    }
+    tstats_[0].sched_retrievals += sched_.retrievals();
+  }
+
+  metrics::SuperstepCounters collect_counters(int superstep) const {
+    metrics::SuperstepCounters c;
+    c.superstep = static_cast<std::uint64_t>(superstep);
+    for (const auto& t : tstats_) {
+      c.active_vertices += t.active;
+      c.edges_scanned += t.edges;
+      c.msgs_local += t.ins.inserted;
+      c.msgs_remote += t.msgs_remote;
+      c.msgs_received += t.msgs_received;
+      c.columns_allocated += t.ins.columns_allocated;
+      c.column_conflicts += t.ins.conflicts;
+      c.lock_acquisitions += t.ins.lock_acquisitions;
+      c.queue_pushes += t.queue_pushes;
+      c.queue_full_spins += t.queue_full_spins;
+      c.vector_rows += t.vector_rows;
+      c.padded_cells += t.padded_cells;
+      c.scalar_msgs += t.scalar_msgs;
+      c.verts_updated += t.updated;
+      c.sched_retrievals += t.sched_retrievals;
+      c.bytes_sent += t.bytes_sent;
+      c.bytes_received += t.bytes_received;
+    }
+    return c;
+  }
+
+  LocalGraph lg_;
+  Program prog_;
+  EngineConfig cfg_;
+  std::optional<PeerLink> peer_;
+  int lanes_;
+
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint8_t> next_active_;
+
+  std::optional<buffer::Csb<Msg>> csb_;
+  std::optional<comm::RemoteBuffer<Msg>> remote_;
+  std::optional<pipeline::MessagePipeline<Msg>> pipe_;
+  std::optional<sched::ThreadTeam> team_;
+  sched::DynamicScheduler sched_;
+
+  // OMP-baseline state.
+  std::vector<Msg> acc_;
+  std::vector<std::uint8_t> has_msg_;
+  std::unique_ptr<sched::SpinLock[]> vertex_locks_;
+
+  std::vector<ThreadStats> tstats_;
+};
+
+}  // namespace phigraph::core

@@ -1,0 +1,94 @@
+// Heterogeneous CPU+MIC execution (paper §IV-A/E).
+//
+// Two symmetric DeviceEngine instances — "Symmetric runtime instances on the
+// CPU and the Xeon Phi share the same source code and thus the same
+// structure, though parameters such as numbers of threads running on each
+// device are separately configured" — wired by a data exchange and a
+// termination-control exchange, each running on its own host thread.
+#pragma once
+
+#include <array>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/comm/exchange.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/local_graph.hpp"
+
+namespace phigraph::core {
+
+template <VertexProgram Program>
+class HeteroEngine {
+ public:
+  using Msg = typename Program::message_t;
+  using Value = typename Program::vertex_value_t;
+  using Engine = DeviceEngine<Program>;
+
+  struct Result {
+    RunResult cpu;
+    RunResult mic;
+    std::vector<Value> global_values;  // gathered over both devices
+  };
+
+  /// owner[v] assigns each global vertex to a device (from src/partition).
+  HeteroEngine(const graph::Csr& g, std::vector<Device> owner, Program prog,
+               EngineConfig cpu_cfg, EngineConfig mic_cfg) {
+    auto parts = LocalGraph::split(g, std::move(owner));
+    using PeerLink = typename Engine::PeerLink;
+    cpu_.emplace(std::move(parts[0]), prog, cpu_cfg,
+                 PeerLink{0, &data_, &control_});
+    mic_.emplace(std::move(parts[1]), prog, mic_cfg,
+                 PeerLink{1, &data_, &control_});
+  }
+
+  Result run() {
+    Result res;
+    std::thread mic_thread([&] { res.mic = mic_->run(); });
+    res.cpu = cpu_->run();
+    mic_thread.join();
+    PG_CHECK_MSG(res.cpu.supersteps == res.mic.supersteps,
+                 "devices must execute the same superstep count");
+
+    const auto& cg = cpu_->local_graph();
+    res.global_values.resize(cg.global_num_vertices);
+    gather(*cpu_, res.global_values);
+    gather(*mic_, res.global_values);
+    return res;
+  }
+
+  [[nodiscard]] const Engine& cpu_engine() const noexcept { return *cpu_; }
+  [[nodiscard]] const Engine& mic_engine() const noexcept { return *mic_; }
+
+ private:
+  static void gather(const Engine& e, std::vector<Value>& out) {
+    const auto& lg = e.local_graph();
+    const auto vals = e.values();
+    for (vid_t u = 0; u < lg.num_local_vertices(); ++u)
+      out[lg.global_id[u]] = vals[u];
+  }
+
+  comm::Exchange<typename Engine::Batch> data_;
+  comm::Exchange<std::uint64_t> control_;
+  std::optional<Engine> cpu_;
+  std::optional<Engine> mic_;
+};
+
+/// Convenience: run a program on the whole graph with one device config.
+template <VertexProgram Program>
+struct SingleDeviceResult {
+  RunResult run;
+  std::vector<typename Program::vertex_value_t> values;
+};
+
+template <VertexProgram Program>
+SingleDeviceResult<Program> run_single(const graph::Csr& g, Program prog,
+                                       const EngineConfig& cfg) {
+  DeviceEngine<Program> engine(LocalGraph::whole(g), std::move(prog), cfg);
+  SingleDeviceResult<Program> out;
+  out.run = engine.run();
+  out.values.assign(engine.values().begin(), engine.values().end());
+  return out;
+}
+
+}  // namespace phigraph::core

@@ -1,0 +1,87 @@
+#include "src/core/local_graph.hpp"
+
+#include <utility>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::core {
+
+LocalGraph LocalGraph::whole(const graph::Csr& g, Device device) {
+  LocalGraph lg;
+  lg.device = device;
+  lg.global_num_vertices = g.num_vertices();
+  lg.local = g;
+  lg.global_id.resize(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) lg.global_id[v] = v;
+  lg.in_degree = g.in_degrees();
+  lg.owner = std::make_shared<const std::vector<Device>>(
+      g.num_vertices(), device);
+  lg.local_of = std::make_shared<const std::vector<vid_t>>(lg.global_id);
+  return lg;
+}
+
+std::array<LocalGraph, 2> LocalGraph::split(const graph::Csr& g,
+                                            std::vector<Device> owner) {
+  const vid_t n = g.num_vertices();
+  PG_CHECK_MSG(owner.size() == n, "owner array must cover every vertex");
+
+  auto local_of = std::vector<vid_t>(n, kInvalidVertex);
+  std::array<std::vector<vid_t>, 2> members;
+  for (vid_t v = 0; v < n; ++v) {
+    auto& m = members[device_index(owner[v])];
+    local_of[v] = static_cast<vid_t>(m.size());
+    m.push_back(v);
+  }
+
+  const auto global_in = g.in_degrees();
+  auto shared_owner = std::make_shared<const std::vector<Device>>(std::move(owner));
+  auto shared_local_of =
+      std::make_shared<const std::vector<vid_t>>(std::move(local_of));
+
+  std::array<LocalGraph, 2> out;
+  for (int d = 0; d < kNumDevices; ++d) {
+    LocalGraph& lg = out[d];
+    lg.device = static_cast<Device>(d);
+    lg.global_num_vertices = n;
+    lg.global_id = members[d];
+    lg.owner = shared_owner;
+    lg.local_of = shared_local_of;
+
+    const vid_t n_local = static_cast<vid_t>(members[d].size());
+    std::vector<eid_t> offsets(static_cast<std::size_t>(n_local) + 1, 0);
+    eid_t m_local = 0;
+    for (vid_t u = 0; u < n_local; ++u)
+      m_local += g.out_degree(members[d][u]);
+    std::vector<vid_t> targets;
+    targets.reserve(m_local);
+    std::vector<float> values;
+    if (g.has_edge_values()) values.reserve(m_local);
+
+    lg.in_degree.resize(n_local);
+    for (vid_t u = 0; u < n_local; ++u) {
+      const vid_t gu = members[d][u];
+      lg.in_degree[u] = global_in[gu];
+      const auto nbrs = g.out_neighbors(gu);
+      targets.insert(targets.end(), nbrs.begin(), nbrs.end());
+      if (g.has_edge_values()) {
+        const auto w = g.out_edge_values(gu);
+        values.insert(values.end(), w.begin(), w.end());
+      }
+      offsets[u + 1] = targets.size();
+    }
+    lg.local = graph::Csr(std::move(offsets), std::move(targets),
+                          std::move(values), /*target_space=*/n);
+  }
+  return out;
+}
+
+eid_t LocalGraph::count_cross_edges(const graph::Csr& g,
+                                    std::span<const Device> owner) {
+  eid_t cross = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u))
+      if (owner[u] != owner[v]) ++cross;
+  return cross;
+}
+
+}  // namespace phigraph::core

@@ -1,0 +1,50 @@
+// Device-local graph partition.
+//
+// The paper loads the graph distributed by a partitioning file "indicating
+// which device each vertex belongs to". A LocalGraph holds one device's
+// share: a CSR over local source vertices whose edge targets remain global
+// ids, the local→global id map, shared global owner / global→local tables,
+// and each local vertex's in-degree in the FULL graph (the CSB is sized by
+// how many messages a vertex can receive from anywhere).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/graph/csr.hpp"
+
+namespace phigraph::core {
+
+struct LocalGraph {
+  Device device = Device::Cpu;
+  vid_t global_num_vertices = 0;
+
+  graph::Csr local;                // local source id -> global targets
+  std::vector<vid_t> global_id;    // local -> global
+  std::vector<vid_t> in_degree;    // local vertex's in-degree in full graph
+
+  // Shared between the two partitions of a heterogeneous run.
+  std::shared_ptr<const std::vector<Device>> owner;   // global -> device
+  std::shared_ptr<const std::vector<vid_t>> local_of; // global -> local id
+
+  [[nodiscard]] vid_t num_local_vertices() const noexcept {
+    return local.num_vertices();
+  }
+
+  /// Whole graph on a single device (single-device executions).
+  static LocalGraph whole(const graph::Csr& g, Device device = Device::Cpu);
+
+  /// Split by ownership: owner[v] gives each global vertex's device.
+  static std::array<LocalGraph, 2> split(const graph::Csr& g,
+                                         std::vector<Device> owner);
+
+  /// Edges whose source and destination live on different devices — the
+  /// communication-volume metric of §IV-E.
+  static eid_t count_cross_edges(const graph::Csr& g,
+                                 std::span<const Device> owner);
+};
+
+}  // namespace phigraph::core

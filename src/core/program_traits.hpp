@@ -1,0 +1,54 @@
+// Compile-time contract for vertex programs.
+//
+// A PhiGraph vertex program mirrors the paper's three user-defined functions
+// plus the scalar reduction the runtime needs for remote-message combining
+// and the novec ablation:
+//
+//   struct MyProgram {
+//     using vertex_value_t = ...;   // per-vertex state
+//     using message_t      = ...;   // what send_messages() carries
+//
+//     static constexpr bool kAllActive      = ...; // every vertex generates
+//                                                  // every superstep (PageRank)
+//     static constexpr bool kNeedsReduction = ...; // messages are reduced
+//     static constexpr bool kSimdReduce     = ...; // reduction is associative,
+//                                                  // commutative & basic-typed
+//
+//     message_t identity() const;                  // reduction identity
+//     message_t combine(message_t, message_t) const;
+//
+//     void init_vertex(vid_t global, vertex_value_t&, bool& active,
+//                      const InitInfo&) const;
+//     template <class View, class Sink>
+//     void generate_messages(vid_t u, const View& g, Sink& sink) const;
+//     template <class VArr>
+//     void process_messages(VArr& vmsgs) const;    // SIMD path (kSimdReduce)
+//     template <class View>
+//     bool update_vertex(const message_t&, View& g, vid_t u) const;
+//   };
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+
+#include "src/common/types.hpp"
+
+namespace phigraph::core {
+
+/// Static facts about a vertex handed to init_vertex.
+struct InitInfo {
+  vid_t in_degree = 0;     // in the full graph
+  eid_t out_degree = 0;    // in the full graph
+  float out_weight = 0.f;  // sum of incident edge values (0 if unweighted)
+};
+
+template <typename P>
+concept VertexProgram = requires {
+  typename P::vertex_value_t;
+  typename P::message_t;
+  { P::kAllActive } -> std::convertible_to<bool>;
+  { P::kNeedsReduction } -> std::convertible_to<bool>;
+  { P::kSimdReduce } -> std::convertible_to<bool>;
+} && std::is_trivially_copyable_v<typename P::message_t>;
+
+}  // namespace phigraph::core

@@ -1,0 +1,257 @@
+#include "src/gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/common/expect.hpp"
+#include "src/common/rng.hpp"
+
+namespace phigraph::gen {
+
+namespace {
+
+/// Samples ranks in [0, n) with P(rank = r) ∝ (r + 1 + offset)^-alpha via
+/// the inverse CDF of the continuous relaxation — O(1) per sample. The
+/// offset softens the head (offset 0 would give rank 0 a macroscopic share).
+class PowerLawSampler {
+ public:
+  PowerLawSampler(vid_t n, double alpha, vid_t offset = 0)
+      : n_(n), offset_(offset), one_minus_alpha_(1.0 - alpha) {
+    PG_CHECK(n >= 1 && alpha > 1.0);
+    lo_ = std::pow(static_cast<double>(offset) + 1.0, one_minus_alpha_);
+    hi_ = std::pow(static_cast<double>(n) + offset + 1.0, one_minus_alpha_);
+  }
+
+  vid_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const double t = std::pow(lo_ + u * (hi_ - lo_), 1.0 / one_minus_alpha_);
+    const double r = t - 1.0 - static_cast<double>(offset_);
+    if (r <= 0.0) return 0;
+    auto rank = static_cast<vid_t>(r);
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  vid_t n_;
+  vid_t offset_;
+  double one_minus_alpha_;
+  double lo_, hi_;
+};
+
+/// Fisher–Yates permutation of [0, n).
+std::vector<vid_t> random_permutation(vid_t n, Rng& rng) {
+  std::vector<vid_t> p(n);
+  std::iota(p.begin(), p.end(), vid_t{0});
+  for (vid_t i = n; i > 1; --i)
+    std::swap(p[i - 1], p[rng.below(i)]);
+  return p;
+}
+
+/// Power-law out-degree sequence summing to ~num_edges, largest first; the
+/// head is softened by `offset` exactly like PowerLawSampler.
+std::vector<eid_t> power_law_degrees(vid_t n, eid_t m, double alpha,
+                                     vid_t offset) {
+  std::vector<double> w(n);
+  double sum = 0;
+  for (vid_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + 1.0 + offset, -alpha);
+    sum += w[i];
+  }
+  std::vector<eid_t> deg(n);
+  eid_t assigned = 0;
+  for (vid_t i = 0; i < n; ++i) {
+    deg[i] = static_cast<eid_t>(
+        std::llround(static_cast<double>(m) * w[i] / sum));
+    assigned += deg[i];
+  }
+  // Fix rounding drift by trimming/padding the tail.
+  vid_t i = n;
+  while (assigned > m && i > 0) {
+    --i;
+    if (deg[i] > 0) {
+      --deg[i];
+      --assigned;
+    }
+    if (i == 0) i = n;
+  }
+  for (vid_t j = n; assigned < m; --j) {
+    if (j == 0) j = n;
+    ++deg[j - 1];
+    ++assigned;
+  }
+  return deg;
+}
+
+}  // namespace
+
+Csr pokec_like(vid_t n, eid_t m, std::uint64_t seed, double alpha,
+               vid_t head_offset, double p_local) {
+  PG_CHECK(n >= 2 && p_local >= 0.0 && p_local <= 1.0);
+  Rng rng(seed);
+
+  // Descending power-law out-degrees with jitter: swap nearby entries so the
+  // front-loading is strong but not perfectly sorted (as in real Pokec).
+  auto deg = power_law_degrees(n, m, alpha, head_offset);
+  for (vid_t i = 0; i + 1 < n; ++i) {
+    const vid_t window = 1 + static_cast<vid_t>(rng.below(16));
+    const vid_t j = std::min<vid_t>(n - 1, i + window);
+    if (rng.below(2) == 0) std::swap(deg[i], deg[j]);
+  }
+
+  // Global targets: power-law over a hidden permutation so in-hubs are
+  // scattered across the id range. Local targets: uniform in an id window
+  // around the source (friends have nearby ids in Pokec's crawl order).
+  PowerLawSampler target_dist(n, alpha, head_offset);
+  auto perm = random_permutation(n, rng);
+  // Friend neighborhoods span tens of adjacent ids — far smaller than a
+  // 1/256 min-cut block, so blocked partitioning keeps them intact.
+  const vid_t window = std::max<vid_t>(8, n / 2048);
+
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t u = 0; u < n; ++u) offsets[u + 1] = offsets[u] + deg[u];
+  std::vector<vid_t> targets(offsets.back());
+  for (vid_t u = 0; u < n; ++u) {
+    for (eid_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      vid_t v;
+      if (rng.uniform() < p_local) {
+        const vid_t span = 2 * window + 1;
+        const vid_t lo = u >= window ? u - window : 0;
+        const vid_t hi = std::min<vid_t>(n - 1, lo + span - 1);
+        v = lo + static_cast<vid_t>(rng.below(hi - lo + 1));
+      } else {
+        v = perm[target_dist.sample(rng)];
+      }
+      if (v == u) v = perm[rng.below(n)];  // drop most self-loops
+      targets[e] = v;
+    }
+  }
+  return Csr(std::move(offsets), std::move(targets));
+}
+
+Csr dblp_like(vid_t n, eid_t m_undirected, std::uint64_t seed,
+              double p_intra) {
+  PG_CHECK(n >= 2 && p_intra >= 0.0 && p_intra <= 1.0);
+  Rng rng(seed);
+
+  // Communities of geometric size, mean ~ 12 (small dense author groups).
+  std::vector<vid_t> community_of(n);
+  std::vector<std::pair<vid_t, vid_t>> community_range;  // [first, last)
+  {
+    vid_t u = 0;
+    while (u < n) {
+      vid_t size = 3;
+      while (size < 64 && rng.uniform() > 1.0 / 12.0) ++size;
+      const vid_t last = std::min<vid_t>(n, u + size);
+      for (vid_t v = u; v < last; ++v)
+        community_of[v] = static_cast<vid_t>(community_range.size());
+      community_range.emplace_back(u, last);
+      u = last;
+    }
+  }
+
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(2 * m_undirected);
+  std::vector<float> weights;
+  weights.reserve(2 * m_undirected);
+  for (eid_t e = 0; e < m_undirected; ++e) {
+    // Front-biased endpoint choice: prolific authors concentrate at low ids,
+    // so continuous partitioning misjudges the edge split.
+    const vid_t u = static_cast<vid_t>(
+        static_cast<double>(n) * std::pow(rng.uniform(), 1.8));
+    vid_t v;
+    if (rng.uniform() < p_intra) {
+      const auto [first, last] = community_range[community_of[u]];
+      v = first + static_cast<vid_t>(rng.below(last - first));
+    } else {
+      v = static_cast<vid_t>(rng.below(n));
+    }
+    if (v == u) v = (u + 1 == n) ? 0 : u + 1;
+    const float w = rng.uniform(0.1f, 1.0f);  // interaction frequency
+    // Undirected edge -> both directions (the paper duplicates each edge).
+    edges.emplace_back(u, v);
+    weights.push_back(w);
+    edges.emplace_back(v, u);
+    weights.push_back(w);
+  }
+
+  Csr g = Csr::from_edges(n, edges);
+  std::vector<float> csr_weights(edges.size());
+  std::vector<eid_t> cursor(g.offsets().begin(), g.offsets().end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    csr_weights[cursor[edges[i].first]++] = weights[i];
+  g.set_edge_values(std::move(csr_weights));
+  return g;
+}
+
+Csr dag_like(vid_t n, eid_t m, std::uint64_t seed, int levels) {
+  PG_CHECK(n >= 2 && levels >= 2);
+  Rng rng(seed);
+  // Vertex ids follow topological order (as generated DAG files do): vertex
+  // v sits at level floor(v * levels / n). Early vertices can point at
+  // nearly everything, so out-degree declines along the id range — exactly
+  // the skew that makes *continuous* partitioning collapse in Fig. 6.
+  std::vector<std::int32_t> level(n);
+  for (vid_t v = 0; v < n; ++v)
+    level[v] = static_cast<std::int32_t>(
+        static_cast<std::uint64_t>(v) * static_cast<std::uint64_t>(levels) / n);
+
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(m);
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t a = static_cast<vid_t>(rng.below(n));
+    vid_t b = static_cast<vid_t>(rng.below(n));
+    while (level[a] == level[b]) b = static_cast<vid_t>(rng.below(n));
+    if (level[a] > level[b]) std::swap(a, b);
+    edges.emplace_back(a, b);
+  }
+  return Csr::from_edges(n, edges);
+}
+
+Csr rmat(int scale, eid_t m, std::uint64_t seed, double a, double b,
+         double c) {
+  PG_CHECK(scale >= 1 && scale < 31);
+  const double d = 1.0 - a - b - c;
+  PG_CHECK(d >= 0.0);
+  const vid_t n = vid_t{1} << scale;
+  Rng rng(seed);
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(m);
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      const int quadrant = r < a ? 0 : (r < a + b ? 1 : (r < a + b + c ? 2 : 3));
+      u = (u << 1) | (quadrant >> 1);
+      v = (v << 1) | (quadrant & 1);
+    }
+    edges.emplace_back(u, v);
+  }
+  return Csr::from_edges(n, edges);
+}
+
+Csr erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  PG_CHECK(n >= 2);
+  Rng rng(seed);
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(m);
+  for (eid_t e = 0; e < m; ++e) {
+    const vid_t u = static_cast<vid_t>(rng.below(n));
+    vid_t v = static_cast<vid_t>(rng.below(n));
+    while (v == u) v = static_cast<vid_t>(rng.below(n));
+    edges.emplace_back(u, v);
+  }
+  return Csr::from_edges(n, edges);
+}
+
+void add_random_weights(Csr& g, std::uint64_t seed, float lo, float hi) {
+  PG_CHECK(lo < hi && lo > 0.0f);  // SSSP needs positive weights
+  Rng rng(seed);
+  std::vector<float> w(g.num_edges());
+  for (auto& x : w) x = rng.uniform(lo, hi);
+  g.set_edge_values(std::move(w));
+}
+
+}  // namespace phigraph::gen

@@ -1,0 +1,68 @@
+// Synthetic graph generators standing in for the paper's datasets.
+//
+// The paper evaluates on: Pokec (1.6M vertices / 31M directed edges, a
+// power-law social network whose high-out-degree vertices cluster at low
+// vertex ids — the property that makes *continuous* partitioning imbalanced
+// in Fig. 6), DBLP (436K vertices / 1.1M undirected edges with community
+// structure, converted to directed by duplicating edges), and a randomly
+// generated dense DAG (40K vertices / 200M edges) for TopoSort. We generate
+// structurally equivalent graphs at configurable scale; DESIGN.md records the
+// substitution.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/csr.hpp"
+
+namespace phigraph::gen {
+
+using graph::Csr;
+
+/// Pokec-like directed power-law social graph. Three structural properties
+/// of the real dataset matter to the paper's experiments, and all three are
+/// reproduced here:
+///   1. skew: out-/in-degrees follow a truncated power law (exponent
+///      `alpha`, head softened by `head_offset` so no single vertex owns a
+///      macroscopic edge share — real Pokec's top vertex has <0.05%);
+///   2. front-loading: high-out-degree vertices concentrate at low vertex
+///      ids ("vertices with higher out-degrees are concentrated at the
+///      front of the graph Pokec") — this is what breaks continuous
+///      partitioning in Fig. 6;
+///   3. id-locality: a fraction `p_local` of edges lands near the source's
+///      id (friends get adjacent ids) — this is what lets min-cut blocking
+///      beat round-robin on communication volume.
+[[nodiscard]] Csr pokec_like(vid_t num_vertices, eid_t num_edges,
+                             std::uint64_t seed, double alpha = 1.7,
+                             vid_t head_offset = 50, double p_local = 0.6);
+
+/// DBLP-like undirected community graph, returned in directed form with each
+/// undirected edge duplicated (the paper's own conversion). Vertices are
+/// grouped into communities of geometrically distributed size; a fraction
+/// `p_intra` of edge endpoints stay inside the community. Edge values are
+/// interaction frequencies in [0.1, 1.0).
+[[nodiscard]] Csr dblp_like(vid_t num_vertices, eid_t num_undirected_edges,
+                            std::uint64_t seed, double p_intra = 0.8);
+
+/// Dense random DAG with a bounded level structure: vertices are spread over
+/// `levels` ranks and every edge points from a lower to a strictly higher
+/// rank. With edges >> vertices each superstep funnels a huge number of
+/// messages into few destinations (the paper's "highly connected" input
+/// where "a large number of messages are sent to a single vertex"), while
+/// the level count bounds the superstep count.
+[[nodiscard]] Csr dag_like(vid_t num_vertices, eid_t num_edges,
+                           std::uint64_t seed, int levels = 64);
+
+/// Classic R-MAT generator (scale-free, recursive quadrant sampling).
+[[nodiscard]] Csr rmat(int scale, eid_t num_edges, std::uint64_t seed,
+                       double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Uniform random directed graph (Erdős–Rényi G(n, m)).
+[[nodiscard]] Csr erdos_renyi(vid_t num_vertices, eid_t num_edges,
+                              std::uint64_t seed);
+
+/// Attach uniform random weights in [lo, hi) to every edge (the paper:
+/// "we randomly generated weight value for each edge" for SSSP).
+void add_random_weights(Csr& g, std::uint64_t seed, float lo = 1.0f,
+                        float hi = 10.0f);
+
+}  // namespace phigraph::gen

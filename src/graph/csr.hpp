@@ -1,0 +1,105 @@
+// Compressed Sparse Row graph storage (paper §II-B, Fig. 1).
+//
+// Directed graph: offsets_ has num_vertices()+1 entries (the paper calls the
+// last one the "dummy vertex, offset = num_edges"); targets_ lists out-edge
+// destinations. Optional per-edge float values (SSSP weights, SC interaction
+// frequencies) ride alongside in edge_values_.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/expect.hpp"
+#include "src/common/types.hpp"
+
+namespace phigraph::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// target_space: the id space edge targets live in. 0 (default) means
+  /// targets are vertices of this graph; a device-local partition passes the
+  /// GLOBAL vertex count because its edge targets stay global ids.
+  Csr(std::vector<eid_t> offsets, std::vector<vid_t> targets,
+      std::vector<float> edge_values = {}, vid_t target_space = 0);
+
+  /// Build from an (unsorted) edge list; edges are counting-sorted by source.
+  /// Parallel edges and self-loops are kept unless dedup is requested.
+  static Csr from_edges(vid_t num_vertices,
+                        std::span<const std::pair<vid_t, vid_t>> edges,
+                        bool dedup = false);
+
+  [[nodiscard]] vid_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<vid_t>(offsets_.size() - 1);
+  }
+  [[nodiscard]] eid_t num_edges() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+  [[nodiscard]] bool has_edge_values() const noexcept {
+    return !edge_values_.empty();
+  }
+
+  [[nodiscard]] eid_t out_degree(vid_t u) const noexcept {
+    PG_DCHECK(u < num_vertices());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] std::span<const vid_t> out_neighbors(vid_t u) const noexcept {
+    PG_DCHECK(u < num_vertices());
+    return {targets_.data() + offsets_[u],
+            static_cast<std::size_t>(out_degree(u))};
+  }
+
+  [[nodiscard]] std::span<const float> out_edge_values(vid_t u) const noexcept {
+    PG_DCHECK(u < num_vertices() && has_edge_values());
+    return {edge_values_.data() + offsets_[u],
+            static_cast<std::size_t>(out_degree(u))};
+  }
+
+  // Raw arrays — the paper's user functions index g->vertices[] / g->edges[]
+  // / g->edge_value[] directly, so we expose them.
+  [[nodiscard]] const std::vector<eid_t>& offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<vid_t>& targets() const noexcept {
+    return targets_;
+  }
+  [[nodiscard]] const std::vector<float>& edge_values() const noexcept {
+    return edge_values_;
+  }
+
+  void set_edge_values(std::vector<float> values);
+
+  /// In-degree of every vertex (one counting pass over targets_).
+  [[nodiscard]] std::vector<vid_t> in_degrees() const;
+
+  /// Transposed graph; edge values (if any) follow their edge.
+  [[nodiscard]] Csr reversed() const;
+
+  /// Structural checks: monotone offsets, targets in range, matching
+  /// edge-value length. Aborts via PG_CHECK on violation.
+  void validate() const;
+
+  [[nodiscard]] bool operator==(const Csr& o) const noexcept = default;
+
+ private:
+  std::vector<eid_t> offsets_;
+  std::vector<vid_t> targets_;
+  std::vector<float> edge_values_;
+  vid_t target_space_ = 0;  // 0 = targets are local vertices
+};
+
+/// Summary statistics used by generators' tests and the partitioner.
+struct DegreeStats {
+  eid_t min_out = 0;
+  eid_t max_out = 0;
+  double mean_out = 0;
+  vid_t zero_in = 0;   // vertices with in-degree 0
+  vid_t zero_out = 0;  // vertices with out-degree 0
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Csr& g);
+
+}  // namespace phigraph::graph

@@ -1,0 +1,180 @@
+#include "src/graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::graph {
+
+namespace {
+constexpr std::uint32_t kBinaryMagic = 0x50474231;  // "PGB1"
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  PG_CHECK_MSG(in.good(), "failed to open input file");
+  return in;
+}
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  PG_CHECK_MSG(out.good(), "failed to open output file");
+  return out;
+}
+}  // namespace
+
+void save_adjacency_list(const Csr& g, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  out << g.num_vertices() << ' ' << g.num_edges() << ' '
+      << (g.has_edge_values() ? 1 : 0) << '\n';
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    out << u << ' ' << g.out_degree(u);
+    const auto nbrs = g.out_neighbors(u);
+    if (g.has_edge_values()) {
+      const auto w = g.out_edge_values(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        out << ' ' << nbrs[i] << ' ' << w[i];
+    } else {
+      for (vid_t v : nbrs) out << ' ' << v;
+    }
+    out << '\n';
+  }
+  PG_CHECK_MSG(out.good(), "write failure while saving adjacency list");
+}
+
+Csr load_adjacency_list(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  vid_t n = 0;
+  eid_t m = 0;
+  int weighted = 0;
+  in >> n >> m >> weighted;
+  PG_CHECK_MSG(in.good(), "bad adjacency-list header");
+
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<vid_t> targets;
+  std::vector<float> weights;
+  targets.reserve(m);
+  if (weighted) weights.reserve(m);
+
+  for (vid_t line = 0; line < n; ++line) {
+    vid_t u = 0;
+    eid_t deg = 0;
+    in >> u >> deg;
+    PG_CHECK_MSG(in.good() && u < n, "bad adjacency-list vertex line");
+    PG_CHECK_MSG(u == line, "adjacency-list vertices must be in id order");
+    offsets[u + 1] = offsets[u] + deg;
+    for (eid_t i = 0; i < deg; ++i) {
+      vid_t v = 0;
+      in >> v;
+      targets.push_back(v);
+      if (weighted) {
+        float w = 0;
+        in >> w;
+        weights.push_back(w);
+      }
+    }
+  }
+  PG_CHECK_MSG(targets.size() == m, "adjacency-list edge count mismatch");
+  return Csr(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+Csr load_edge_list(const std::string& path, vid_t num_vertices) {
+  auto in = open_in(path, std::ios::in);
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  std::vector<float> weights;
+  bool weighted = false;
+  vid_t max_id = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    vid_t u = 0, v = 0;
+    ls >> u >> v;
+    PG_CHECK_MSG(!ls.fail(), "bad edge-list line");
+    float w = 0;
+    if (ls >> w) {
+      weighted = true;
+      weights.push_back(w);
+    } else if (weighted) {
+      PG_CHECK_MSG(false, "mixed weighted/unweighted edge-list lines");
+    }
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  const vid_t n =
+      num_vertices != 0 ? num_vertices : (edges.empty() ? 0 : max_id + 1);
+
+  // Rebuild weights in CSR order if needed: from_edges is a stable counting
+  // sort by source, so replay the same placement for weights.
+  Csr g = Csr::from_edges(n, edges);
+  if (weighted) {
+    std::vector<float> csr_weights(edges.size());
+    std::vector<eid_t> cursor(g.offsets().begin(), g.offsets().end() - 1);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      csr_weights[cursor[edges[i].first]++] = weights[i];
+    g.set_edge_values(std::move(csr_weights));
+  }
+  return g;
+}
+
+void save_edge_list(const Csr& g, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      out << u << ' ' << nbrs[i];
+      if (g.has_edge_values()) out << ' ' << g.out_edge_values(u)[i];
+      out << '\n';
+    }
+  }
+  PG_CHECK_MSG(out.good(), "write failure while saving edge list");
+}
+
+void save_binary(const Csr& g, const std::string& path) {
+  auto out = open_out(path, std::ios::out | std::ios::binary);
+  auto put = [&out](const void* p, std::size_t bytes) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+  };
+  const std::uint32_t magic = kBinaryMagic;
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  const std::uint32_t weighted = g.has_edge_values() ? 1 : 0;
+  put(&magic, sizeof magic);
+  put(&n, sizeof n);
+  put(&m, sizeof m);
+  put(&weighted, sizeof weighted);
+  put(g.offsets().data(), g.offsets().size() * sizeof(eid_t));
+  put(g.targets().data(), g.targets().size() * sizeof(vid_t));
+  if (weighted) put(g.edge_values().data(), m * sizeof(float));
+  PG_CHECK_MSG(out.good(), "write failure while saving binary graph");
+}
+
+Csr load_binary(const std::string& path) {
+  auto in = open_in(path, std::ios::in | std::ios::binary);
+  auto get = [&in](void* p, std::size_t bytes) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+    PG_CHECK_MSG(in.good(), "truncated binary graph file");
+  };
+  std::uint32_t magic = 0;
+  std::uint64_t n = 0, m = 0;
+  std::uint32_t weighted = 0;
+  get(&magic, sizeof magic);
+  PG_CHECK_MSG(magic == kBinaryMagic, "not a PhiGraph binary graph file");
+  get(&n, sizeof n);
+  get(&m, sizeof m);
+  get(&weighted, sizeof weighted);
+  std::vector<eid_t> offsets(n + 1);
+  std::vector<vid_t> targets(m);
+  std::vector<float> weights(weighted ? m : 0);
+  get(offsets.data(), offsets.size() * sizeof(eid_t));
+  get(targets.data(), targets.size() * sizeof(vid_t));
+  if (weighted) get(weights.data(), weights.size() * sizeof(float));
+  return Csr(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace phigraph::graph

@@ -1,0 +1,33 @@
+// Graph file IO — the "distributed graph loading API" substrate.
+//
+// Three formats:
+//  * adjacency list text (the paper's input format): header "n m", then one
+//    line per vertex: "<vertex id> <out degree> <t0> <t1> ..."; a weighted
+//    variant interleaves "<target> <weight>" pairs.
+//  * edge list text: one "u v [w]" per line (comments start with '#').
+//  * binary: magic-tagged little-endian dump for fast reload of generated
+//    inputs between bench runs.
+#pragma once
+
+#include <string>
+
+#include "src/graph/csr.hpp"
+
+namespace phigraph::graph {
+
+/// Writes the adjacency-list text format. Includes weights if present.
+void save_adjacency_list(const Csr& g, const std::string& path);
+
+/// Reads the adjacency-list text format (auto-detects weights).
+[[nodiscard]] Csr load_adjacency_list(const std::string& path);
+
+/// Reads "u v [w]" lines; vertex count is 1 + max id unless given.
+[[nodiscard]] Csr load_edge_list(const std::string& path,
+                                 vid_t num_vertices = 0);
+
+void save_edge_list(const Csr& g, const std::string& path);
+
+void save_binary(const Csr& g, const std::string& path);
+[[nodiscard]] Csr load_binary(const std::string& path);
+
+}  // namespace phigraph::graph

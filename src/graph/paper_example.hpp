@@ -1,0 +1,19 @@
+// The 16-vertex example graph from the paper's Figure 1, used by tests to
+// pin down CSB construction (Fig. 3) and the Table I message flow.
+#pragma once
+
+#include "src/graph/csr.hpp"
+
+namespace phigraph::graph {
+
+/// Exactly the CSR arrays printed in Fig. 1:
+///   offsets: 0 2 5 8 8 11 12 13 14 15 19 20 22 24 26 27 28
+///   edges:   4 5 0 2 5 3 5 7 5 8 9 2 2 2 0 4 5 6 8 11 6 9 8 13 9 12 10 7
+inline Csr paper_example_graph() {
+  return Csr(
+      {0, 2, 5, 8, 8, 11, 12, 13, 14, 15, 19, 20, 22, 24, 26, 27, 28},
+      {4, 5, 0, 2, 5, 3, 5, 7, 5, 8, 9, 2, 2, 2, 0, 4, 5, 6, 8, 11, 6, 9, 8,
+       13, 9, 12, 10, 7});
+}
+
+}  // namespace phigraph::graph

@@ -1,0 +1,67 @@
+// Per-superstep event counters.
+//
+// The engine is the measurement instrument: every execution mode emits the
+// same counter stream, and the performance model (src/sim) converts counters
+// into device seconds for the paper's CPU / MIC specs. Counters are also
+// asserted on directly by tests (e.g. message conservation: generated ==
+// inserted + remote).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace phigraph::metrics {
+
+struct SuperstepCounters {
+  std::uint64_t superstep = 0;
+  std::uint64_t active_vertices = 0;   // vertices that ran generate_messages
+  std::uint64_t edges_scanned = 0;     // out-edges of active vertices
+  std::uint64_t msgs_local = 0;        // inserted into the local CSB
+  std::uint64_t msgs_remote = 0;       // destined for the other device
+  std::uint64_t msgs_received = 0;     // arrived from the other device
+  std::uint64_t columns_allocated = 0; // distinct destinations this superstep
+  std::uint64_t column_conflicts = 0;  // insertions hitting an occupied column
+  std::uint64_t lock_acquisitions = 0; // column/group locks taken (locking mode)
+  std::uint64_t queue_pushes = 0;      // pipelining: worker -> queue
+  std::uint64_t queue_full_spins = 0;  // pipelining backpressure events
+  std::uint64_t vector_rows = 0;       // SIMD rows processed
+  std::uint64_t padded_cells = 0;      // identity fills (lane bubbles)
+  std::uint64_t scalar_msgs = 0;       // messages processed on the scalar path
+  std::uint64_t verts_updated = 0;     // update_vertex invocations
+  std::uint64_t sched_retrievals = 0;  // dynamic-scheduler chunk grabs
+  std::uint64_t bytes_sent = 0;        // exchange traffic to the peer
+  std::uint64_t bytes_received = 0;
+
+  SuperstepCounters& operator+=(const SuperstepCounters& o) noexcept {
+    active_vertices += o.active_vertices;
+    edges_scanned += o.edges_scanned;
+    msgs_local += o.msgs_local;
+    msgs_remote += o.msgs_remote;
+    msgs_received += o.msgs_received;
+    columns_allocated += o.columns_allocated;
+    column_conflicts += o.column_conflicts;
+    lock_acquisitions += o.lock_acquisitions;
+    queue_pushes += o.queue_pushes;
+    queue_full_spins += o.queue_full_spins;
+    vector_rows += o.vector_rows;
+    padded_cells += o.padded_cells;
+    scalar_msgs += o.scalar_msgs;
+    verts_updated += o.verts_updated;
+    sched_retrievals += o.sched_retrievals;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+};
+
+/// Full run trace: one entry per executed superstep.
+using RunTrace = std::vector<SuperstepCounters>;
+
+/// Sum of a trace (superstep field meaningless in the result).
+inline SuperstepCounters totals(const RunTrace& trace) noexcept {
+  SuperstepCounters t;
+  for (const auto& c : trace) t += c;
+  return t;
+}
+
+}  // namespace phigraph::metrics

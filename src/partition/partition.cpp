@@ -1,0 +1,436 @@
+#include "src/partition/partition.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <utility>
+
+#include "src/common/expect.hpp"
+#include "src/common/rng.hpp"
+
+namespace phigraph::partition {
+
+std::vector<Device> continuous_partition(const graph::Csr& g, Ratio r) {
+  PG_CHECK(r.cpu >= 0 && r.mic >= 0 && r.cpu + r.mic > 0);
+  const vid_t n = g.num_vertices();
+  const vid_t split = static_cast<vid_t>(
+      static_cast<std::uint64_t>(n) * r.cpu / (r.cpu + r.mic));
+  std::vector<Device> owner(n);
+  for (vid_t v = 0; v < n; ++v)
+    owner[v] = v < split ? Device::Cpu : Device::Mic;
+  return owner;
+}
+
+std::vector<Device> round_robin_partition(const graph::Csr& g, Ratio r) {
+  PG_CHECK(r.cpu >= 0 && r.mic >= 0 && r.cpu + r.mic > 0);
+  const vid_t n = g.num_vertices();
+  const vid_t period = static_cast<vid_t>(r.cpu + r.mic);
+  std::vector<Device> owner(n);
+  for (vid_t v = 0; v < n; ++v)
+    owner[v] = (v % period) < static_cast<vid_t>(r.cpu) ? Device::Cpu
+                                                        : Device::Mic;
+  return owner;
+}
+
+namespace {
+
+/// Symmetric weighted graph used by the multilevel partitioner. Vertex
+/// weights track how many original vertices a coarse vertex represents;
+/// edge weights how many original (undirected) edges a coarse edge bundles.
+struct WorkGraph {
+  std::vector<eid_t> offsets;
+  std::vector<vid_t> targets;
+  std::vector<eid_t> eweights;
+  std::vector<eid_t> vweights;
+
+  [[nodiscard]] vid_t n() const noexcept {
+    return static_cast<vid_t>(vweights.size());
+  }
+};
+
+/// Build the symmetrized work graph from the input CSR (self-loops dropped,
+/// parallel/bidirectional edges merged with accumulated weight).
+WorkGraph symmetrize(const graph::Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::pair<vid_t, vid_t>> edges;
+  edges.reserve(2 * g.num_edges());
+  for (vid_t u = 0; u < n; ++u)
+    for (vid_t v : g.out_neighbors(u))
+      if (u != v) {
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u);
+      }
+  std::sort(edges.begin(), edges.end());
+
+  WorkGraph wg;
+  wg.vweights.assign(n, 1);
+  wg.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  wg.targets.reserve(edges.size());
+  wg.eweights.reserve(edges.size());
+  std::size_t i = 0;
+  for (vid_t u = 0; u < n; ++u) {
+    while (i < edges.size() && edges[i].first == u) {
+      const vid_t v = edges[i].second;
+      eid_t w = 0;
+      while (i < edges.size() && edges[i].first == u && edges[i].second == v) {
+        ++w;
+        ++i;
+      }
+      wg.targets.push_back(v);
+      wg.eweights.push_back(w);
+    }
+    wg.offsets[u + 1] = wg.targets.size();
+  }
+  return wg;
+}
+
+/// Heavy-edge matching: visit vertices in random order, match each unmatched
+/// vertex with its heaviest unmatched neighbor. Returns match[] (match[v] ==
+/// v for unmatched) and the number of coarse vertices.
+std::vector<vid_t> heavy_edge_matching(const WorkGraph& wg, Rng& rng,
+                                       vid_t& coarse_n) {
+  const vid_t n = wg.n();
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), vid_t{0});
+  for (vid_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  std::vector<vid_t> match(n, kInvalidVertex);
+  coarse_n = 0;
+  for (vid_t u : order) {
+    if (match[u] != kInvalidVertex) continue;
+    vid_t best = u;
+    eid_t best_w = 0;
+    for (eid_t e = wg.offsets[u]; e < wg.offsets[u + 1]; ++e) {
+      const vid_t v = wg.targets[e];
+      if (match[v] != kInvalidVertex || v == u) continue;
+      if (wg.eweights[e] > best_w) {
+        best_w = wg.eweights[e];
+        best = v;
+      }
+    }
+    match[u] = best;
+    match[best] = u;
+    ++coarse_n;
+  }
+  return match;
+}
+
+struct CoarseLevel {
+  WorkGraph graph;
+  std::vector<vid_t> coarse_of;  // fine vertex -> coarse vertex
+};
+
+CoarseLevel contract(const WorkGraph& wg, const std::vector<vid_t>& match,
+                     vid_t coarse_n) {
+  const vid_t n = wg.n();
+  CoarseLevel lvl;
+  lvl.coarse_of.assign(n, kInvalidVertex);
+  vid_t next = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (lvl.coarse_of[v] != kInvalidVertex) continue;
+    lvl.coarse_of[v] = next;
+    const vid_t m = match[v];
+    if (m != v) lvl.coarse_of[m] = next;
+    ++next;
+  }
+  PG_CHECK(next == coarse_n);
+
+  // Accumulate coarse edges via sort-merge of remapped endpoints.
+  std::vector<std::pair<std::pair<vid_t, vid_t>, eid_t>> ce;
+  ce.reserve(wg.targets.size());
+  lvl.graph.vweights.assign(coarse_n, 0);
+  for (vid_t u = 0; u < n; ++u) {
+    lvl.graph.vweights[lvl.coarse_of[u]] += wg.vweights[u];
+    for (eid_t e = wg.offsets[u]; e < wg.offsets[u + 1]; ++e) {
+      const vid_t cu = lvl.coarse_of[u];
+      const vid_t cv = lvl.coarse_of[wg.targets[e]];
+      if (cu != cv) ce.push_back({{cu, cv}, wg.eweights[e]});
+    }
+  }
+  std::sort(ce.begin(), ce.end());
+  lvl.graph.offsets.assign(static_cast<std::size_t>(coarse_n) + 1, 0);
+  std::size_t i = 0;
+  for (vid_t u = 0; u < coarse_n; ++u) {
+    while (i < ce.size() && ce[i].first.first == u) {
+      const vid_t v = ce[i].first.second;
+      eid_t w = 0;
+      while (i < ce.size() && ce[i].first.first == u && ce[i].first.second == v) {
+        w += ce[i].second;
+        ++i;
+      }
+      lvl.graph.targets.push_back(v);
+      lvl.graph.eweights.push_back(w);
+    }
+    lvl.graph.offsets[u + 1] = lvl.graph.targets.size();
+  }
+  return lvl;
+}
+
+/// Greedy BFS growing on the coarsest graph: grow blocks up to the average
+/// vertex weight from random seeds; leftovers join their heaviest neighbor
+/// block (or the lightest block if isolated).
+std::vector<vid_t> initial_blocks(const WorkGraph& wg, int num_blocks, Rng& rng) {
+  const vid_t n = wg.n();
+  eid_t total_w = 0;
+  for (auto w : wg.vweights) total_w += w;
+  const double target = static_cast<double>(total_w) / num_blocks;
+
+  std::vector<vid_t> block(n, kInvalidVertex);
+  std::vector<eid_t> bw(static_cast<std::size_t>(num_blocks), 0);
+  std::vector<vid_t> frontier;
+
+  vid_t b = 0;
+  vid_t scan = 0;
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), vid_t{0});
+  for (vid_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  while (b < static_cast<vid_t>(num_blocks) && scan < n) {
+    // Seed a new block with the next unassigned vertex.
+    while (scan < n && block[order[scan]] != kInvalidVertex) ++scan;
+    if (scan >= n) break;
+    frontier.clear();
+    frontier.push_back(order[scan]);
+    block[order[scan]] = b;
+    bw[b] += wg.vweights[order[scan]];
+    for (std::size_t f = 0; f < frontier.size() &&
+                            static_cast<double>(bw[b]) < target;
+         ++f) {
+      const vid_t u = frontier[f];
+      for (eid_t e = wg.offsets[u]; e < wg.offsets[u + 1]; ++e) {
+        const vid_t v = wg.targets[e];
+        if (block[v] != kInvalidVertex) continue;
+        block[v] = b;
+        bw[b] += wg.vweights[v];
+        frontier.push_back(v);
+        if (static_cast<double>(bw[b]) >= target) break;
+      }
+    }
+    ++b;
+  }
+
+  // Assign any leftover vertex to its most-connected block, else lightest.
+  for (vid_t v = 0; v < n; ++v) {
+    if (block[v] != kInvalidVertex) continue;
+    std::vector<eid_t> conn(static_cast<std::size_t>(num_blocks), 0);
+    vid_t best = kInvalidVertex;
+    eid_t best_w = 0;
+    for (eid_t e = wg.offsets[v]; e < wg.offsets[v + 1]; ++e) {
+      const vid_t u = wg.targets[e];
+      if (block[u] == kInvalidVertex) continue;
+      conn[block[u]] += wg.eweights[e];
+      if (conn[block[u]] > best_w) {
+        best_w = conn[block[u]];
+        best = block[u];
+      }
+    }
+    if (best == kInvalidVertex) {
+      best = static_cast<vid_t>(
+          std::min_element(bw.begin(), bw.end()) - bw.begin());
+    }
+    block[v] = best;
+    bw[best] += wg.vweights[v];
+  }
+  return block;
+}
+
+/// One boundary-refinement sweep (greedy KL/FM flavor): move a vertex to the
+/// neighboring block with the largest positive cut gain if the balance
+/// tolerance allows. Returns the number of moves.
+std::size_t refine_pass(const WorkGraph& wg, std::vector<vid_t>& block,
+                        std::vector<eid_t>& bw, int num_blocks,
+                        double max_bw) {
+  const vid_t n = wg.n();
+  std::size_t moves = 0;
+  std::vector<eid_t> conn(static_cast<std::size_t>(num_blocks), 0);
+  std::vector<vid_t> touched;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t mine = block[v];
+    bool boundary = false;
+    touched.clear();
+    for (eid_t e = wg.offsets[v]; e < wg.offsets[v + 1]; ++e) {
+      const vid_t b = block[wg.targets[e]];
+      if (conn[b] == 0) touched.push_back(b);
+      conn[b] += wg.eweights[e];
+      if (b != mine) boundary = true;
+    }
+    if (boundary) {
+      vid_t best = mine;
+      eid_t best_conn = conn[mine];
+      for (vid_t b : touched) {
+        if (b == mine) continue;
+        if (conn[b] > best_conn &&
+            static_cast<double>(bw[b] + wg.vweights[v]) <= max_bw) {
+          best_conn = conn[b];
+          best = b;
+        }
+      }
+      if (best != mine) {
+        bw[mine] -= wg.vweights[v];
+        bw[best] += wg.vweights[v];
+        block[v] = best;
+        ++moves;
+      }
+    }
+    for (vid_t b : touched) conn[b] = 0;
+  }
+  return moves;
+}
+
+}  // namespace
+
+BlockedPartition blocked_min_cut(const graph::Csr& g,
+                                 const BlockedOptions& opt) {
+  PG_CHECK(opt.num_blocks >= 1);
+  const vid_t n = g.num_vertices();
+  Rng rng(opt.seed);
+
+  BlockedPartition bp;
+  bp.num_blocks = opt.num_blocks;
+
+  if (static_cast<int>(n) <= opt.num_blocks) {
+    // Degenerate: one vertex per block.
+    bp.block_of.resize(n);
+    std::iota(bp.block_of.begin(), bp.block_of.end(), vid_t{0});
+  } else {
+    // ---- coarsening ----
+    std::vector<CoarseLevel> levels;
+    const WorkGraph finest = symmetrize(g);
+    WorkGraph cur = finest;
+    const vid_t coarse_target =
+        std::max<vid_t>(static_cast<vid_t>(4 * opt.num_blocks), 64);
+    while (cur.n() > coarse_target) {
+      vid_t coarse_n = 0;
+      const auto match = heavy_edge_matching(cur, rng, coarse_n);
+      if (static_cast<double>(coarse_n) > 0.95 * static_cast<double>(cur.n()))
+        break;  // matching stalled (e.g. star graphs)
+      levels.push_back(contract(cur, match, coarse_n));
+      cur = levels.back().graph;
+    }
+
+    // ---- initial partitioning on the coarsest graph ----
+    std::vector<vid_t> block = initial_blocks(cur, opt.num_blocks, rng);
+
+    // ---- uncoarsen with refinement ----
+    auto refine = [&](const WorkGraph& wg, std::vector<vid_t>& blk) {
+      eid_t total_w = 0;
+      for (auto w : wg.vweights) total_w += w;
+      std::vector<eid_t> bw(static_cast<std::size_t>(opt.num_blocks), 0);
+      for (vid_t v = 0; v < wg.n(); ++v) bw[blk[v]] += wg.vweights[v];
+      const double max_bw = (1.0 + opt.balance_tol) *
+                            static_cast<double>(total_w) / opt.num_blocks;
+      for (int p = 0; p < opt.refine_passes; ++p)
+        if (refine_pass(wg, blk, bw, opt.num_blocks, max_bw) == 0) break;
+    };
+
+    refine(cur, block);
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      // Project to the finer level, then refine there.
+      const auto& coarse_of = it->coarse_of;
+      std::vector<vid_t> fine_block(coarse_of.size());
+      for (std::size_t v = 0; v < coarse_of.size(); ++v)
+        fine_block[v] = block[coarse_of[v]];
+      block = std::move(fine_block);
+      const WorkGraph& fine_graph =
+          (it + 1 == levels.rend()) ? finest : (it + 1)->graph;
+      refine(fine_graph, block);
+    }
+    bp.block_of = std::move(block);
+  }
+
+  // ---- statistics ----
+  bp.block_edges.assign(static_cast<std::size_t>(bp.num_blocks), 0);
+  bp.block_verts.assign(static_cast<std::size_t>(bp.num_blocks), 0);
+  for (vid_t v = 0; v < n; ++v) {
+    bp.block_edges[bp.block_of[v]] += g.out_degree(v);
+    ++bp.block_verts[bp.block_of[v]];
+  }
+  for (vid_t u = 0; u < n; ++u)
+    for (vid_t v : g.out_neighbors(u))
+      if (bp.block_of[u] != bp.block_of[v]) ++bp.cut_edges;
+  return bp;
+}
+
+std::vector<Device> hybrid_partition(const BlockedPartition& bp, Ratio r) {
+  PG_CHECK(r.cpu >= 0 && r.mic >= 0 && r.cpu + r.mic > 0);
+  // Deal blocks so cumulative edge counts track the requested ratio: assign
+  // block b to whichever device is furthest below its target share.
+  std::vector<Device> block_dev(static_cast<std::size_t>(bp.num_blocks));
+  const double share_cpu = static_cast<double>(r.cpu) / (r.cpu + r.mic);
+  const double share_mic = 1.0 - share_cpu;
+  // Deal heaviest blocks first (LPT): keeps the cumulative ratio tight AND
+  // spreads hub-heavy id regions over both devices, so a traversal frontier
+  // sweeping an id range does not land entirely on one device.
+  std::vector<int> order(static_cast<std::size_t>(bp.num_blocks));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b2) {
+    return bp.block_edges[a] > bp.block_edges[b2];
+  });
+  double edges_cpu = 0, edges_mic = 0;
+  for (int b : order) {
+    const double w = static_cast<double>(bp.block_edges[b]) + 1e-9;
+    // Weighted-load greedy: give the block to the device whose normalized
+    // load (assigned edges / target share) is currently lower.
+    const double load_cpu =
+        share_cpu == 0 ? 1e300 : (edges_cpu + w) / share_cpu;
+    const double load_mic =
+        share_mic == 0 ? 1e300 : (edges_mic + w) / share_mic;
+    if (load_cpu <= load_mic) {
+      block_dev[b] = Device::Cpu;
+      edges_cpu += w;
+    } else {
+      block_dev[b] = Device::Mic;
+      edges_mic += w;
+    }
+  }
+  std::vector<Device> owner(bp.block_of.size());
+  for (std::size_t v = 0; v < owner.size(); ++v)
+    owner[v] = block_dev[bp.block_of[v]];
+  return owner;
+}
+
+std::vector<Device> hybrid_partition(const graph::Csr& g, Ratio r,
+                                     const BlockedOptions& opt) {
+  return hybrid_partition(blocked_min_cut(g, opt), r);
+}
+
+PartitionStats evaluate_partition(const graph::Csr& g,
+                                  std::span<const Device> owner) {
+  PG_CHECK(owner.size() == g.num_vertices());
+  PartitionStats s;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const int d = device_index(owner[u]);
+    ++s.verts[d];
+    s.edges[d] += g.out_degree(u);
+    for (vid_t v : g.out_neighbors(u))
+      if (owner[u] != owner[v]) ++s.cross_edges;
+  }
+  return s;
+}
+
+void save_partition(std::span<const Device> owner, const std::string& path) {
+  std::ofstream out(path);
+  PG_CHECK_MSG(out.good(), "failed to open partition file for writing");
+  out << owner.size() << '\n';
+  for (Device d : owner) out << device_index(d) << '\n';
+  PG_CHECK_MSG(out.good(), "write failure while saving partition file");
+}
+
+std::vector<Device> load_partition(const std::string& path) {
+  std::ifstream in(path);
+  PG_CHECK_MSG(in.good(), "failed to open partition file");
+  std::size_t n = 0;
+  in >> n;
+  std::vector<Device> owner(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    int d = 0;
+    in >> d;
+    PG_CHECK_MSG(!in.fail() && (d == 0 || d == 1), "bad partition file entry");
+    owner[v] = static_cast<Device>(d);
+  }
+  return owner;
+}
+
+}  // namespace phigraph::partition

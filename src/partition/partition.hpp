@@ -1,0 +1,99 @@
+// Graph partitioning between CPU and MIC (paper §IV-E).
+//
+// Three vertex→device schemes, compared in Fig. 6:
+//   * continuous  — first a/(a+b) of the vertices go to the CPU. Cheap, but
+//     power-law graphs concentrate hubs at the front, so edge workload is
+//     imbalanced.
+//   * round-robin — interleave vertices; balanced, but maximizes cross
+//     edges (communication).
+//   * hybrid      — partition the graph into many min-cut blocks (the paper
+//     uses Metis' min-connectivity-volume mode with 256 partitions; we ship
+//     our own multilevel partitioner) and deal the *blocks* to devices so
+//     the cumulative edge counts track the requested ratio. Low cut AND
+//     balanced. The blocked partition is computed once per graph and reused
+//     for any ratio — the property the paper highlights over GPS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/graph/csr.hpp"
+
+namespace phigraph::partition {
+
+/// Workload ratio CPU : MIC ("relative amounts of computation assigned to
+/// devices" — user-specified, e.g. 3:5 for PageRank in the paper).
+struct Ratio {
+  int cpu = 1;
+  int mic = 1;
+};
+
+// ---- vertex -> device schemes ------------------------------------------------
+
+[[nodiscard]] std::vector<Device> continuous_partition(const graph::Csr& g,
+                                                       Ratio r);
+[[nodiscard]] std::vector<Device> round_robin_partition(const graph::Csr& g,
+                                                        Ratio r);
+
+// ---- blocked min-cut partitioning (the Metis substitute) ---------------------
+
+struct BlockedPartition {
+  int num_blocks = 0;
+  std::vector<vid_t> block_of;     // vertex -> block
+  std::vector<eid_t> block_edges;  // cumulative out-degree per block
+  std::vector<vid_t> block_verts;  // vertices per block
+  eid_t cut_edges = 0;             // directed edges crossing blocks
+};
+
+struct BlockedOptions {
+  int num_blocks = 256;  // the paper's configuration
+  std::uint64_t seed = 1;
+  int refine_passes = 4;     // boundary refinement sweeps per level
+  double balance_tol = 0.1;  // blocks may exceed average weight by 10%
+};
+
+/// Multilevel min-cut partitioner: heavy-edge-matching coarsening, greedy
+/// BFS growing on the coarsest graph, boundary (KL/FM-style) refinement on
+/// every uncoarsening level.
+[[nodiscard]] BlockedPartition blocked_min_cut(const graph::Csr& g,
+                                               const BlockedOptions& opt = {});
+
+/// Hybrid scheme: deal blocks to devices, greedily keeping the cumulative
+/// edge counts proportional to the ratio.
+[[nodiscard]] std::vector<Device> hybrid_partition(const BlockedPartition& bp,
+                                                   Ratio r);
+
+/// Convenience: blocked_min_cut + hybrid assignment in one call.
+[[nodiscard]] std::vector<Device> hybrid_partition(const graph::Csr& g, Ratio r,
+                                                   const BlockedOptions& opt = {});
+
+// ---- evaluation ---------------------------------------------------------------
+
+struct PartitionStats {
+  vid_t verts[kNumDevices] = {0, 0};
+  eid_t edges[kNumDevices] = {0, 0};  // cumulative out-degree per device
+  eid_t cross_edges = 0;              // the paper's communication-volume metric
+
+  /// Signed relative error of the CPU's achieved edge share vs. requested:
+  /// 0 = perfect, +x = CPU overloaded by x of its target.
+  [[nodiscard]] double balance_error(Ratio r) const noexcept {
+    const double want = static_cast<double>(r.cpu) / (r.cpu + r.mic);
+    const double total = static_cast<double>(edges[0] + edges[1]);
+    if (total == 0 || want == 0) return 0;
+    const double got = static_cast<double>(edges[0]) / total;
+    return (got - want) / want;
+  }
+};
+
+[[nodiscard]] PartitionStats evaluate_partition(const graph::Csr& g,
+                                                std::span<const Device> owner);
+
+// ---- partition file IO (the paper's "graph partitioning file") ----------------
+
+void save_partition(std::span<const Device> owner, const std::string& path);
+[[nodiscard]] std::vector<Device> load_partition(const std::string& path);
+
+}  // namespace phigraph::partition

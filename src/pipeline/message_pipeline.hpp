@@ -1,0 +1,125 @@
+// Worker/mover message-generation pipeline (paper §IV-C, Fig. 4).
+//
+// Workers compute and generate messages but never touch the message buffer;
+// they append to private per-mover queues, routing each message by
+// `queue_id = dst_id mod num_movers`. Mover `t` drains queue t of every
+// worker and inserts into the CSB. Because the routing is a function of the
+// destination id, each buffer column is only ever written by one mover, so
+// movers lock only at column-allocation time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/expect.hpp"
+#include "src/common/types.hpp"
+#include "src/pipeline/spsc_queue.hpp"
+
+namespace phigraph::pipeline {
+
+/// A message in flight: <dst id, msg value> (the paper's data unit).
+template <typename Msg>
+struct Envelope {
+  vid_t dst;
+  Msg value;
+};
+
+template <typename Msg>
+class MessagePipeline {
+ public:
+  MessagePipeline(int num_workers, int num_movers, std::size_t queue_capacity)
+      : num_workers_(num_workers), num_movers_(num_movers) {
+    PG_CHECK(num_workers >= 1 && num_movers >= 1);
+    queues_.reserve(static_cast<std::size_t>(num_workers) * num_movers);
+    for (int i = 0; i < num_workers * num_movers; ++i)
+      queues_.push_back(std::make_unique<SpscQueue<Envelope<Msg>>>(queue_capacity));
+  }
+
+  [[nodiscard]] int num_workers() const noexcept { return num_workers_; }
+  [[nodiscard]] int num_movers() const noexcept { return num_movers_; }
+
+  /// Rearm for a new generation phase.
+  void reset() noexcept {
+    workers_done_.store(0, std::memory_order_relaxed);
+#ifndef NDEBUG
+    for (const auto& q : queues_) PG_DCHECK(q->empty());
+#endif
+  }
+
+  /// Worker side: route by destination and push, spinning on backpressure.
+  /// Returns the number of full-queue spin rounds (a contention signal for
+  /// the performance model: the mover count was too low).
+  std::uint64_t push(int worker, vid_t dst, const Msg& value) noexcept {
+    const int qid = static_cast<int>(dst % static_cast<vid_t>(num_movers_));
+    auto& q = *queues_[static_cast<std::size_t>(worker) * num_movers_ + qid];
+    std::uint64_t spins = 0;
+    const Envelope<Msg> env{dst, value};
+    while (!q.try_push(env)) {
+      ++spins;
+      // Back off: on oversubscribed hosts the consumer needs CPU time to
+      // drain; pure pause-spinning would livelock the timeslice away.
+      if ((spins & 63) == 0)
+        std::this_thread::yield();
+      else
+        cpu_relax();
+    }
+    return spins;
+  }
+
+  /// Worker side: signal that this worker generated its last message.
+  void worker_done() noexcept {
+    workers_done_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Mover side: repeatedly sweep this mover's queues, calling
+  /// consume(envelope) for each message, until every worker is done and the
+  /// queues are drained. Returns messages moved.
+  template <typename Consume>
+  std::uint64_t mover_loop(int mover, Consume&& consume) {
+    std::uint64_t moved = 0;
+    std::uint64_t idle_sweeps = 0;
+    for (;;) {
+      std::size_t got = 0;
+      for (int w = 0; w < num_workers_; ++w) {
+        auto& q = *queues_[static_cast<std::size_t>(w) * num_movers_ + mover];
+        got += q.drain(consume);
+      }
+      moved += got;
+      if (got == 0) {
+        if (workers_done_.load(std::memory_order_acquire) == num_workers_) {
+          // All workers finished before our sweep started, and the sweep saw
+          // nothing: queues are permanently empty.
+          bool empty = true;
+          for (int w = 0; w < num_workers_ && empty; ++w)
+            empty = queues_[static_cast<std::size_t>(w) * num_movers_ + mover]
+                        ->empty();
+          if (empty) return moved;
+        }
+        if (++idle_sweeps % 16 == 0)
+          std::this_thread::yield();
+        else
+          cpu_relax();
+      } else {
+        idle_sweeps = 0;
+      }
+    }
+  }
+
+ private:
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+  int num_workers_;
+  int num_movers_;
+  // queues_[worker * num_movers_ + mover]
+  std::vector<std::unique_ptr<SpscQueue<Envelope<Msg>>>> queues_;
+  std::atomic<int> workers_done_{0};
+};
+
+}  // namespace phigraph::pipeline

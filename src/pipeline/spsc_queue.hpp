@@ -1,0 +1,87 @@
+// Bounded single-producer single-consumer ring queue.
+//
+// The pipelining scheme (paper §IV-C, Fig. 4) gives every (worker, mover)
+// pair a private message queue: "each message queue is only written by only
+// one thread, as well as read by only one thread". That is exactly the SPSC
+// contract, so no locks are needed — just acquire/release on the two indices,
+// with cached counterparts to keep the common case a single shared load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::pipeline {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (one slot is sacrificed to
+  /// distinguish full from empty).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+  SpscQueue(SpscQueue&&) = delete;
+
+  /// Producer side. False when full.
+  bool try_push(const T& item) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (next == tail_cache_) return false;
+    }
+    buf_[head] = item;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return false;
+    }
+    out = buf_[tail];
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side drain; returns number popped.
+  template <typename F>
+  std::size_t drain(F&& f) {
+    std::size_t n = 0;
+    T item;
+    while (try_pop(item)) {
+      f(item);
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer writes
+  alignas(64) std::size_t tail_cache_ = 0;        // producer-private
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer writes
+  alignas(64) std::size_t head_cache_ = 0;        // consumer-private
+};
+
+}  // namespace phigraph::pipeline

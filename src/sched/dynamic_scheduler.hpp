@@ -1,0 +1,67 @@
+// Intra-device dynamic load balancing (paper §IV-D).
+//
+// "All threads dynamically retrieve these task units through a
+//  mutex-protected scheduling offset. To lower the task retrieving frequency
+//  and thus the scheduling overhead, a thread can obtain multiple tasks each
+//  time."
+//
+// We use an atomic offset (the modern equivalent of the mutex-protected
+// counter) handing out chunks of task indices.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::sched {
+
+/// Half-open index range [begin, end).
+struct TaskRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+class DynamicScheduler {
+ public:
+  /// total: number of task units; chunk: tasks handed out per retrieval.
+  explicit DynamicScheduler(std::size_t total = 0, std::size_t chunk = 64)
+      : total_(total), chunk_(chunk) {
+    PG_CHECK(chunk >= 1);
+  }
+
+  /// Rearm for a new phase. Must not race with next_chunk().
+  void reset(std::size_t total, std::size_t chunk) noexcept {
+    total_ = total;
+    chunk_ = chunk;
+    next_.store(0, std::memory_order_relaxed);
+    retrievals_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Grab the next chunk; empty optional when the phase is drained.
+  [[nodiscard]] std::optional<TaskRange> next_chunk() noexcept {
+    const std::size_t begin =
+        next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= total_) return std::nullopt;
+    retrievals_.fetch_add(1, std::memory_order_relaxed);
+    return TaskRange{begin, begin + chunk_ < total_ ? begin + chunk_ : total_};
+  }
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Number of successful chunk retrievals — the scheduling-overhead proxy
+  /// consumed by the performance model.
+  [[nodiscard]] std::uint64_t retrievals() const noexcept {
+    return retrievals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t total_;
+  std::size_t chunk_;
+  alignas(64) std::atomic<std::size_t> next_{0};
+  alignas(64) std::atomic<std::uint64_t> retrievals_{0};
+};
+
+}  // namespace phigraph::sched

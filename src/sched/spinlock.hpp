@@ -1,0 +1,71 @@
+// Test-and-test-and-set spinlock.
+//
+// The paper's runtime locks are fine-grained and short (buffer column
+// insertion, column allocation). A TTAS spinlock with exponential backoff is
+// the appropriate primitive; std::mutex would dominate the critical section.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace phigraph::sched {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    int backoff = 1;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Test loop: spin on a plain load to avoid cache-line ping-pong.
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < backoff; ++i) cpu_relax();
+        if (backoff < 1024) {
+          backoff <<= 1;
+        } else {
+          // Oversubscribed host: give the lock holder a timeslice.
+          yield_thread();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static void yield_thread() noexcept;
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+  std::atomic<bool> flag_{false};
+};
+
+inline void SpinLock::yield_thread() noexcept { std::this_thread::yield(); }
+
+/// RAII guard (usable with any lock/unlock pair, including SpinLock).
+template <typename Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& l) noexcept : lock_(l) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace phigraph::sched

@@ -1,0 +1,94 @@
+// Persistent thread team.
+//
+// The engine executes many supersteps, each with several parallel phases;
+// spawning threads per phase would swamp the runtime. A ThreadTeam keeps its
+// workers parked on a condition variable and replays a callable across all
+// of them per run() call (fork/join, like an OpenMP parallel region).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::sched {
+
+class ThreadTeam {
+ public:
+  /// Creates `size` worker threads, parked until the first run().
+  explicit ThreadTeam(int size);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(threads_.size()); }
+
+  /// Runs job(thread_id) on every worker; blocks until all return.
+  /// Not reentrant: one run() at a time per team.
+  void run(const std::function<void(int)>& job);
+
+ private:
+  void worker_loop(int tid);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;   // bumped per run()
+  int remaining_ = 0;         // workers still executing the current job
+  bool shutdown_ = false;
+};
+
+inline ThreadTeam::ThreadTeam(int size) {
+  PG_CHECK(size >= 1);
+  threads_.reserve(static_cast<std::size_t>(size));
+  for (int tid = 0; tid < size; ++tid)
+    threads_.emplace_back([this, tid] { worker_loop(tid); });
+}
+
+inline ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+inline void ThreadTeam::run(const std::function<void(int)>& job) {
+  std::unique_lock<std::mutex> g(mu_);
+  PG_CHECK_MSG(remaining_ == 0, "ThreadTeam::run is not reentrant");
+  job_ = &job;
+  remaining_ = size();
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(g, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+inline void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> g(mu_);
+      cv_start_.wait(
+          g, [&] { return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch); });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace phigraph::sched

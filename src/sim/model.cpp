@@ -1,0 +1,257 @@
+#include "src/sim/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::sim {
+
+namespace {
+
+constexpr double kGiga = 1e9;
+
+double mem_seconds(double bytes, const DeviceSpec& dev, int threads) {
+  return bytes / (dev.effective_bandwidth(threads) * kGiga);
+}
+
+double stream_seconds(double bytes, const DeviceSpec& dev, int threads) {
+  return bytes / (dev.effective_stream_bandwidth(threads) * kGiga);
+}
+
+/// Destination hotness: average messages per distinct destination this
+/// superstep, counting remote-destined messages and their combined slots —
+/// splitting a graph across devices does not cool its hubs down.
+/// 1 = every receiver gets one message (BFS frontier); thousands = dense
+/// convergence (TopoSort's DAG).
+double hotness(const metrics::SuperstepCounters& c, double env_bytes) {
+  const double sent_envelopes =
+      static_cast<double>(c.bytes_sent) / env_bytes;
+  const double dests = static_cast<double>(c.columns_allocated) + sent_envelopes;
+  if (dests == 0) return 0.0;
+  return static_cast<double>(c.msgs_local + c.msgs_remote) / dests;
+}
+
+/// Contention multiplier for a lock protecting per-destination state.
+///
+/// Two ingredients, both required for real queueing to build up:
+///  * hotness excess — below ~3 messages per destination collisions are
+///    rare; beyond that the penalty grows with log2(hotness);
+///  * saturation s in [0,1] — how hard the phase hammers the memory system,
+///    the max of volume pressure (messages per superstep relative to graph
+///    size: PageRank sends along every edge every superstep, SSSP waves are
+///    small) and hotness saturation (TopoSort funnels everything into a few
+///    vertices regardless of volume).
+double lock_factor(double h, double msgs, double n, double beta, double cap) {
+  constexpr double kFreeHotness = 3.0;
+  constexpr double kHotSat = 50.0;
+  constexpr double kVolumePerVertex = 20.0;
+  const double excess =
+      std::max(0.0, std::log2(1.0 + h) - std::log2(1.0 + kFreeHotness));
+  const double u = msgs / (msgs + kVolumePerVertex * n);
+  const double sat = std::max(u, h / (h + kHotSat));
+  return std::min(cap, 1.0 + beta * excess * sat);
+}
+
+}  // namespace
+
+PhaseTimes model_superstep(const metrics::SuperstepCounters& c,
+                           const DeviceSpec& dev, const ExecProfile& prof,
+                           const LinkSpec* link) {
+  PG_CHECK(prof.threads >= 1);
+  PhaseTimes t;
+
+  const double msgs = static_cast<double>(c.msgs_local);
+  const double env_bytes =
+      static_cast<double>(std::max<std::size_t>(8, 4 + prof.msg_bytes));
+  const double h = hotness(c, env_bytes);
+  // Volume pressure also counts remote-destined messages.
+  const double gen_msgs =
+      static_cast<double>(c.msgs_local + c.msgs_remote);
+  const double n_local = static_cast<double>(prof.num_vertices);
+  const double branch = prof.branchy ? dev.branch_penalty : 1.0;
+  const double combine_cyc = dev.cyc_scalar_reduce * prof.combine_weight * branch;
+  const double update_cyc = dev.cyc_update * prof.update_weight * branch;
+  // Remote-destined messages are combined into the remote buffer under a
+  // per-slot lock by the generating thread, in every execution mode; the
+  // slots contend just like local columns do.
+  const double remote_cyc =
+      static_cast<double>(c.msgs_remote) *
+      (dev.cyc_spinlock *
+           lock_factor(h, gen_msgs, n_local, dev.spin_beta, dev.spin_cap) +
+       combine_cyc);
+
+  // ---- generation -----------------------------------------------------------
+  const double compute_cyc =
+      static_cast<double>(c.active_vertices) * dev.cyc_vertex_gen +
+      static_cast<double>(c.edges_scanned) * dev.cyc_edge_gen;
+  // CSR walk streams; message insertion scatters (a cache line per message).
+  const double gen_bytes =
+      static_cast<double>(c.edges_scanned) * sizeof(vid_t) +
+      msgs * dev.scatter_bytes;
+
+  switch (prof.mode) {
+    case core::ExecMode::kOmpStyle: {
+      // Inline combine under a heavyweight per-vertex lock. The critical
+      // section is long (lock + combine + unlock), so it queues badly when
+      // destinations are hot.
+      const double lock_cyc =
+          dev.cyc_omp_lock *
+          lock_factor(h, gen_msgs, n_local, dev.omp_beta, dev.omp_cap);
+      const double cyc =
+          compute_cyc + remote_cyc + msgs * (lock_cyc + combine_cyc);
+      const double p = dev.effective_parallelism(prof.threads);
+      t.generation = std::max(dev.cycles_to_seconds(cyc / p),
+                              mem_seconds(gen_bytes, dev, prof.threads));
+      break;
+    }
+    case core::ExecMode::kLocking: {
+      // Direct CSB insertion: one atomic column lock per message (expensive
+      // on the MIC ring even uncontended) + allocation locks.
+      const double lock_cyc =
+          dev.cyc_spinlock *
+          lock_factor(h, gen_msgs, n_local, dev.spin_beta, dev.spin_cap);
+      const double cyc =
+          compute_cyc + remote_cyc + msgs * (lock_cyc + dev.cyc_insert) +
+          static_cast<double>(c.columns_allocated) * dev.cyc_spinlock;
+      const double p = dev.effective_parallelism(prof.threads);
+      t.generation = std::max(dev.cycles_to_seconds(cyc / p),
+                              mem_seconds(gen_bytes, dev, prof.threads));
+      break;
+    }
+    case core::ExecMode::kPipelining: {
+      // Workers compute + enqueue (plain SPSC stores, no atomics); movers
+      // dequeue + insert without column locks. The two sides overlap, so
+      // the phase costs the slower of the two; core throughput is shared in
+      // proportion to the thread split.
+      const int total = prof.total_threads();
+      const double p_total = dev.effective_parallelism(total);
+      const double p_work = p_total * prof.threads / total;
+      const double p_move =
+          std::max(0.25, p_total * prof.movers / std::max(1, total));
+      // Note: measured queue_full_spins are a host-scheduling artifact (the
+      // bench host may starve movers); backpressure on the modeled device is
+      // already captured by the max() of the worker and mover sides.
+      const double worker_cyc = compute_cyc + remote_cyc + msgs * dev.cyc_queue_op;
+      const double mover_cyc =
+          msgs * (dev.cyc_queue_op + dev.cyc_insert) +
+          static_cast<double>(c.columns_allocated) * dev.cyc_spinlock;
+      const double sec = std::max(dev.cycles_to_seconds(worker_cyc / p_work),
+                                  dev.cycles_to_seconds(mover_cyc / p_move));
+      t.generation = std::max(sec, mem_seconds(gen_bytes, dev, total)) +
+                     dev.pipeline_overhead_us * 1e-6;
+      break;
+    }
+  }
+
+  // ---- exchange --------------------------------------------------------------
+  if (link != nullptr &&
+      (c.bytes_sent + c.bytes_received + c.msgs_received) > 0) {
+    const double wire_bytes =
+        static_cast<double>(std::max(c.bytes_sent, c.bytes_received));
+    const double wire = wire_bytes / (link->bandwidth_gbs * kGiga) +
+                        link->latency_us * 1e-6;
+    const double insert_cyc = static_cast<double>(c.msgs_received) *
+                              (dev.cyc_insert + dev.cyc_spinlock);
+    t.exchange = wire + dev.cycles_to_seconds(
+                            insert_cyc /
+                            dev.effective_parallelism(prof.total_threads()));
+  }
+
+  // ---- processing -------------------------------------------------------------
+  {
+    const int threads = prof.total_threads();
+    const double p = dev.effective_parallelism(threads);
+    const double cyc =
+        static_cast<double>(c.vector_rows) * dev.cyc_vector_row +
+        static_cast<double>(c.padded_cells) * dev.cyc_pad +
+        static_cast<double>(c.scalar_msgs) * combine_cyc;
+    // Vector arrays stream; scalar columns stride but stay within a group.
+    const double bytes =
+        static_cast<double>(c.vector_rows) * dev.simd_bytes +
+        static_cast<double>(c.padded_cells + c.scalar_msgs) * prof.msg_bytes;
+    t.processing = std::max(dev.cycles_to_seconds(cyc / p),
+                            stream_seconds(bytes, dev, threads));
+  }
+
+  // ---- update -----------------------------------------------------------------
+  {
+    const int threads = prof.total_threads();
+    const double p = dev.effective_parallelism(threads);
+    const double cyc = static_cast<double>(c.verts_updated) * update_cyc;
+    const double bytes = static_cast<double>(c.verts_updated) *
+                         (prof.msg_bytes + prof.value_bytes + 2.0);
+    t.update = std::max(dev.cycles_to_seconds(cyc / p),
+                        stream_seconds(bytes, dev, threads));
+  }
+
+  // ---- fixed costs ---------------------------------------------------------------
+  {
+    const int threads = prof.total_threads();
+    const double p = dev.effective_parallelism(threads);
+    // Buffer reset (index arrays to -1) + scheduler chunk retrievals +
+    // barrier/fork-join overhead per superstep.
+    const double reset_cyc =
+        prof.mode == core::ExecMode::kOmpStyle
+            ? 0.0
+            : static_cast<double>(c.columns_allocated) * dev.cyc_reset_column;
+    const double sched_cyc =
+        static_cast<double>(c.sched_retrievals) * dev.cyc_sched;
+    t.overhead = dev.cycles_to_seconds((reset_cyc + sched_cyc) / p) +
+                 dev.superstep_overhead_us * 1e-6;
+  }
+
+  return t;
+}
+
+PhaseTimes model_run(const metrics::RunTrace& trace, const DeviceSpec& dev,
+                     const ExecProfile& prof, const LinkSpec* link) {
+  PhaseTimes total;
+  for (const auto& c : trace) total += model_superstep(c, dev, prof, link);
+  return total;
+}
+
+HeteroEstimate model_hetero(const metrics::RunTrace& cpu_trace,
+                            const DeviceSpec& cpu_dev,
+                            const ExecProfile& cpu_prof,
+                            const metrics::RunTrace& mic_trace,
+                            const DeviceSpec& mic_dev,
+                            const ExecProfile& mic_prof,
+                            const LinkSpec& link) {
+  PG_CHECK(cpu_trace.size() == mic_trace.size());
+  HeteroEstimate est;
+  for (std::size_t s = 0; s < cpu_trace.size(); ++s) {
+    const auto tc = model_superstep(cpu_trace[s], cpu_dev, cpu_prof, &link);
+    const auto tm = model_superstep(mic_trace[s], mic_dev, mic_prof, &link);
+    // BSP lockstep: both devices wait on the slower one each superstep.
+    est.execution_seconds += std::max(tc.execution(), tm.execution());
+    est.comm_seconds += std::max(tc.exchange, tm.exchange);
+  }
+  return est;
+}
+
+double model_sequential(const metrics::RunTrace& trace, const DeviceSpec& dev,
+                        const ExecProfile& prof) {
+  // Clean sequential code: no locks, no buffers, no scheduler — per-vertex
+  // scan, per-edge relaxation applied straight to a destination accumulator,
+  // per-receiver update. One thread (smt_yield[0] of one core).
+  const double branch = prof.branchy ? dev.branch_penalty : 1.0;
+  const double combine_cyc = dev.cyc_scalar_reduce * prof.combine_weight * branch;
+  const double update_cyc = dev.cyc_update * prof.update_weight * branch;
+  double cyc = 0;
+  double bytes = 0;
+  for (const auto& c : trace) {
+    cyc += static_cast<double>(c.active_vertices) * dev.cyc_vertex_gen +
+           static_cast<double>(c.edges_scanned) * dev.cyc_edge_gen +
+           static_cast<double>(c.msgs_local + c.msgs_remote) * combine_cyc +
+           static_cast<double>(c.verts_updated) * update_cyc;
+    bytes += static_cast<double>(c.edges_scanned) * sizeof(vid_t) +
+             static_cast<double>(c.msgs_local + c.msgs_remote) *
+                 dev.scatter_bytes +
+             static_cast<double>(c.verts_updated) * prof.value_bytes;
+  }
+  const double p = dev.effective_parallelism(1);
+  return std::max(dev.cycles_to_seconds(cyc / p), mem_seconds(bytes, dev, 1));
+}
+
+}  // namespace phigraph::sim

@@ -1,0 +1,105 @@
+// The performance model: measured counters -> modeled device seconds.
+//
+// The engine is real; only the clock is synthetic. For every superstep the
+// engine records what happened (messages, conflicts, SIMD rows, padded
+// cells, bytes exchanged, ...) and the model prices those events for a
+// DeviceSpec under the execution scheme that produced them. Phase times are
+// the max of a compute estimate and a memory-bandwidth estimate, mirroring
+// the paper's observation that message processing "can become memory bound
+// after a certain point".
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/config.hpp"
+#include "src/metrics/counters.hpp"
+#include "src/sim/device_spec.hpp"
+
+namespace phigraph::sim {
+
+/// Facts about the execution that produced a trace.
+struct ExecProfile {
+  core::ExecMode mode = core::ExecMode::kLocking;
+  int threads = 1;      // workers (pipelining) or whole team
+  int movers = 0;       // pipelining only
+  bool use_simd = true;
+  int lanes = 1;        // CSB lane count (w / msg_size)
+  std::size_t msg_bytes = 4;
+  std::size_t value_bytes = 4;
+
+  /// Vertices hosted by this device — used to judge how saturated a
+  /// generation phase is (messages per superstep relative to graph size).
+  vid_t num_vertices = 1;
+
+  /// Application cost weights relative to a basic arithmetic reduction:
+  /// SemiClustering's cluster merge (combine) and extension scoring (update)
+  /// are two orders of magnitude heavier than a float min, and branchy
+  /// (which the in-order MIC core additionally dislikes).
+  double combine_weight = 1.0;
+  double update_weight = 1.0;
+  bool branchy = false;
+
+  [[nodiscard]] int total_threads() const noexcept {
+    return mode == core::ExecMode::kPipelining ? threads + movers : threads;
+  }
+};
+
+struct PhaseTimes {
+  double generation = 0;
+  double exchange = 0;   // PCIe transfer + received-message insertion
+  double processing = 0;
+  double update = 0;
+  double overhead = 0;   // barriers, scheduler, buffer resets
+
+  [[nodiscard]] double execution() const noexcept {
+    return generation + processing + update + overhead;
+  }
+  [[nodiscard]] double total() const noexcept { return execution() + exchange; }
+
+  PhaseTimes& operator+=(const PhaseTimes& o) noexcept {
+    generation += o.generation;
+    exchange += o.exchange;
+    processing += o.processing;
+    update += o.update;
+    overhead += o.overhead;
+    return *this;
+  }
+};
+
+/// Model one superstep on one device.
+[[nodiscard]] PhaseTimes model_superstep(const metrics::SuperstepCounters& c,
+                                         const DeviceSpec& dev,
+                                         const ExecProfile& prof,
+                                         const LinkSpec* link = nullptr);
+
+/// Model a whole single-device run.
+[[nodiscard]] PhaseTimes model_run(const metrics::RunTrace& trace,
+                                   const DeviceSpec& dev,
+                                   const ExecProfile& prof,
+                                   const LinkSpec* link = nullptr);
+
+struct HeteroEstimate {
+  double execution_seconds = 0;  // max over devices, superstep by superstep
+  double comm_seconds = 0;       // PCIe exchange time
+  [[nodiscard]] double total() const noexcept {
+    return execution_seconds + comm_seconds;
+  }
+};
+
+/// Model a heterogeneous run: devices proceed in BSP lockstep, so each
+/// superstep costs the slower device's execution time plus the exchange.
+[[nodiscard]] HeteroEstimate model_hetero(const metrics::RunTrace& cpu_trace,
+                                          const DeviceSpec& cpu_dev,
+                                          const ExecProfile& cpu_prof,
+                                          const metrics::RunTrace& mic_trace,
+                                          const DeviceSpec& mic_dev,
+                                          const ExecProfile& mic_prof,
+                                          const LinkSpec& link);
+
+/// Model the same workload executed by clean sequential code (one thread,
+/// no framework machinery) — Table II's "CPU Seq" / "MIC Seq" baselines.
+[[nodiscard]] double model_sequential(const metrics::RunTrace& trace,
+                                      const DeviceSpec& dev,
+                                      const ExecProfile& prof);
+
+}  // namespace phigraph::sim

@@ -1,0 +1,77 @@
+// Lane masks for the vector types.
+//
+// The paper highlights the MIC's "hardware supported mask data type, and
+// write-mask operations". We expose the same concept portably: a Mask<W> is
+// a W-bit lane predicate produced by vector comparisons and consumed by
+// blend() / masked stores. On AVX-512 it maps directly onto __mmask16.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::simd {
+
+template <int W>
+class Mask {
+  static_assert(W >= 1 && W <= 64);
+
+ public:
+  static constexpr int width = W;
+  using bits_type = std::uint64_t;
+
+  constexpr Mask() noexcept = default;
+  explicit constexpr Mask(bits_type bits) noexcept : bits_(bits & all_bits()) {}
+
+  /// Mask with the first n lanes set — used to guard ragged tails.
+  static constexpr Mask first_n(int n) noexcept {
+    PG_DCHECK(n >= 0 && n <= W);
+    return Mask(n == 64 ? ~bits_type{0} : ((bits_type{1} << n) - 1));
+  }
+  static constexpr Mask none() noexcept { return Mask(0); }
+  static constexpr Mask all() noexcept { return Mask(all_bits()); }
+
+  [[nodiscard]] constexpr bool operator[](int lane) const noexcept {
+    PG_DCHECK(lane >= 0 && lane < W);
+    return (bits_ >> lane) & 1u;
+  }
+  constexpr void set(int lane, bool v) noexcept {
+    PG_DCHECK(lane >= 0 && lane < W);
+    if (v)
+      bits_ |= bits_type{1} << lane;
+    else
+      bits_ &= ~(bits_type{1} << lane);
+  }
+
+  [[nodiscard]] constexpr bool any() const noexcept { return bits_ != 0; }
+  [[nodiscard]] constexpr bool all_set() const noexcept {
+    return bits_ == all_bits();
+  }
+  [[nodiscard]] constexpr int count() const noexcept {
+    return std::popcount(bits_);
+  }
+  [[nodiscard]] constexpr bits_type bits() const noexcept { return bits_; }
+
+  friend constexpr Mask operator&(Mask a, Mask b) noexcept {
+    return Mask(a.bits_ & b.bits_);
+  }
+  friend constexpr Mask operator|(Mask a, Mask b) noexcept {
+    return Mask(a.bits_ | b.bits_);
+  }
+  friend constexpr Mask operator^(Mask a, Mask b) noexcept {
+    return Mask(a.bits_ ^ b.bits_);
+  }
+  constexpr Mask operator~() const noexcept { return Mask(~bits_ & all_bits()); }
+  friend constexpr bool operator==(Mask a, Mask b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  static constexpr bits_type all_bits() noexcept {
+    return W == 64 ? ~bits_type{0} : ((bits_type{1} << W) - 1);
+  }
+  bits_type bits_ = 0;
+};
+
+}  // namespace phigraph::simd

@@ -1,0 +1,79 @@
+// Umbrella header for the portable SIMD layer (§III of the paper).
+//
+// Includes the generic vector types plus every intrinsic backend the host
+// compiler enables, and defines the device-profile helpers that map a SIMD
+// register width in bytes (16 = SSE/"CPU", 64 = KNC/"MIC") to lane counts.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "src/simd/mask.hpp"
+#include "src/simd/vec.hpp"
+#include "src/simd/vec_sse.hpp"
+#include "src/simd/vec_avx2.hpp"
+#include "src/simd/vec_avx512.hpp"
+
+namespace phigraph::simd {
+
+/// SIMD register widths of the paper's two devices, in bytes.
+inline constexpr int kCpuSimdBytes = 16;  // SSE4.2 on the Xeon E5-2680
+inline constexpr int kMicSimdBytes = 64;  // KNC / IMCI on the Xeon Phi SE10P
+
+/// True if T is one of the basic types the paper's SIMD message reduction
+/// supports ("such as int, float and double").
+template <typename T>
+inline constexpr bool is_simd_basic_v =
+    std::is_same_v<T, float> || std::is_same_v<T, double> ||
+    std::is_same_v<T, std::int32_t>;
+
+/// Number of message lanes for message type Msg on a device whose SIMD
+/// registers are `simd_bytes` wide: w / msg_size in the paper's notation.
+/// Non-basic message types fall back to scalar columns (lanes = 1), matching
+/// the paper's SemiClustering exception.
+template <typename Msg>
+constexpr int lanes_for(int simd_bytes) noexcept {
+  if constexpr (is_simd_basic_v<Msg>) {
+    int lanes = simd_bytes / static_cast<int>(sizeof(Msg));
+    return lanes >= 1 ? lanes : 1;
+  } else {
+    return 1;
+  }
+}
+
+/// Paper-style vtype aliases at a given lane count.
+template <int W>
+using vfloat = Vec<float, W>;
+template <int W>
+using vint = Vec<std::int32_t, W>;
+template <int W>
+using vdouble = Vec<double, W>;
+
+/// Which backend a given Vec instantiation uses (for logging/tests).
+enum class Backend { Generic, Sse, Avx2, Avx512 };
+
+template <typename T, int W>
+constexpr Backend backend_of() noexcept {
+  constexpr int bytes = static_cast<int>(sizeof(T)) * W;
+#if defined(__AVX512F__)
+  if constexpr (bytes == 64 && is_simd_basic_v<T>) return Backend::Avx512;
+#endif
+#if defined(__AVX2__)
+  if constexpr (bytes == 32 && is_simd_basic_v<T>) return Backend::Avx2;
+#endif
+#if defined(__SSE4_2__)
+  if constexpr (bytes == 16 && is_simd_basic_v<T>) return Backend::Sse;
+#endif
+  return Backend::Generic;
+}
+
+constexpr const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::Sse: return "SSE4.2";
+    case Backend::Avx2: return "AVX2";
+    case Backend::Avx512: return "AVX-512F";
+    default: return "generic";
+  }
+}
+
+}  // namespace phigraph::simd

@@ -1,0 +1,193 @@
+// Generic (lane-loop) implementation of the portable vector types.
+//
+// This is the semantic reference for every architecture-specific
+// specialization (vec_sse.hpp / vec_avx2.hpp / vec_avx512.hpp): any
+// specialization must behave exactly like this template. The generic form is
+// also the fallback on hosts without the matching ISA, and the form used for
+// odd widths (e.g. W = 1 scalar columns for non-basic message types).
+//
+// Mirrors the paper's §III "Portable API for Exploiting SIMD Parallelism":
+// vector types with overloaded arithmetic/assignment so user code reads like
+// serial code while processing w/msg_size messages per operation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <type_traits>
+
+#include "src/common/expect.hpp"
+#include "src/simd/mask.hpp"
+
+namespace phigraph::simd {
+
+namespace detail {
+/// Cap object alignment at 64 bytes (AVX-512 / cache line).
+constexpr std::size_t vec_align(std::size_t bytes) {
+  return bytes > 64 ? 64 : (bytes < 4 ? 4 : bytes);
+}
+}  // namespace detail
+
+template <typename T, int W>
+struct Vec {
+  static_assert(std::is_arithmetic_v<T>);
+  static_assert(W >= 1);
+
+  using value_type = T;
+  using mask_type = Mask<W>;
+  static constexpr int width = W;
+
+  alignas(detail::vec_align(sizeof(T) * W)) T lane[W];
+
+  Vec() = default;
+
+  /// Broadcast construction: Vec<float,16> v(0.0f) fills all lanes.
+  constexpr Vec(T scalar) noexcept {  // NOLINT(google-explicit-constructor)
+    for (int i = 0; i < W; ++i) lane[i] = scalar;
+  }
+
+  static constexpr Vec zero() noexcept { return Vec(T{0}); }
+
+  // -- loads / stores -------------------------------------------------------
+  static Vec load(const T* p) noexcept {  // aligned
+    PG_DCHECK(reinterpret_cast<std::uintptr_t>(p) %
+                  detail::vec_align(sizeof(T) * W) ==
+              0);
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = p[i];
+    return v;
+  }
+  static Vec loadu(const T* p) noexcept {  // unaligned
+    Vec v;
+    for (int i = 0; i < W; ++i) v.lane[i] = p[i];
+    return v;
+  }
+  void store(T* p) const noexcept {  // aligned
+    PG_DCHECK(reinterpret_cast<std::uintptr_t>(p) %
+                  detail::vec_align(sizeof(T) * W) ==
+              0);
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
+  }
+  void storeu(T* p) const noexcept {
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
+  }
+
+  // -- lane access (tests / scalar epilogues) -------------------------------
+  constexpr T operator[](int i) const noexcept {
+    PG_DCHECK(i >= 0 && i < W);
+    return lane[i];
+  }
+  constexpr T& operator[](int i) noexcept {
+    PG_DCHECK(i >= 0 && i < W);
+    return lane[i];
+  }
+
+  // -- arithmetic ------------------------------------------------------------
+  friend constexpr Vec operator+(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+    return r;
+  }
+  friend constexpr Vec operator-(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+    return r;
+  }
+  friend constexpr Vec operator*(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+    return r;
+  }
+  friend constexpr Vec operator/(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] / b.lane[i];
+    return r;
+  }
+  constexpr Vec& operator+=(Vec o) noexcept { return *this = *this + o; }
+  constexpr Vec& operator-=(Vec o) noexcept { return *this = *this - o; }
+  constexpr Vec& operator*=(Vec o) noexcept { return *this = *this * o; }
+  constexpr Vec& operator/=(Vec o) noexcept { return *this = *this / o; }
+  constexpr Vec operator-() const noexcept { return Vec(T{0}) - *this; }
+
+  // -- comparisons -> masks --------------------------------------------------
+  friend constexpr mask_type operator<(Vec a, Vec b) noexcept {
+    mask_type m;
+    for (int i = 0; i < W; ++i) m.set(i, a.lane[i] < b.lane[i]);
+    return m;
+  }
+  friend constexpr mask_type operator<=(Vec a, Vec b) noexcept {
+    mask_type m;
+    for (int i = 0; i < W; ++i) m.set(i, a.lane[i] <= b.lane[i]);
+    return m;
+  }
+  friend constexpr mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend constexpr mask_type operator>=(Vec a, Vec b) noexcept {
+    return b <= a;
+  }
+  friend constexpr mask_type operator==(Vec a, Vec b) noexcept {
+    mask_type m;
+    for (int i = 0; i < W; ++i) m.set(i, a.lane[i] == b.lane[i]);
+    return m;
+  }
+  friend constexpr mask_type operator!=(Vec a, Vec b) noexcept {
+    return ~(a == b);
+  }
+};
+
+// -- free functions mirroring the intrinsic set ------------------------------
+
+template <typename T, int W>
+constexpr Vec<T, W> min(Vec<T, W> a, Vec<T, W> b) noexcept {
+  Vec<T, W> r;
+  for (int i = 0; i < W; ++i) r.lane[i] = std::min(a.lane[i], b.lane[i]);
+  return r;
+}
+
+template <typename T, int W>
+constexpr Vec<T, W> max(Vec<T, W> a, Vec<T, W> b) noexcept {
+  Vec<T, W> r;
+  for (int i = 0; i < W; ++i) r.lane[i] = std::max(a.lane[i], b.lane[i]);
+  return r;
+}
+
+template <typename T, int W>
+constexpr Vec<T, W> abs(Vec<T, W> a) noexcept {
+  Vec<T, W> r;
+  for (int i = 0; i < W; ++i)
+    r.lane[i] = a.lane[i] < T{0} ? static_cast<T>(-a.lane[i]) : a.lane[i];
+  return r;
+}
+
+/// blend(m, a, b): lane i gets a[i] where m[i] is set, else b[i].
+/// (AVX-512 write-mask semantics.)
+template <typename T, int W>
+constexpr Vec<T, W> blend(Mask<W> m, Vec<T, W> a, Vec<T, W> b) noexcept {
+  Vec<T, W> r;
+  for (int i = 0; i < W; ++i) r.lane[i] = m[i] ? a.lane[i] : b.lane[i];
+  return r;
+}
+
+// -- horizontal reductions ----------------------------------------------------
+
+template <typename T, int W>
+constexpr T reduce_add(Vec<T, W> v) noexcept {
+  T s = v.lane[0];
+  for (int i = 1; i < W; ++i) s += v.lane[i];
+  return s;
+}
+
+template <typename T, int W>
+constexpr T reduce_min(Vec<T, W> v) noexcept {
+  T s = v.lane[0];
+  for (int i = 1; i < W; ++i) s = std::min(s, v.lane[i]);
+  return s;
+}
+
+template <typename T, int W>
+constexpr T reduce_max(Vec<T, W> v) noexcept {
+  T s = v.lane[0];
+  for (int i = 1; i < W; ++i) s = std::max(s, v.lane[i]);
+  return s;
+}
+
+}  // namespace phigraph::simd

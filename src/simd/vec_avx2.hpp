@@ -1,0 +1,284 @@
+// AVX2 specializations (256-bit lanes).
+//
+// Not used by either device profile in the paper (CPU = SSE4.2, MIC = KNC
+// 512-bit), but provided as the natural middle width for modern hosts and
+// exercised by the ablation benches / property tests.
+#pragma once
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/simd/mask.hpp"
+#include "src/simd/vec.hpp"
+#include "src/simd/vec_sse.hpp"  // reductions narrow through the 128-bit forms
+
+namespace phigraph::simd {
+
+// ---------------------------------------------------------------- float x8
+template <>
+struct Vec<float, 8> {
+  using value_type = float;
+  using mask_type = Mask<8>;
+  static constexpr int width = 8;
+
+  union {
+    __m256 v;
+    float lane[8];
+  };
+
+  Vec() = default;
+  Vec(float s) noexcept : v(_mm256_set1_ps(s)) {}  // NOLINT
+  explicit Vec(__m256 r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm256_setzero_ps()); }
+
+  static Vec load(const float* p) noexcept { return Vec(_mm256_load_ps(p)); }
+  static Vec loadu(const float* p) noexcept { return Vec(_mm256_loadu_ps(p)); }
+  void store(float* p) const noexcept { _mm256_store_ps(p, v); }
+  void storeu(float* p) const noexcept { _mm256_storeu_ps(p, v); }
+
+  float operator[](int i) const noexcept { return lane[i]; }
+  float& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm256_add_ps(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm256_sub_ps(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm256_mul_ps(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept { return Vec(_mm256_div_ps(a.v, b.v)); }
+  Vec& operator+=(Vec o) noexcept { v = _mm256_add_ps(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm256_sub_ps(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm256_mul_ps(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { v = _mm256_div_ps(v, o.v); return *this; }
+  Vec operator-() const noexcept {
+    return Vec(_mm256_sub_ps(_mm256_setzero_ps(), v));
+  }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ))));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(a.v, b.v, _CMP_LE_OQ))));
+  }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(a.v, b.v, _CMP_EQ_OQ))));
+  }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<float, 8> min(Vec<float, 8> a, Vec<float, 8> b) noexcept {
+  return Vec<float, 8>(_mm256_min_ps(a.v, b.v));
+}
+inline Vec<float, 8> max(Vec<float, 8> a, Vec<float, 8> b) noexcept {
+  return Vec<float, 8>(_mm256_max_ps(a.v, b.v));
+}
+inline Vec<float, 8> abs(Vec<float, 8> a) noexcept {
+  return Vec<float, 8>(_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v));
+}
+inline Vec<float, 8> blend(Mask<8> m, Vec<float, 8> a, Vec<float, 8> b) noexcept {
+  alignas(32) std::int32_t sel[8];
+  for (int i = 0; i < 8; ++i) sel[i] = m[i] ? -1 : 0;
+  __m256 selv = _mm256_castsi256_ps(
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(sel)));
+  return Vec<float, 8>(_mm256_blendv_ps(b.v, a.v, selv));
+}
+inline float reduce_add(Vec<float, 8> v) noexcept {
+  __m128 lo = _mm256_castps256_ps128(v.v);
+  __m128 hi = _mm256_extractf128_ps(v.v, 1);
+  return reduce_add(Vec<float, 4>(_mm_add_ps(lo, hi)));
+}
+inline float reduce_min(Vec<float, 8> v) noexcept {
+  __m128 lo = _mm256_castps256_ps128(v.v);
+  __m128 hi = _mm256_extractf128_ps(v.v, 1);
+  return reduce_min(Vec<float, 4>(_mm_min_ps(lo, hi)));
+}
+inline float reduce_max(Vec<float, 8> v) noexcept {
+  __m128 lo = _mm256_castps256_ps128(v.v);
+  __m128 hi = _mm256_extractf128_ps(v.v, 1);
+  return reduce_max(Vec<float, 4>(_mm_max_ps(lo, hi)));
+}
+
+// -------------------------------------------------------------- int32_t x8
+template <>
+struct Vec<std::int32_t, 8> {
+  using value_type = std::int32_t;
+  using mask_type = Mask<8>;
+  static constexpr int width = 8;
+
+  union {
+    __m256i v;
+    std::int32_t lane[8];
+  };
+
+  Vec() = default;
+  Vec(std::int32_t s) noexcept : v(_mm256_set1_epi32(s)) {}  // NOLINT
+  explicit Vec(__m256i r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm256_setzero_si256()); }
+
+  static Vec load(const std::int32_t* p) noexcept {
+    return Vec(_mm256_load_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static Vec loadu(const std::int32_t* p) noexcept {
+    return Vec(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  void store(std::int32_t* p) const noexcept {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  void storeu(std::int32_t* p) const noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+
+  std::int32_t operator[](int i) const noexcept { return lane[i]; }
+  std::int32_t& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm256_add_epi32(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm256_sub_epi32(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm256_mullo_epi32(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int i = 0; i < 8; ++i) r.lane[i] = a.lane[i] / b.lane[i];
+    return r;
+  }
+  Vec& operator+=(Vec o) noexcept { v = _mm256_add_epi32(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm256_sub_epi32(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm256_mullo_epi32(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { return *this = *this / o; }
+  Vec operator-() const noexcept {
+    return Vec(_mm256_sub_epi32(_mm256_setzero_si256(), v));
+  }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(b.v, a.v)))));
+  }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(a.v, b.v)))));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept { return (a < b) | (a == b); }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<std::int32_t, 8> min(Vec<std::int32_t, 8> a, Vec<std::int32_t, 8> b) noexcept {
+  return Vec<std::int32_t, 8>(_mm256_min_epi32(a.v, b.v));
+}
+inline Vec<std::int32_t, 8> max(Vec<std::int32_t, 8> a, Vec<std::int32_t, 8> b) noexcept {
+  return Vec<std::int32_t, 8>(_mm256_max_epi32(a.v, b.v));
+}
+inline Vec<std::int32_t, 8> abs(Vec<std::int32_t, 8> a) noexcept {
+  return Vec<std::int32_t, 8>(_mm256_abs_epi32(a.v));
+}
+inline Vec<std::int32_t, 8> blend(Mask<8> m, Vec<std::int32_t, 8> a,
+                                  Vec<std::int32_t, 8> b) noexcept {
+  alignas(32) std::int32_t sel[8];
+  for (int i = 0; i < 8; ++i) sel[i] = m[i] ? -1 : 0;
+  __m256i selv = _mm256_load_si256(reinterpret_cast<const __m256i*>(sel));
+  return Vec<std::int32_t, 8>(_mm256_blendv_epi8(b.v, a.v, selv));
+}
+inline std::int32_t reduce_add(Vec<std::int32_t, 8> v) noexcept {
+  std::int32_t s = 0;
+  for (int i = 0; i < 8; ++i) s += v.lane[i];
+  return s;
+}
+inline std::int32_t reduce_min(Vec<std::int32_t, 8> v) noexcept {
+  std::int32_t s = v.lane[0];
+  for (int i = 1; i < 8; ++i) s = std::min(s, v.lane[i]);
+  return s;
+}
+inline std::int32_t reduce_max(Vec<std::int32_t, 8> v) noexcept {
+  std::int32_t s = v.lane[0];
+  for (int i = 1; i < 8; ++i) s = std::max(s, v.lane[i]);
+  return s;
+}
+
+// --------------------------------------------------------------- double x4
+template <>
+struct Vec<double, 4> {
+  using value_type = double;
+  using mask_type = Mask<4>;
+  static constexpr int width = 4;
+
+  union {
+    __m256d v;
+    double lane[4];
+  };
+
+  Vec() = default;
+  Vec(double s) noexcept : v(_mm256_set1_pd(s)) {}  // NOLINT
+  explicit Vec(__m256d r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm256_setzero_pd()); }
+
+  static Vec load(const double* p) noexcept { return Vec(_mm256_load_pd(p)); }
+  static Vec loadu(const double* p) noexcept { return Vec(_mm256_loadu_pd(p)); }
+  void store(double* p) const noexcept { _mm256_store_pd(p, v); }
+  void storeu(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+
+  double operator[](int i) const noexcept { return lane[i]; }
+  double& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm256_add_pd(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm256_sub_pd(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm256_mul_pd(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept { return Vec(_mm256_div_pd(a.v, b.v)); }
+  Vec& operator+=(Vec o) noexcept { v = _mm256_add_pd(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm256_sub_pd(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm256_mul_pd(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { v = _mm256_div_pd(v, o.v); return *this; }
+  Vec operator-() const noexcept {
+    return Vec(_mm256_sub_pd(_mm256_setzero_pd(), v));
+  }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ))));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ))));
+  }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ))));
+  }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<double, 4> min(Vec<double, 4> a, Vec<double, 4> b) noexcept {
+  return Vec<double, 4>(_mm256_min_pd(a.v, b.v));
+}
+inline Vec<double, 4> max(Vec<double, 4> a, Vec<double, 4> b) noexcept {
+  return Vec<double, 4>(_mm256_max_pd(a.v, b.v));
+}
+inline Vec<double, 4> abs(Vec<double, 4> a) noexcept {
+  return Vec<double, 4>(_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v));
+}
+inline Vec<double, 4> blend(Mask<4> m, Vec<double, 4> a, Vec<double, 4> b) noexcept {
+  alignas(32) std::int64_t sel[4];
+  for (int i = 0; i < 4; ++i) sel[i] = m[i] ? -1 : 0;
+  __m256d selv = _mm256_castsi256_pd(
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(sel)));
+  return Vec<double, 4>(_mm256_blendv_pd(b.v, a.v, selv));
+}
+inline double reduce_add(Vec<double, 4> v) noexcept {
+  return (v.lane[0] + v.lane[1]) + (v.lane[2] + v.lane[3]);
+}
+inline double reduce_min(Vec<double, 4> v) noexcept {
+  return std::min(std::min(v.lane[0], v.lane[1]), std::min(v.lane[2], v.lane[3]));
+}
+inline double reduce_max(Vec<double, 4> v) noexcept {
+  return std::max(std::max(v.lane[0], v.lane[1]), std::max(v.lane[2], v.lane[3]));
+}
+
+}  // namespace phigraph::simd
+
+#endif  // __AVX2__

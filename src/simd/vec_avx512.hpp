@@ -1,0 +1,245 @@
+// AVX-512F specializations (512-bit lanes) — the "MIC mode" backend.
+//
+// The paper's Xeon Phi exposes 512-bit KNC (IMCI) lanes: 16 floats / ints,
+// 8 doubles, with hardware mask registers. AVX-512F is the direct ISA
+// descendant of IMCI with the same widths and mask model, so these wrappers
+// use the same operations the paper names (e.g. the overloaded min() for
+// vfloat "wraps the SSE intrinsic _mm512_min_ps for MIC", §IV-C).
+#pragma once
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "src/simd/mask.hpp"
+#include "src/simd/vec.hpp"
+
+namespace phigraph::simd {
+
+// --------------------------------------------------------------- float x16
+template <>
+struct Vec<float, 16> {
+  using value_type = float;
+  using mask_type = Mask<16>;
+  static constexpr int width = 16;
+
+  union {
+    __m512 v;
+    float lane[16];
+  };
+
+  Vec() = default;
+  Vec(float s) noexcept : v(_mm512_set1_ps(s)) {}  // NOLINT
+  explicit Vec(__m512 r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm512_setzero_ps()); }
+
+  static Vec load(const float* p) noexcept { return Vec(_mm512_load_ps(p)); }
+  static Vec loadu(const float* p) noexcept { return Vec(_mm512_loadu_ps(p)); }
+  void store(float* p) const noexcept { _mm512_store_ps(p, v); }
+  void storeu(float* p) const noexcept { _mm512_storeu_ps(p, v); }
+
+  float operator[](int i) const noexcept { return lane[i]; }
+  float& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm512_add_ps(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm512_sub_ps(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm512_mul_ps(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept { return Vec(_mm512_div_ps(a.v, b.v)); }
+  Vec& operator+=(Vec o) noexcept { v = _mm512_add_ps(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm512_sub_ps(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm512_mul_ps(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { v = _mm512_div_ps(v, o.v); return *this; }
+  Vec operator-() const noexcept {
+    return Vec(_mm512_sub_ps(_mm512_setzero_ps(), v));
+  }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmp_ps_mask(a.v, b.v, _CMP_LT_OQ));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmp_ps_mask(a.v, b.v, _CMP_LE_OQ));
+  }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmp_ps_mask(a.v, b.v, _CMP_EQ_OQ));
+  }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<float, 16> min(Vec<float, 16> a, Vec<float, 16> b) noexcept {
+  return Vec<float, 16>(_mm512_min_ps(a.v, b.v));
+}
+inline Vec<float, 16> max(Vec<float, 16> a, Vec<float, 16> b) noexcept {
+  return Vec<float, 16>(_mm512_max_ps(a.v, b.v));
+}
+inline Vec<float, 16> abs(Vec<float, 16> a) noexcept {
+  return Vec<float, 16>(_mm512_abs_ps(a.v));
+}
+inline Vec<float, 16> blend(Mask<16> m, Vec<float, 16> a, Vec<float, 16> b) noexcept {
+  // Native write-mask: lanes with the bit set come from a, others from b.
+  return Vec<float, 16>(_mm512_mask_blend_ps(
+      static_cast<__mmask16>(m.bits()), b.v, a.v));
+}
+inline float reduce_add(Vec<float, 16> v) noexcept { return _mm512_reduce_add_ps(v.v); }
+inline float reduce_min(Vec<float, 16> v) noexcept { return _mm512_reduce_min_ps(v.v); }
+inline float reduce_max(Vec<float, 16> v) noexcept { return _mm512_reduce_max_ps(v.v); }
+
+// ------------------------------------------------------------- int32_t x16
+template <>
+struct Vec<std::int32_t, 16> {
+  using value_type = std::int32_t;
+  using mask_type = Mask<16>;
+  static constexpr int width = 16;
+
+  union {
+    __m512i v;
+    std::int32_t lane[16];
+  };
+
+  Vec() = default;
+  Vec(std::int32_t s) noexcept : v(_mm512_set1_epi32(s)) {}  // NOLINT
+  explicit Vec(__m512i r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm512_setzero_si512()); }
+
+  static Vec load(const std::int32_t* p) noexcept {
+    return Vec(_mm512_load_si512(p));
+  }
+  static Vec loadu(const std::int32_t* p) noexcept {
+    return Vec(_mm512_loadu_si512(p));
+  }
+  void store(std::int32_t* p) const noexcept { _mm512_store_si512(p, v); }
+  void storeu(std::int32_t* p) const noexcept { _mm512_storeu_si512(p, v); }
+
+  std::int32_t operator[](int i) const noexcept { return lane[i]; }
+  std::int32_t& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm512_add_epi32(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm512_sub_epi32(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm512_mullo_epi32(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept {
+    Vec r;
+    for (int i = 0; i < 16; ++i) r.lane[i] = a.lane[i] / b.lane[i];
+    return r;
+  }
+  Vec& operator+=(Vec o) noexcept { v = _mm512_add_epi32(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm512_sub_epi32(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm512_mullo_epi32(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { return *this = *this / o; }
+  Vec operator-() const noexcept {
+    return Vec(_mm512_sub_epi32(_mm512_setzero_si512(), v));
+  }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmplt_epi32_mask(a.v, b.v));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmple_epi32_mask(a.v, b.v));
+  }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmpeq_epi32_mask(a.v, b.v));
+  }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<std::int32_t, 16> min(Vec<std::int32_t, 16> a,
+                                 Vec<std::int32_t, 16> b) noexcept {
+  return Vec<std::int32_t, 16>(_mm512_min_epi32(a.v, b.v));
+}
+inline Vec<std::int32_t, 16> max(Vec<std::int32_t, 16> a,
+                                 Vec<std::int32_t, 16> b) noexcept {
+  return Vec<std::int32_t, 16>(_mm512_max_epi32(a.v, b.v));
+}
+inline Vec<std::int32_t, 16> abs(Vec<std::int32_t, 16> a) noexcept {
+  return Vec<std::int32_t, 16>(_mm512_abs_epi32(a.v));
+}
+inline Vec<std::int32_t, 16> blend(Mask<16> m, Vec<std::int32_t, 16> a,
+                                   Vec<std::int32_t, 16> b) noexcept {
+  return Vec<std::int32_t, 16>(_mm512_mask_blend_epi32(
+      static_cast<__mmask16>(m.bits()), b.v, a.v));
+}
+inline std::int32_t reduce_add(Vec<std::int32_t, 16> v) noexcept {
+  return _mm512_reduce_add_epi32(v.v);
+}
+inline std::int32_t reduce_min(Vec<std::int32_t, 16> v) noexcept {
+  return _mm512_reduce_min_epi32(v.v);
+}
+inline std::int32_t reduce_max(Vec<std::int32_t, 16> v) noexcept {
+  return _mm512_reduce_max_epi32(v.v);
+}
+
+// --------------------------------------------------------------- double x8
+template <>
+struct Vec<double, 8> {
+  using value_type = double;
+  using mask_type = Mask<8>;
+  static constexpr int width = 8;
+
+  union {
+    __m512d v;
+    double lane[8];
+  };
+
+  Vec() = default;
+  Vec(double s) noexcept : v(_mm512_set1_pd(s)) {}  // NOLINT
+  explicit Vec(__m512d r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm512_setzero_pd()); }
+
+  static Vec load(const double* p) noexcept { return Vec(_mm512_load_pd(p)); }
+  static Vec loadu(const double* p) noexcept { return Vec(_mm512_loadu_pd(p)); }
+  void store(double* p) const noexcept { _mm512_store_pd(p, v); }
+  void storeu(double* p) const noexcept { _mm512_storeu_pd(p, v); }
+
+  double operator[](int i) const noexcept { return lane[i]; }
+  double& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm512_add_pd(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm512_sub_pd(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm512_mul_pd(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept { return Vec(_mm512_div_pd(a.v, b.v)); }
+  Vec& operator+=(Vec o) noexcept { v = _mm512_add_pd(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm512_sub_pd(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm512_mul_pd(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { v = _mm512_div_pd(v, o.v); return *this; }
+  Vec operator-() const noexcept {
+    return Vec(_mm512_sub_pd(_mm512_setzero_pd(), v));
+  }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LE_OQ));
+  }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(_mm512_cmp_pd_mask(a.v, b.v, _CMP_EQ_OQ));
+  }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<double, 8> min(Vec<double, 8> a, Vec<double, 8> b) noexcept {
+  return Vec<double, 8>(_mm512_min_pd(a.v, b.v));
+}
+inline Vec<double, 8> max(Vec<double, 8> a, Vec<double, 8> b) noexcept {
+  return Vec<double, 8>(_mm512_max_pd(a.v, b.v));
+}
+inline Vec<double, 8> abs(Vec<double, 8> a) noexcept {
+  return Vec<double, 8>(_mm512_abs_pd(a.v));
+}
+inline Vec<double, 8> blend(Mask<8> m, Vec<double, 8> a, Vec<double, 8> b) noexcept {
+  return Vec<double, 8>(_mm512_mask_blend_pd(
+      static_cast<__mmask8>(m.bits()), b.v, a.v));
+}
+inline double reduce_add(Vec<double, 8> v) noexcept { return _mm512_reduce_add_pd(v.v); }
+inline double reduce_min(Vec<double, 8> v) noexcept { return _mm512_reduce_min_pd(v.v); }
+inline double reduce_max(Vec<double, 8> v) noexcept { return _mm512_reduce_max_pd(v.v); }
+
+}  // namespace phigraph::simd
+
+#endif  // __AVX512F__

@@ -1,0 +1,266 @@
+// SSE4.2 specializations (128-bit lanes) — the paper's CPU-side backend.
+//
+// "the same APIs are built on top of both KNC (for MIC), and SSE4.2 (for
+//  CPU), wrapping corresponding architecture-specific intrinsics." (§III)
+//
+// Specializes Vec<float,4>, Vec<int32_t,4>, Vec<double,2>. Semantics must
+// match the generic template in vec.hpp exactly (property-tested).
+#pragma once
+
+#if defined(__SSE4_2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/simd/mask.hpp"
+#include "src/simd/vec.hpp"
+
+namespace phigraph::simd {
+
+// ---------------------------------------------------------------- float x4
+template <>
+struct Vec<float, 4> {
+  using value_type = float;
+  using mask_type = Mask<4>;
+  static constexpr int width = 4;
+
+  union {
+    __m128 v;
+    float lane[4];
+  };
+
+  Vec() = default;
+  Vec(float s) noexcept : v(_mm_set1_ps(s)) {}  // NOLINT
+  explicit Vec(__m128 r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm_setzero_ps()); }
+
+  static Vec load(const float* p) noexcept { return Vec(_mm_load_ps(p)); }
+  static Vec loadu(const float* p) noexcept { return Vec(_mm_loadu_ps(p)); }
+  void store(float* p) const noexcept { _mm_store_ps(p, v); }
+  void storeu(float* p) const noexcept { _mm_storeu_ps(p, v); }
+
+  float operator[](int i) const noexcept { return lane[i]; }
+  float& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm_add_ps(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm_sub_ps(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm_mul_ps(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept { return Vec(_mm_div_ps(a.v, b.v)); }
+  Vec& operator+=(Vec o) noexcept { v = _mm_add_ps(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm_sub_ps(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm_mul_ps(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { v = _mm_div_ps(v, o.v); return *this; }
+  Vec operator-() const noexcept { return Vec(_mm_sub_ps(_mm_setzero_ps(), v)); }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm_movemask_ps(_mm_cmplt_ps(a.v, b.v))));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm_movemask_ps(_mm_cmple_ps(a.v, b.v))));
+  }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm_movemask_ps(_mm_cmpeq_ps(a.v, b.v))));
+  }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<float, 4> min(Vec<float, 4> a, Vec<float, 4> b) noexcept {
+  return Vec<float, 4>(_mm_min_ps(a.v, b.v));
+}
+inline Vec<float, 4> max(Vec<float, 4> a, Vec<float, 4> b) noexcept {
+  return Vec<float, 4>(_mm_max_ps(a.v, b.v));
+}
+inline Vec<float, 4> abs(Vec<float, 4> a) noexcept {
+  return Vec<float, 4>(_mm_andnot_ps(_mm_set1_ps(-0.0f), a.v));
+}
+inline Vec<float, 4> blend(Mask<4> m, Vec<float, 4> a, Vec<float, 4> b) noexcept {
+  // _mm_blendv_ps selects from the SECOND operand where the mask is set.
+  __m128 sel = _mm_castsi128_ps(_mm_set_epi32(
+      (m.bits() & 8) ? -1 : 0, (m.bits() & 4) ? -1 : 0,
+      (m.bits() & 2) ? -1 : 0, (m.bits() & 1) ? -1 : 0));
+  return Vec<float, 4>(_mm_blendv_ps(b.v, a.v, sel));
+}
+inline float reduce_add(Vec<float, 4> v) noexcept {
+  __m128 t = _mm_hadd_ps(v.v, v.v);
+  t = _mm_hadd_ps(t, t);
+  return _mm_cvtss_f32(t);
+}
+inline float reduce_min(Vec<float, 4> v) noexcept {
+  __m128 t = _mm_min_ps(v.v, _mm_movehl_ps(v.v, v.v));
+  t = _mm_min_ss(t, _mm_shuffle_ps(t, t, 1));
+  return _mm_cvtss_f32(t);
+}
+inline float reduce_max(Vec<float, 4> v) noexcept {
+  __m128 t = _mm_max_ps(v.v, _mm_movehl_ps(v.v, v.v));
+  t = _mm_max_ss(t, _mm_shuffle_ps(t, t, 1));
+  return _mm_cvtss_f32(t);
+}
+
+// -------------------------------------------------------------- int32_t x4
+template <>
+struct Vec<std::int32_t, 4> {
+  using value_type = std::int32_t;
+  using mask_type = Mask<4>;
+  static constexpr int width = 4;
+
+  union {
+    __m128i v;
+    std::int32_t lane[4];
+  };
+
+  Vec() = default;
+  Vec(std::int32_t s) noexcept : v(_mm_set1_epi32(s)) {}  // NOLINT
+  explicit Vec(__m128i r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm_setzero_si128()); }
+
+  static Vec load(const std::int32_t* p) noexcept {
+    return Vec(_mm_load_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static Vec loadu(const std::int32_t* p) noexcept {
+    return Vec(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  void store(std::int32_t* p) const noexcept {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  void storeu(std::int32_t* p) const noexcept {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+
+  std::int32_t operator[](int i) const noexcept { return lane[i]; }
+  std::int32_t& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm_add_epi32(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm_sub_epi32(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm_mullo_epi32(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept {  // no SIMD integer divide
+    Vec r;
+    for (int i = 0; i < 4; ++i) r.lane[i] = a.lane[i] / b.lane[i];
+    return r;
+  }
+  Vec& operator+=(Vec o) noexcept { v = _mm_add_epi32(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm_sub_epi32(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm_mullo_epi32(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { return *this = *this / o; }
+  Vec operator-() const noexcept {
+    return Vec(_mm_sub_epi32(_mm_setzero_si128(), v));
+  }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(a.v, b.v)))));
+  }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(a.v, b.v)))));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept { return (a < b) | (a == b); }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<std::int32_t, 4> min(Vec<std::int32_t, 4> a, Vec<std::int32_t, 4> b) noexcept {
+  return Vec<std::int32_t, 4>(_mm_min_epi32(a.v, b.v));
+}
+inline Vec<std::int32_t, 4> max(Vec<std::int32_t, 4> a, Vec<std::int32_t, 4> b) noexcept {
+  return Vec<std::int32_t, 4>(_mm_max_epi32(a.v, b.v));
+}
+inline Vec<std::int32_t, 4> abs(Vec<std::int32_t, 4> a) noexcept {
+  return Vec<std::int32_t, 4>(_mm_abs_epi32(a.v));
+}
+inline Vec<std::int32_t, 4> blend(Mask<4> m, Vec<std::int32_t, 4> a,
+                                  Vec<std::int32_t, 4> b) noexcept {
+  __m128i sel = _mm_set_epi32((m.bits() & 8) ? -1 : 0, (m.bits() & 4) ? -1 : 0,
+                              (m.bits() & 2) ? -1 : 0, (m.bits() & 1) ? -1 : 0);
+  return Vec<std::int32_t, 4>(_mm_blendv_epi8(b.v, a.v, sel));
+}
+inline std::int32_t reduce_add(Vec<std::int32_t, 4> v) noexcept {
+  __m128i t = _mm_hadd_epi32(v.v, v.v);
+  t = _mm_hadd_epi32(t, t);
+  return _mm_cvtsi128_si32(t);
+}
+inline std::int32_t reduce_min(Vec<std::int32_t, 4> v) noexcept {
+  return std::min({v.lane[0], v.lane[1], v.lane[2], v.lane[3]});
+}
+inline std::int32_t reduce_max(Vec<std::int32_t, 4> v) noexcept {
+  return std::max({v.lane[0], v.lane[1], v.lane[2], v.lane[3]});
+}
+
+// --------------------------------------------------------------- double x2
+template <>
+struct Vec<double, 2> {
+  using value_type = double;
+  using mask_type = Mask<2>;
+  static constexpr int width = 2;
+
+  union {
+    __m128d v;
+    double lane[2];
+  };
+
+  Vec() = default;
+  Vec(double s) noexcept : v(_mm_set1_pd(s)) {}  // NOLINT
+  explicit Vec(__m128d r) noexcept : v(r) {}
+  static Vec zero() noexcept { return Vec(_mm_setzero_pd()); }
+
+  static Vec load(const double* p) noexcept { return Vec(_mm_load_pd(p)); }
+  static Vec loadu(const double* p) noexcept { return Vec(_mm_loadu_pd(p)); }
+  void store(double* p) const noexcept { _mm_store_pd(p, v); }
+  void storeu(double* p) const noexcept { _mm_storeu_pd(p, v); }
+
+  double operator[](int i) const noexcept { return lane[i]; }
+  double& operator[](int i) noexcept { return lane[i]; }
+
+  friend Vec operator+(Vec a, Vec b) noexcept { return Vec(_mm_add_pd(a.v, b.v)); }
+  friend Vec operator-(Vec a, Vec b) noexcept { return Vec(_mm_sub_pd(a.v, b.v)); }
+  friend Vec operator*(Vec a, Vec b) noexcept { return Vec(_mm_mul_pd(a.v, b.v)); }
+  friend Vec operator/(Vec a, Vec b) noexcept { return Vec(_mm_div_pd(a.v, b.v)); }
+  Vec& operator+=(Vec o) noexcept { v = _mm_add_pd(v, o.v); return *this; }
+  Vec& operator-=(Vec o) noexcept { v = _mm_sub_pd(v, o.v); return *this; }
+  Vec& operator*=(Vec o) noexcept { v = _mm_mul_pd(v, o.v); return *this; }
+  Vec& operator/=(Vec o) noexcept { v = _mm_div_pd(v, o.v); return *this; }
+  Vec operator-() const noexcept { return Vec(_mm_sub_pd(_mm_setzero_pd(), v)); }
+
+  friend mask_type operator<(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm_movemask_pd(_mm_cmplt_pd(a.v, b.v))));
+  }
+  friend mask_type operator<=(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm_movemask_pd(_mm_cmple_pd(a.v, b.v))));
+  }
+  friend mask_type operator>(Vec a, Vec b) noexcept { return b < a; }
+  friend mask_type operator>=(Vec a, Vec b) noexcept { return b <= a; }
+  friend mask_type operator==(Vec a, Vec b) noexcept {
+    return mask_type(static_cast<std::uint64_t>(_mm_movemask_pd(_mm_cmpeq_pd(a.v, b.v))));
+  }
+  friend mask_type operator!=(Vec a, Vec b) noexcept { return ~(a == b); }
+};
+
+inline Vec<double, 2> min(Vec<double, 2> a, Vec<double, 2> b) noexcept {
+  return Vec<double, 2>(_mm_min_pd(a.v, b.v));
+}
+inline Vec<double, 2> max(Vec<double, 2> a, Vec<double, 2> b) noexcept {
+  return Vec<double, 2>(_mm_max_pd(a.v, b.v));
+}
+inline Vec<double, 2> abs(Vec<double, 2> a) noexcept {
+  return Vec<double, 2>(_mm_andnot_pd(_mm_set1_pd(-0.0), a.v));
+}
+inline Vec<double, 2> blend(Mask<2> m, Vec<double, 2> a, Vec<double, 2> b) noexcept {
+  __m128d sel = _mm_castsi128_pd(_mm_set_epi64x((m.bits() & 2) ? -1 : 0,
+                                                (m.bits() & 1) ? -1 : 0));
+  return Vec<double, 2>(_mm_blendv_pd(b.v, a.v, sel));
+}
+inline double reduce_add(Vec<double, 2> v) noexcept { return v.lane[0] + v.lane[1]; }
+inline double reduce_min(Vec<double, 2> v) noexcept {
+  return std::min(v.lane[0], v.lane[1]);
+}
+inline double reduce_max(Vec<double, 2> v) noexcept {
+  return std::max(v.lane[0], v.lane[1]);
+}
+
+}  // namespace phigraph::simd
+
+#endif  // __SSE4_2__

@@ -1,0 +1,102 @@
+// Inter-device communication tests: pairwise exchange and the combining
+// remote message buffer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/comm/exchange.hpp"
+#include "src/comm/remote_buffer.hpp"
+#include "src/common/rng.hpp"
+
+namespace {
+
+using namespace phigraph;
+
+TEST(Exchange, SwapsValuesBothWays) {
+  comm::Exchange<int> ex;
+  int got0 = 0, got1 = 0;
+  std::thread t1([&] { got1 = ex.exchange(1, 111); });
+  got0 = ex.exchange(0, 222);
+  t1.join();
+  EXPECT_EQ(got0, 111);
+  EXPECT_EQ(got1, 222);
+}
+
+TEST(Exchange, ManyRoundsStayPaired) {
+  comm::Exchange<int> ex;
+  constexpr int kRounds = 2000;
+  std::thread t1([&] {
+    for (int r = 0; r < kRounds; ++r)
+      ASSERT_EQ(ex.exchange(1, r * 2 + 1), r * 2);  // receives rank 0's value
+  });
+  for (int r = 0; r < kRounds; ++r)
+    ASSERT_EQ(ex.exchange(0, r * 2), r * 2 + 1);  // receives rank 1's value
+  t1.join();
+}
+
+TEST(Exchange, MovesLargePayloadsWithoutLoss) {
+  comm::Exchange<std::vector<int>> ex;
+  std::vector<int> a(10000);
+  std::vector<int> b(5000);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 100000);
+  std::vector<int> got0, got1;
+  std::thread t1([&] { got1 = ex.exchange(1, std::move(b)); });
+  got0 = ex.exchange(0, std::move(a));
+  t1.join();
+  EXPECT_EQ(got0.size(), 5000u);
+  EXPECT_EQ(got0.front(), 100000);
+  EXPECT_EQ(got1.size(), 10000u);
+  EXPECT_EQ(got1.back(), 9999);
+}
+
+TEST(RemoteBuffer, CombinesPerDestination) {
+  comm::RemoteBuffer<float> buf(100);
+  auto min_combine = [](float a, float b) { return std::min(a, b); };
+  buf.deposit(7, 3.0f, min_combine);
+  buf.deposit(7, 1.0f, min_combine);
+  buf.deposit(7, 2.0f, min_combine);
+  buf.deposit(42, 9.0f, min_combine);
+  EXPECT_EQ(buf.touched_count(), 2u);
+
+  std::map<vid_t, float> got;
+  buf.drain([&](vid_t dst, float v) { got[dst] = v; });
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_FLOAT_EQ(got[7], 1.0f);
+  EXPECT_FLOAT_EQ(got[42], 9.0f);
+
+  // Drained: buffer is empty and reusable.
+  EXPECT_EQ(buf.touched_count(), 0u);
+  buf.deposit(7, 5.0f, min_combine);
+  buf.drain([&](vid_t dst, float v) {
+    EXPECT_EQ(dst, 7u);
+    EXPECT_FLOAT_EQ(v, 5.0f);  // no stale combine with the previous round
+  });
+}
+
+TEST(RemoteBuffer, ConcurrentDepositsAreExact) {
+  constexpr vid_t kVerts = 64;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  comm::RemoteBuffer<std::uint64_t> buf(kVerts);
+  auto sum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i)
+        buf.deposit(static_cast<vid_t>(rng.below(kVerts)), 1u, sum);
+    });
+  for (auto& th : threads) th.join();
+
+  std::uint64_t total = 0;
+  buf.drain([&](vid_t, std::uint64_t v) { total += v; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Deep counter-accounting tests: the performance model is only as good as
+// the counters, so the counters themselves are pinned down here across
+// execution modes and device profiles.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/apps/bfs.hpp"
+#include "src/apps/pagerank.hpp"
+#include "src/apps/sssp.hpp"
+#include "src/apps/toposort.hpp"
+#include "src/core/hetero_engine.hpp"
+#include "src/gen/generators.hpp"
+#include "src/graph/io.hpp"
+#include "src/partition/partition.hpp"
+
+namespace {
+
+using namespace phigraph;
+using core::EngineConfig;
+using core::ExecMode;
+
+EngineConfig cfg(ExecMode mode, int simd_bytes = 64) {
+  EngineConfig c;
+  c.mode = mode;
+  c.simd_bytes = simd_bytes;
+  c.threads = 3;
+  c.movers = 2;
+  return c;
+}
+
+graph::Csr weighted_graph() {
+  auto g = gen::pokec_like(4000, 60000, 31);
+  gen::add_random_weights(g, 6);
+  return g;
+}
+
+TEST(EngineCounters, StructuralCountersAreModeIndependent) {
+  // Messages, destinations, conflicts, active vertices and updates are
+  // functions of graph + algorithm, not of the execution scheme — the
+  // property the auto-tuner and the bench methodology rely on.
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  const auto lock = core::run_single(g, prog, cfg(ExecMode::kLocking));
+  const auto pipe = core::run_single(g, prog, cfg(ExecMode::kPipelining));
+  const auto omp = core::run_single(g, prog, cfg(ExecMode::kOmpStyle, 16));
+
+  ASSERT_EQ(lock.run.trace.size(), pipe.run.trace.size());
+  ASSERT_EQ(lock.run.trace.size(), omp.run.trace.size());
+  for (std::size_t s = 0; s < lock.run.trace.size(); ++s) {
+    const auto& a = lock.run.trace[s];
+    const auto& b = pipe.run.trace[s];
+    const auto& c = omp.run.trace[s];
+    EXPECT_EQ(a.active_vertices, b.active_vertices);
+    EXPECT_EQ(a.active_vertices, c.active_vertices);
+    EXPECT_EQ(a.edges_scanned, b.edges_scanned);
+    EXPECT_EQ(a.msgs_local, b.msgs_local);
+    EXPECT_EQ(a.msgs_local, c.msgs_local);
+    EXPECT_EQ(a.columns_allocated, b.columns_allocated);
+    EXPECT_EQ(a.columns_allocated, c.columns_allocated);
+    EXPECT_EQ(a.column_conflicts, b.column_conflicts);
+    EXPECT_EQ(a.verts_updated, b.verts_updated);
+    EXPECT_EQ(a.verts_updated, c.verts_updated);
+  }
+}
+
+TEST(EngineCounters, LaneWidthChangesRowsNotMessages) {
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  const auto cpu = core::run_single(g, prog, cfg(ExecMode::kLocking, 16));
+  const auto mic = core::run_single(g, prog, cfg(ExecMode::kLocking, 64));
+  const auto tc = metrics::totals(cpu.run.trace);
+  const auto tm = metrics::totals(mic.run.trace);
+  EXPECT_EQ(tc.msgs_local, tm.msgs_local);
+  // Wider lanes -> fewer rows to reduce, but more padded bubble cells.
+  EXPECT_GT(tc.vector_rows, tm.vector_rows);
+  EXPECT_LT(tc.padded_cells, tm.padded_cells);
+}
+
+TEST(EngineCounters, BfsSkipsReductionEntirely) {
+  const auto g = gen::pokec_like(3000, 30000, 12);
+  const auto res = core::run_single(g, apps::Bfs{0}, cfg(ExecMode::kLocking));
+  const auto t = metrics::totals(res.run.trace);
+  EXPECT_EQ(t.vector_rows, 0u);   // no SIMD reduction sub-step
+  EXPECT_EQ(t.scalar_msgs, 0u);   // no scalar reduction either
+  EXPECT_GT(t.msgs_local, 0u);
+}
+
+TEST(EngineCounters, PageRankScansEveryEdgeEverySuperstep) {
+  const auto g = gen::pokec_like(2000, 24000, 14);
+  auto c = cfg(ExecMode::kLocking);
+  c.max_supersteps = 4;
+  const auto res = core::run_single(g, apps::PageRank{}, c);
+  for (const auto& step : res.run.trace) {
+    EXPECT_EQ(step.active_vertices, g.num_vertices());
+    EXPECT_EQ(step.edges_scanned, g.num_edges());
+    EXPECT_EQ(step.msgs_local, g.num_edges());
+  }
+}
+
+TEST(EngineCounters, TopoSortMessageTotalEqualsEdges) {
+  // Every edge delivers exactly one "decrement" message over the whole run.
+  const auto g = gen::dag_like(600, 40000, 15, 12);
+  const auto res = core::run_single(g, apps::TopoSort{}, cfg(ExecMode::kPipelining));
+  EXPECT_EQ(metrics::totals(res.run.trace).msgs_local, g.num_edges());
+}
+
+TEST(EngineCounters, HeteroSplitsMessagesByOwnership) {
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  // Single-device totals for comparison.
+  const auto solo = core::run_single(g, prog, cfg(ExecMode::kLocking));
+  const auto solo_msgs = metrics::totals(solo.run.trace).msgs_local;
+
+  auto owner = partition::round_robin_partition(g, {1, 1});
+  core::HeteroEngine<apps::Sssp> he(g, std::move(owner), prog,
+                                    cfg(ExecMode::kLocking, 16),
+                                    cfg(ExecMode::kLocking, 64));
+  auto res = he.run();
+  const auto tc = metrics::totals(res.cpu.trace);
+  const auto tm = metrics::totals(res.mic.trace);
+
+  // Local + remote generation covers every edge-message exactly once.
+  EXPECT_EQ(tc.msgs_local + tc.msgs_remote + tm.msgs_local + tm.msgs_remote,
+            solo_msgs);
+  // Remote messages are combined: fewer arrive than were deposited.
+  EXPECT_LE(tc.msgs_received, tm.msgs_remote);
+  EXPECT_LE(tm.msgs_received, tc.msgs_remote);
+  EXPECT_GT(tc.msgs_received, 0u);
+  // Each device updated only its own vertices.
+  EXPECT_GT(tc.verts_updated, 0u);
+  EXPECT_GT(tm.verts_updated, 0u);
+}
+
+TEST(EngineCounters, LockAccountingPerMode) {
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  const auto lock = core::run_single(g, prog, cfg(ExecMode::kLocking));
+  const auto pipe = core::run_single(g, prog, cfg(ExecMode::kPipelining));
+  const auto tl = metrics::totals(lock.run.trace);
+  const auto tp = metrics::totals(pipe.run.trace);
+  // Locking: >= one column-lock acquisition per message (+ allocations).
+  EXPECT_GE(tl.lock_acquisitions, tl.msgs_local);
+  // Pipelining: locks only for column allocation — far fewer.
+  EXPECT_LT(tp.lock_acquisitions, tp.msgs_local / 2);
+  EXPECT_EQ(tp.queue_pushes, tp.msgs_local);
+}
+
+TEST(EngineCounters, FileRoundTripProducesIdenticalRun) {
+  // Save to the binary format (bit-exact weights), reload, rerun: identical
+  // trace and results (the whole-pipeline determinism guarantee).
+  const auto g = weighted_graph();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pg_counters_rt.pgb").string();
+  graph::save_binary(g, path);
+  const auto g2 = graph::load_binary(path);
+  std::filesystem::remove(path);
+
+  const apps::Sssp prog(0);
+  const auto a = core::run_single(g, prog, cfg(ExecMode::kLocking));
+  const auto b = core::run_single(g2, prog, cfg(ExecMode::kLocking));
+  EXPECT_EQ(a.values, b.values);
+  ASSERT_EQ(a.run.trace.size(), b.run.trace.size());
+  for (std::size_t s = 0; s < a.run.trace.size(); ++s)
+    EXPECT_EQ(a.run.trace[s].msgs_local, b.run.trace[s].msgs_local);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Generator structure tests: each synthetic workload must exhibit the
+// property the paper's corresponding experiment depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "src/gen/generators.hpp"
+
+namespace {
+
+using namespace phigraph;
+
+TEST(PokecLike, SizeAndDeterminism) {
+  const auto g1 = gen::pokec_like(5000, 60000, 42);
+  const auto g2 = gen::pokec_like(5000, 60000, 42);
+  const auto g3 = gen::pokec_like(5000, 60000, 43);
+  EXPECT_EQ(g1.num_vertices(), 5000u);
+  EXPECT_EQ(g1.num_edges(), 60000u);
+  EXPECT_EQ(g1, g2);         // same seed, same graph
+  EXPECT_FALSE(g1 == g3);    // different seed, different graph
+}
+
+TEST(PokecLike, FrontLoadedOutDegrees) {
+  const auto g = gen::pokec_like(10000, 150000, 7);
+  eid_t front = 0, back = 0;
+  for (vid_t v = 0; v < 1000; ++v) front += g.out_degree(v);
+  for (vid_t v = 9000; v < 10000; ++v) back += g.out_degree(v);
+  // The first 10% of ids must carry far more edges than the last 10% —
+  // this is what breaks continuous partitioning in Fig. 6.
+  EXPECT_GT(front, 5 * back);
+}
+
+TEST(PokecLike, HeadIsSoftened) {
+  const auto g = gen::pokec_like(10000, 150000, 7);
+  eid_t max_out = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    max_out = std::max(max_out, g.out_degree(v));
+  // No single vertex owns a macroscopic share (real Pokec: < 0.05%).
+  EXPECT_LT(static_cast<double>(max_out) / g.num_edges(), 0.02);
+}
+
+TEST(PokecLike, InDegreesAreSkewed) {
+  const auto g = gen::pokec_like(10000, 150000, 7);
+  auto in = g.in_degrees();
+  std::sort(in.begin(), in.end(), std::greater<>());
+  // Top 1% of receivers get many times their proportional share.
+  eid_t top = std::accumulate(in.begin(), in.begin() + 100, eid_t{0});
+  EXPECT_GT(static_cast<double>(top) / g.num_edges(), 0.05);
+}
+
+TEST(PokecLike, HasIdLocality) {
+  const auto g = gen::pokec_like(10000, 150000, 7);
+  eid_t local = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u))
+      if ((v > u ? v - u : u - v) <= 50) ++local;
+  // p_local = 0.6 by default; allow generous slack.
+  EXPECT_GT(static_cast<double>(local) / g.num_edges(), 0.4);
+}
+
+TEST(DblpLike, UndirectedByDuplication) {
+  const auto g = gen::dblp_like(2000, 6000, 5);
+  EXPECT_EQ(g.num_edges(), 12000u);  // each undirected edge twice
+  ASSERT_TRUE(g.has_edge_values());
+  // Symmetric: for every u->v with weight w there is v->u with weight w.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.out_neighbors(u);
+    const auto w = g.out_edge_values(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t v = nbrs[i];
+      const auto back = g.out_neighbors(v);
+      const auto back_w = g.out_edge_values(v);
+      bool found = false;
+      for (std::size_t j = 0; j < back.size(); ++j)
+        if (back[j] == u && back_w[j] == w[i]) found = true;
+      EXPECT_TRUE(found) << u << "->" << v;
+    }
+  }
+}
+
+TEST(DblpLike, CommunityStructure) {
+  const auto g = gen::dblp_like(2000, 6000, 5, /*p_intra=*/0.9);
+  // Most edges stay within a small id window (communities are contiguous).
+  eid_t close = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u))
+      if ((v > u ? v - u : u - v) <= 64) ++close;
+  EXPECT_GT(static_cast<double>(close) / g.num_edges(), 0.7);
+}
+
+TEST(DblpLike, PositiveWeights) {
+  const auto g = gen::dblp_like(500, 1500, 9);
+  for (float w : g.edge_values()) {
+    EXPECT_GT(w, 0.0f);
+    EXPECT_LT(w, 1.0f);
+  }
+}
+
+TEST(DagLike, IsAcyclicWithBoundedDepth) {
+  const int levels = 20;
+  const auto g = gen::dag_like(1000, 50000, 3, levels);
+  EXPECT_EQ(g.num_edges(), 50000u);
+  // Kahn's algorithm consumes every vertex iff the graph is acyclic, and
+  // the level count bounds the depth.
+  auto remaining = g.in_degrees();
+  std::deque<vid_t> q;
+  std::vector<int> depth(g.num_vertices(), 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    if (remaining[v] == 0) q.push_back(v);
+  vid_t seen = 0;
+  int max_depth = 0;
+  while (!q.empty()) {
+    const vid_t u = q.front();
+    q.pop_front();
+    ++seen;
+    max_depth = std::max(max_depth, depth[u]);
+    for (vid_t v : g.out_neighbors(u)) {
+      depth[v] = std::max(depth[v], depth[u] + 1);
+      if (--remaining[v] == 0) q.push_back(v);
+    }
+  }
+  EXPECT_EQ(seen, g.num_vertices());
+  EXPECT_LT(max_depth, levels);
+}
+
+TEST(DagLike, OutDegreeDeclinesAlongIds) {
+  const auto g = gen::dag_like(2000, 100000, 3, 16);
+  eid_t front = 0, back = 0;
+  for (vid_t v = 0; v < 200; ++v) front += g.out_degree(v);
+  for (vid_t v = 1800; v < 2000; ++v) back += g.out_degree(v);
+  // Vertex ids follow topological order, so early ids emit far more edges —
+  // the skew behind Fig. 6's TopoSort continuous-partitioning collapse.
+  EXPECT_GT(front, 4 * back);
+}
+
+TEST(Rmat, ShapeAndSkew) {
+  const auto g = gen::rmat(12, 40000, 17);
+  EXPECT_EQ(g.num_vertices(), 4096u);
+  EXPECT_EQ(g.num_edges(), 40000u);
+  auto in = g.in_degrees();
+  std::sort(in.begin(), in.end(), std::greater<>());
+  EXPECT_GT(in[0], 40u);  // scale-free head
+}
+
+TEST(ErdosRenyi, NoSelfLoops) {
+  const auto g = gen::erdos_renyi(500, 5000, 21);
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u)) EXPECT_NE(u, v);
+}
+
+TEST(RandomWeights, RangeAndDeterminism) {
+  auto g1 = gen::erdos_renyi(100, 1000, 2);
+  auto g2 = gen::erdos_renyi(100, 1000, 2);
+  gen::add_random_weights(g1, 5, 1.0f, 10.0f);
+  gen::add_random_weights(g2, 5, 1.0f, 10.0f);
+  EXPECT_EQ(g1.edge_values(), g2.edge_values());
+  for (float w : g1.edge_values()) {
+    EXPECT_GE(w, 1.0f);
+    EXPECT_LT(w, 10.0f);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Graph IO round-trip tests for all three formats.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/gen/generators.hpp"
+#include "src/graph/io.hpp"
+#include "src/graph/paper_example.hpp"
+
+namespace {
+
+using namespace phigraph;
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::filesystem::remove(p);
+  }
+  std::string track(std::string p) {
+    cleanup_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(IoTest, AdjacencyListRoundTripUnweighted) {
+  const auto g = graph::paper_example_graph();
+  const auto path = track(tmp_path("pg_adj_unweighted.txt"));
+  graph::save_adjacency_list(g, path);
+  EXPECT_EQ(graph::load_adjacency_list(path), g);
+}
+
+TEST_F(IoTest, AdjacencyListRoundTripWeighted) {
+  auto g = gen::pokec_like(200, 1500, 3);
+  gen::add_random_weights(g, 5);
+  const auto path = track(tmp_path("pg_adj_weighted.txt"));
+  graph::save_adjacency_list(g, path);
+  const auto loaded = graph::load_adjacency_list(path);
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+  EXPECT_EQ(loaded.targets(), g.targets());
+  ASSERT_EQ(loaded.edge_values().size(), g.edge_values().size());
+  for (std::size_t i = 0; i < g.edge_values().size(); ++i)
+    EXPECT_NEAR(loaded.edge_values()[i], g.edge_values()[i], 1e-4f);
+}
+
+TEST_F(IoTest, BinaryRoundTripExact) {
+  auto g = gen::dblp_like(300, 900, 7);
+  const auto path = track(tmp_path("pg_binary.bin"));
+  graph::save_binary(g, path);
+  EXPECT_EQ(graph::load_binary(path), g);
+}
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  const auto g = graph::paper_example_graph();
+  const auto path = track(tmp_path("pg_edges.txt"));
+  graph::save_edge_list(g, path);
+  const auto loaded = graph::load_edge_list(path, g.num_vertices());
+  EXPECT_EQ(loaded, g);
+}
+
+TEST_F(IoTest, EdgeListWithCommentsAndWeights) {
+  const auto path = track(tmp_path("pg_edges_manual.txt"));
+  {
+    std::ofstream out(path);
+    out << "# a comment line\n"
+        << "0 1 2.5\n"
+        << "\n"
+        << "1 2 1.25\n"
+        << "0 2 0.5\n";
+  }
+  const auto g = graph::load_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  ASSERT_TRUE(g.has_edge_values());
+  // CSR order: 0->1 (2.5), 0->2 (0.5), 1->2 (1.25).
+  EXPECT_FLOAT_EQ(g.out_edge_values(0)[0], 2.5f);
+  EXPECT_FLOAT_EQ(g.out_edge_values(0)[1], 0.5f);
+  EXPECT_FLOAT_EQ(g.out_edge_values(1)[0], 1.25f);
+}
+
+TEST_F(IoTest, BinaryRejectsForeignFile) {
+  const auto path = track(tmp_path("pg_not_a_graph.bin"));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a phigraph file at all, padded to enough bytes....";
+  }
+  EXPECT_DEATH((void)graph::load_binary(path), "not a PhiGraph binary");
+}
+
+TEST_F(IoTest, MissingFileAborts) {
+  EXPECT_DEATH((void)graph::load_binary("/nonexistent/path/graph.bin"),
+               "failed to open");
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Device-partition tests: LocalGraph::split must conserve every edge and
+// expose correct ownership maps.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/local_graph.hpp"
+#include "src/gen/generators.hpp"
+#include "src/partition/partition.hpp"
+
+namespace {
+
+using namespace phigraph;
+using core::LocalGraph;
+
+TEST(LocalGraph, WholeKeepsEverything) {
+  const auto g = gen::pokec_like(500, 5000, 3);
+  const auto lg = LocalGraph::whole(g, Device::Mic);
+  EXPECT_EQ(lg.device, Device::Mic);
+  EXPECT_EQ(lg.num_local_vertices(), g.num_vertices());
+  EXPECT_EQ(lg.local.num_edges(), g.num_edges());
+  EXPECT_EQ(lg.in_degree, g.in_degrees());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(lg.global_id[v], v);
+    EXPECT_EQ((*lg.local_of)[v], v);
+  }
+}
+
+TEST(LocalGraph, SplitConservesEdgesAndValues) {
+  auto g = gen::pokec_like(800, 8000, 5);
+  gen::add_random_weights(g, 9);
+  auto owner = partition::round_robin_partition(g, {2, 3});
+  const auto parts = LocalGraph::split(g, owner);
+
+  EXPECT_EQ(parts[0].device, Device::Cpu);
+  EXPECT_EQ(parts[1].device, Device::Mic);
+  EXPECT_EQ(parts[0].num_local_vertices() + parts[1].num_local_vertices(),
+            g.num_vertices());
+  EXPECT_EQ(parts[0].local.num_edges() + parts[1].local.num_edges(),
+            g.num_edges());
+
+  // Every local vertex's out-edges match the global graph exactly,
+  // including weights.
+  for (const auto& lg : parts) {
+    for (vid_t u = 0; u < lg.num_local_vertices(); ++u) {
+      const vid_t gu = lg.global_id[u];
+      const auto local_nbrs = lg.local.out_neighbors(u);
+      const auto global_nbrs = g.out_neighbors(gu);
+      ASSERT_EQ(local_nbrs.size(), global_nbrs.size());
+      for (std::size_t i = 0; i < local_nbrs.size(); ++i) {
+        EXPECT_EQ(local_nbrs[i], global_nbrs[i]);
+        EXPECT_EQ(lg.local.out_edge_values(u)[i], g.out_edge_values(gu)[i]);
+      }
+      // In-degree comes from the FULL graph, not the local one.
+      EXPECT_EQ(lg.in_degree[u], g.in_degrees()[gu]);
+    }
+  }
+}
+
+TEST(LocalGraph, OwnershipMapsAreConsistent) {
+  const auto g = gen::erdos_renyi(300, 2000, 7);
+  auto owner = partition::continuous_partition(g, {1, 2});
+  const auto parts = LocalGraph::split(g, owner);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto& lg = parts[device_index(owner[v])];
+    const vid_t local = (*lg.local_of)[v];
+    ASSERT_LT(local, lg.num_local_vertices());
+    EXPECT_EQ(lg.global_id[local], v);
+    EXPECT_EQ((*lg.owner)[v], owner[v]);
+  }
+}
+
+TEST(LocalGraph, EmptySideIsFine) {
+  const auto g = gen::erdos_renyi(100, 500, 2);
+  std::vector<Device> owner(g.num_vertices(), Device::Cpu);
+  const auto parts = LocalGraph::split(g, owner);
+  EXPECT_EQ(parts[0].num_local_vertices(), 100u);
+  EXPECT_EQ(parts[1].num_local_vertices(), 0u);
+  EXPECT_EQ(parts[1].local.num_edges(), 0u);
+}
+
+TEST(LocalGraph, CrossEdgeCount) {
+  const auto g = graph::Csr::from_edges(
+      4, std::vector<std::pair<vid_t, vid_t>>{{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  std::vector<Device> owner = {Device::Cpu, Device::Cpu, Device::Mic,
+                               Device::Mic};
+  // Cross: 1->2 and 3->0.
+  EXPECT_EQ(LocalGraph::count_cross_edges(g, owner), 2u);
+}
+
+}  // namespace

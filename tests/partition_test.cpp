@@ -1,0 +1,125 @@
+// Partitioning tests: the three schemes' balance/communication trade-offs
+// (the mechanism behind Fig. 6) plus blocked-partitioner quality.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "src/gen/generators.hpp"
+#include "src/partition/partition.hpp"
+
+namespace {
+
+using namespace phigraph;
+using partition::BlockedOptions;
+using partition::Ratio;
+
+graph::Csr skewed_graph() {
+  // Pokec-like: hubs at the front — what breaks continuous partitioning.
+  return gen::pokec_like(/*n=*/20000, /*m=*/200000, /*seed=*/17);
+}
+
+TEST(Partition, ContinuousSplitsByVertexCount) {
+  const auto g = skewed_graph();
+  const auto owner = partition::continuous_partition(g, {3, 5});
+  const auto s = partition::evaluate_partition(g, owner);
+  EXPECT_NEAR(static_cast<double>(s.verts[0]) / g.num_vertices(), 3.0 / 8, 1e-3);
+  // ... but the EDGE split is far off the requested 3:5 because the hubs
+  // cluster in the CPU's range (the paper's §IV-E observation).
+  EXPECT_GT(s.balance_error({3, 5}), 0.5);
+}
+
+TEST(Partition, RoundRobinBalancesEdgesButCutsEverything) {
+  const auto g = skewed_graph();
+  const auto rr = partition::round_robin_partition(g, {1, 1});
+  const auto s = partition::evaluate_partition(g, rr);
+  EXPECT_LT(std::abs(s.balance_error({1, 1})), 0.05);
+  // Interleaved vertices cut roughly half of all edges at 1:1.
+  EXPECT_GT(static_cast<double>(s.cross_edges) / g.num_edges(), 0.4);
+}
+
+TEST(Partition, HybridIsBalancedAndCutsLessThanRoundRobin) {
+  const auto g = skewed_graph();
+  BlockedOptions opt;
+  opt.num_blocks = 64;
+  const auto bp = partition::blocked_min_cut(g, opt);
+  for (Ratio r : {Ratio{1, 1}, Ratio{3, 5}, Ratio{2, 1}, Ratio{1, 4}}) {
+    const auto hy = partition::hybrid_partition(bp, r);
+    const auto rr = partition::round_robin_partition(g, r);
+    const auto sh = partition::evaluate_partition(g, hy);
+    const auto sr = partition::evaluate_partition(g, rr);
+    EXPECT_LT(std::abs(sh.balance_error(r)), 0.2)  // 64 lumpy blocks: coarse granularity
+        << "ratio " << r.cpu << ":" << r.mic;
+    EXPECT_LT(sh.cross_edges, sr.cross_edges)
+        << "ratio " << r.cpu << ":" << r.mic;
+  }
+}
+
+TEST(Partition, BlockedPartitionReusableAcrossRatios) {
+  // The paper: "Our method is able to reuse the blocked partitioning results
+  // of Metis for different partitioning ratios."
+  const auto g = gen::dblp_like(5000, 15000, 3);
+  const auto bp = partition::blocked_min_cut(g, {.num_blocks = 32, .seed = 5});
+  const auto o1 = partition::hybrid_partition(bp, {1, 1});
+  const auto o2 = partition::hybrid_partition(bp, {1, 3});
+  const auto s1 = partition::evaluate_partition(g, o1);
+  const auto s2 = partition::evaluate_partition(g, o2);
+  EXPECT_LT(std::abs(s1.balance_error({1, 1})), 0.2);
+  EXPECT_LT(std::abs(s2.balance_error({1, 3})), 0.2);
+}
+
+TEST(Partition, BlockedMinCutQualityOnCommunityGraph) {
+  // On a strong community graph the multilevel partitioner should cut far
+  // fewer edges than a random blocking of equal arity.
+  const auto g = gen::dblp_like(4000, 12000, 9, /*p_intra=*/0.95);
+  BlockedOptions opt;
+  opt.num_blocks = 16;
+  const auto bp = partition::blocked_min_cut(g, opt);
+
+  eid_t random_cut = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u))
+      if (u % 16 != v % 16) ++random_cut;
+
+  EXPECT_LT(bp.cut_edges, random_cut / 2);
+
+  // Every vertex has a block; block sizes respect the balance tolerance
+  // loosely (initial growing + refinement can overshoot slightly).
+  vid_t total = 0;
+  for (int b = 0; b < bp.num_blocks; ++b) total += bp.block_verts[b];
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Partition, DegenerateSmallGraph) {
+  const auto g = gen::erdos_renyi(10, 20, 1);
+  const auto bp = partition::blocked_min_cut(g, {.num_blocks = 16});
+  // One vertex per block when blocks >= vertices.
+  std::set<vid_t> used(bp.block_of.begin(), bp.block_of.end());
+  EXPECT_EQ(used.size(), 10u);
+  const auto owner = partition::hybrid_partition(bp, {1, 1});
+  const auto s = partition::evaluate_partition(g, owner);
+  EXPECT_EQ(s.verts[0] + s.verts[1], 10u);
+}
+
+TEST(Partition, FileRoundTrip) {
+  const auto g = gen::erdos_renyi(100, 300, 2);
+  const auto owner = partition::round_robin_partition(g, {2, 3});
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pg_part_test.txt").string();
+  partition::save_partition(owner, path);
+  const auto loaded = partition::load_partition(path);
+  EXPECT_EQ(owner, loaded);
+  std::filesystem::remove(path);
+}
+
+TEST(Partition, ExtremeRatios) {
+  const auto g = gen::erdos_renyi(1000, 5000, 4);
+  const auto all_cpu = partition::continuous_partition(g, {1, 0});
+  for (Device d : all_cpu) EXPECT_EQ(d, Device::Cpu);
+  const auto all_mic = partition::continuous_partition(g, {0, 1});
+  for (Device d : all_mic) EXPECT_EQ(d, Device::Mic);
+  const auto hy = partition::hybrid_partition(g, {1, 0}, {.num_blocks = 8});
+  for (Device d : hy) EXPECT_EQ(d, Device::Cpu);
+}
+
+}  // namespace

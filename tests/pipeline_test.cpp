@@ -1,0 +1,133 @@
+// SPSC queue and worker/mover pipeline tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/pipeline/message_pipeline.hpp"
+#include "src/pipeline/spsc_queue.hpp"
+
+namespace {
+
+using namespace phigraph;
+using pipeline::Envelope;
+using pipeline::MessagePipeline;
+using pipeline::SpscQueue;
+
+TEST(SpscQueue, FifoSingleThread) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(SpscQueue, FullAndWrapAround) {
+  SpscQueue<int> q(4);  // rounds to 8 slots, 7 usable
+  int pushed = 0;
+  while (q.try_push(pushed)) ++pushed;
+  EXPECT_GE(pushed, 4);
+  int out = -1;
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(q.try_push(100));  // space freed by the pop
+  // Drain and confirm order.
+  std::vector<int> drained;
+  while (q.try_pop(out)) drained.push_back(out);
+  EXPECT_EQ(drained.back(), 100);
+}
+
+TEST(SpscQueue, TwoThreadStress) {
+  SpscQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kCount = 200'000;
+  std::uint64_t sum = 0;
+  std::thread consumer([&] {
+    std::uint64_t got = 0, v = 0;
+    while (got < kCount) {
+      if (q.try_pop(v)) {
+        sum += v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i)
+    while (!q.try_push(i)) std::this_thread::yield();
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(MessagePipeline, RoutesByDestinationModulo) {
+  MessagePipeline<float> pipe(/*workers=*/2, /*movers=*/3, 64);
+  pipe.reset();
+  // Push from "worker 0" and "worker 1", then drain each mover class on this
+  // thread and verify dst % movers routing.
+  for (vid_t dst = 0; dst < 30; ++dst) pipe.push(0, dst, 1.0f);
+  for (vid_t dst = 0; dst < 30; ++dst) pipe.push(1, dst, 2.0f);
+  pipe.worker_done();
+  pipe.worker_done();
+  std::uint64_t total = 0;
+  for (int m = 0; m < 3; ++m) {
+    const auto moved = pipe.mover_loop(m, [&](const Envelope<float>& env) {
+      EXPECT_EQ(env.dst % 3, static_cast<vid_t>(m));
+    });
+    EXPECT_EQ(moved, 20u);  // 10 destinations per class, from 2 workers
+    total += moved;
+  }
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(MessagePipeline, ConcurrentWorkersAndMoversLoseNothing) {
+  constexpr int kWorkers = 3;
+  constexpr int kMovers = 2;
+  constexpr int kPerWorker = 50'000;
+  MessagePipeline<std::uint32_t> pipe(kWorkers, kMovers, 128);
+  pipe.reset();
+
+  std::atomic<std::uint64_t> moved{0};
+  std::atomic<std::uint64_t> value_sum{0};
+  std::vector<std::thread> movers;
+  for (int m = 0; m < kMovers; ++m)
+    movers.emplace_back([&, m] {
+      std::uint64_t local = 0;
+      pipe.mover_loop(m, [&](const Envelope<std::uint32_t>& env) {
+        local += env.value;
+      });
+      value_sum.fetch_add(local);
+      moved.fetch_add(1);
+    });
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w)
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWorker; ++i)
+        pipe.push(w, static_cast<vid_t>(i * 7 + w), 1u);
+      pipe.worker_done();
+    });
+  for (auto& t : workers) t.join();
+  for (auto& t : movers) t.join();
+  EXPECT_EQ(value_sum.load(),
+            static_cast<std::uint64_t>(kWorkers) * kPerWorker);
+}
+
+TEST(MessagePipeline, ReusableAcrossPhases) {
+  MessagePipeline<int> pipe(1, 1, 16);
+  for (int phase = 0; phase < 5; ++phase) {
+    pipe.reset();
+    for (vid_t d = 0; d < 10; ++d) pipe.push(0, d, phase);
+    pipe.worker_done();
+    int count = 0;
+    pipe.mover_loop(0, [&](const Envelope<int>& env) {
+      EXPECT_EQ(env.value, phase);
+      ++count;
+    });
+    EXPECT_EQ(count, 10);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// SemiClustering unit tests: the cluster algebra must be a commutative,
+// associative, idempotent merge for parallel execution to be deterministic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/apps/semiclustering.hpp"
+#include "src/common/rng.hpp"
+
+namespace {
+
+using namespace phigraph;
+using apps::ClusterList;
+using apps::SemiCluster;
+using apps::SemiClustering;
+
+SemiCluster make_cluster(std::initializer_list<vid_t> members, float score) {
+  SemiCluster c;
+  c.size = 0;
+  for (vid_t m : members) c.members[c.size++] = m;
+  c.score = score;
+  c.inner = score;  // arbitrary but member-determined in these tests
+  c.wsum = 2 * score;
+  return c;
+}
+
+ClusterList list_of(std::initializer_list<SemiCluster> cs) {
+  ClusterList l;
+  for (const auto& c : cs) l.clusters[l.count++] = c;
+  return l;
+}
+
+TEST(SemiCluster, ContainsAndMembers) {
+  const auto c = make_cluster({3, 7, 12}, 1.0f);
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(12));
+  EXPECT_FALSE(c.contains(5));
+  EXPECT_TRUE(c.same_members(make_cluster({3, 7, 12}, 9.0f)));
+  EXPECT_FALSE(c.same_members(make_cluster({3, 7}, 1.0f)));
+  EXPECT_FALSE(c.same_members(make_cluster({3, 7, 13}, 1.0f)));
+}
+
+TEST(SemiCluster, TotalOrderIsStrict) {
+  const auto a = make_cluster({1, 2}, 2.0f);
+  const auto b = make_cluster({1, 3}, 2.0f);  // tie on score -> members
+  const auto c = make_cluster({9}, 1.0f);
+  EXPECT_TRUE(a.better_than(b));
+  EXPECT_FALSE(b.better_than(a));
+  EXPECT_TRUE(a.better_than(c));
+  EXPECT_FALSE(a.better_than(a));  // irreflexive
+}
+
+TEST(SemiClusteringCombine, KeepsTopScorersDedupedBySameMembers) {
+  const SemiClustering prog;
+  const auto best = make_cluster({1, 2, 3}, 5.0f);
+  const auto mid = make_cluster({4, 5}, 3.0f);
+  const auto low = make_cluster({6}, 1.0f);
+  const auto merged = prog.combine(list_of({low, best}), list_of({mid, best}));
+  ASSERT_EQ(merged.count, 2u);  // kScMaxClusters == 2
+  EXPECT_TRUE(merged.clusters[0].same_members(best));
+  EXPECT_TRUE(merged.clusters[1].same_members(mid));
+}
+
+TEST(SemiClusteringCombine, IdentityIsNeutral) {
+  const SemiClustering prog;
+  const auto l = list_of({make_cluster({1, 2}, 4.0f), make_cluster({3}, 2.0f)});
+  const auto left = prog.combine(prog.identity(), l);
+  const auto right = prog.combine(l, prog.identity());
+  ASSERT_EQ(left.count, l.count);
+  ASSERT_EQ(right.count, l.count);
+  for (std::uint32_t i = 0; i < l.count; ++i) {
+    EXPECT_TRUE(left.clusters[i].same_members(l.clusters[i]));
+    EXPECT_TRUE(right.clusters[i].same_members(l.clusters[i]));
+  }
+}
+
+bool lists_identical(const ClusterList& a, const ClusterList& b) {
+  if (a.count != b.count) return false;
+  for (std::uint32_t i = 0; i < a.count; ++i)
+    if (!a.clusters[i].same_members(b.clusters[i]) ||
+        a.clusters[i].score != b.clusters[i].score)
+      return false;
+  return true;
+}
+
+TEST(SemiClusteringCombine, CommutativeAndAssociativeOnRandomInputs) {
+  const SemiClustering prog;
+  Rng rng(77);
+  auto random_list = [&] {
+    ClusterList l;
+    l.count = 1 + static_cast<std::uint32_t>(rng.below(apps::kScMaxClusters));
+    for (std::uint32_t i = 0; i < l.count; ++i) {
+      SemiCluster c;
+      c.size = 1 + static_cast<std::uint32_t>(
+                       rng.below(apps::kScMaxClusterSize));
+      vid_t base = static_cast<vid_t>(rng.below(20));
+      for (std::uint32_t m = 0; m < c.size; ++m) c.members[m] = base + 2 * m;
+      c.score = static_cast<float>(rng.below(8)) / 2.0f;
+      c.inner = c.score;
+      c.wsum = 2 * c.score;
+      l.clusters[i] = c;
+    }
+    return l;
+  };
+  for (int rep = 0; rep < 300; ++rep) {
+    const auto a = random_list(), b = random_list(), c = random_list();
+    EXPECT_TRUE(lists_identical(prog.combine(a, b), prog.combine(b, a)));
+    EXPECT_TRUE(lists_identical(prog.combine(prog.combine(a, b), c),
+                                prog.combine(a, prog.combine(b, c))));
+    // Idempotent: merging a list with itself changes nothing.
+    EXPECT_TRUE(lists_identical(prog.combine(a, a), prog.combine(a, prog.identity())));
+  }
+}
+
+TEST(SemiCluster, BoundaryFormula) {
+  SemiCluster c;
+  c.inner = 3.0f;
+  c.wsum = 10.0f;
+  // B = sum of member incident weight - 2 * internal (each internal edge is
+  // counted from both endpoints in the duplicated-undirected representation).
+  EXPECT_FLOAT_EQ(c.boundary(), 4.0f);
+}
+
+}  // namespace

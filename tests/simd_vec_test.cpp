@@ -1,0 +1,171 @@
+// Property tests for the SIMD vector types: every intrinsic specialization
+// must agree with scalar lane-by-lane semantics on random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/rng.hpp"
+#include "src/simd/simd.hpp"
+
+namespace {
+
+using namespace phigraph;
+using namespace phigraph::simd;
+
+template <typename T>
+T random_value(Rng& rng);
+
+template <>
+float random_value<float>(Rng& rng) {
+  return rng.uniform(-100.0f, 100.0f);
+}
+template <>
+double random_value<double>(Rng& rng) {
+  return static_cast<double>(rng.uniform(-100.0f, 100.0f));
+}
+template <>
+std::int32_t random_value<std::int32_t>(Rng& rng) {
+  return static_cast<std::int32_t>(rng.below(20001)) - 10000;
+}
+
+template <typename T, int W>
+void check_semantics(std::uint64_t seed) {
+  using V = Vec<T, W>;
+  Rng rng(seed);
+  for (int rep = 0; rep < 200; ++rep) {
+    alignas(64) T a[W], b[W];
+    for (int i = 0; i < W; ++i) {
+      a[i] = random_value<T>(rng);
+      b[i] = random_value<T>(rng);
+      if (b[i] == T{0}) b[i] = T{1};  // keep division defined
+    }
+    const V va = V::load(a), vb = V::load(b);
+
+    for (int i = 0; i < W; ++i) {
+      EXPECT_EQ((va + vb)[i], static_cast<T>(a[i] + b[i]));
+      EXPECT_EQ((va - vb)[i], static_cast<T>(a[i] - b[i]));
+      EXPECT_EQ((va * vb)[i], static_cast<T>(a[i] * b[i]));
+      EXPECT_EQ((va / vb)[i], static_cast<T>(a[i] / b[i]));
+      EXPECT_EQ(min(va, vb)[i], std::min(a[i], b[i]));
+      EXPECT_EQ(max(va, vb)[i], std::max(a[i], b[i]));
+      EXPECT_EQ((-va)[i], static_cast<T>(-a[i]));
+      EXPECT_EQ(abs(va)[i], a[i] < T{0} ? static_cast<T>(-a[i]) : a[i]);
+    }
+
+    // Comparisons -> masks.
+    const auto lt = va < vb;
+    const auto le = va <= vb;
+    const auto eq = va == vb;
+    const auto gt = va > vb;
+    for (int i = 0; i < W; ++i) {
+      EXPECT_EQ(lt[i], a[i] < b[i]);
+      EXPECT_EQ(le[i], a[i] <= b[i]);
+      EXPECT_EQ(eq[i], a[i] == b[i]);
+      EXPECT_EQ(gt[i], a[i] > b[i]);
+    }
+
+    // blend keeps a where mask set, b elsewhere.
+    const V bl = blend(lt, va, vb);
+    for (int i = 0; i < W; ++i) EXPECT_EQ(bl[i], a[i] < b[i] ? a[i] : b[i]);
+
+    // Horizontal reductions.
+    T sum{0}, mn = a[0], mx = a[0];
+    for (int i = 0; i < W; ++i) {
+      sum = static_cast<T>(sum + a[i]);
+      mn = std::min(mn, a[i]);
+      mx = std::max(mx, a[i]);
+    }
+    EXPECT_EQ(reduce_min(va), mn);
+    EXPECT_EQ(reduce_max(va), mx);
+    if constexpr (std::is_integral_v<T>) {
+      EXPECT_EQ(reduce_add(va), sum);
+    } else {
+      EXPECT_NEAR(reduce_add(va), sum, std::abs(static_cast<double>(sum)) * 1e-4 + 1e-3);
+    }
+
+    // Broadcast + compound assignment.
+    V c(T{3});
+    c += va;
+    for (int i = 0; i < W; ++i) EXPECT_EQ(c[i], static_cast<T>(a[i] + T{3}));
+
+    // Store round-trip.
+    alignas(64) T out[W];
+    va.store(out);
+    for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], a[i]);
+    va.storeu(out);
+    for (int i = 0; i < W; ++i) EXPECT_EQ(out[i], a[i]);
+  }
+}
+
+TEST(SimdVec, FloatW4MatchesScalar) { check_semantics<float, 4>(1); }
+TEST(SimdVec, FloatW8MatchesScalar) { check_semantics<float, 8>(2); }
+TEST(SimdVec, FloatW16MatchesScalar) { check_semantics<float, 16>(3); }
+TEST(SimdVec, Int32W4MatchesScalar) { check_semantics<std::int32_t, 4>(4); }
+TEST(SimdVec, Int32W8MatchesScalar) { check_semantics<std::int32_t, 8>(5); }
+TEST(SimdVec, Int32W16MatchesScalar) { check_semantics<std::int32_t, 16>(6); }
+TEST(SimdVec, DoubleW2MatchesScalar) { check_semantics<double, 2>(7); }
+TEST(SimdVec, DoubleW4MatchesScalar) { check_semantics<double, 4>(8); }
+TEST(SimdVec, DoubleW8MatchesScalar) { check_semantics<double, 8>(9); }
+// Odd widths exercise the generic template.
+TEST(SimdVec, FloatW2Generic) { check_semantics<float, 2>(10); }
+TEST(SimdVec, Int32W32Generic) { check_semantics<std::int32_t, 32>(11); }
+
+TEST(SimdVec, BackendSelection) {
+#if defined(__AVX512F__)
+  EXPECT_EQ((backend_of<float, 16>()), Backend::Avx512);
+#endif
+#if defined(__AVX2__)
+  EXPECT_EQ((backend_of<float, 8>()), Backend::Avx2);
+#endif
+#if defined(__SSE4_2__)
+  EXPECT_EQ((backend_of<float, 4>()), Backend::Sse);
+#endif
+  EXPECT_EQ((backend_of<float, 2>()), Backend::Generic);
+}
+
+TEST(SimdVec, LanesForDeviceProfiles) {
+  // The paper: 16 floats on MIC, 4 on CPU; 8 (4) doubles respectively.
+  EXPECT_EQ(lanes_for<float>(kMicSimdBytes), 16);
+  EXPECT_EQ(lanes_for<float>(kCpuSimdBytes), 4);
+  EXPECT_EQ(lanes_for<double>(kMicSimdBytes), 8);
+  EXPECT_EQ(lanes_for<double>(kCpuSimdBytes), 2);
+  EXPECT_EQ(lanes_for<std::int32_t>(kMicSimdBytes), 16);
+  // Non-basic message types always fall back to scalar columns.
+  struct Fat {
+    char bytes[80];
+  };
+  EXPECT_EQ(lanes_for<Fat>(kMicSimdBytes), 1);
+}
+
+TEST(SimdMask, Basics) {
+  auto m = Mask<16>::first_n(5);
+  EXPECT_EQ(m.count(), 5);
+  EXPECT_TRUE(m[0]);
+  EXPECT_TRUE(m[4]);
+  EXPECT_FALSE(m[5]);
+  EXPECT_TRUE(m.any());
+  EXPECT_FALSE(m.all_set());
+  EXPECT_TRUE(Mask<16>::all().all_set());
+  EXPECT_FALSE(Mask<16>::none().any());
+  EXPECT_EQ((~m).count(), 11);
+  EXPECT_EQ((m & ~m).count(), 0);
+  EXPECT_EQ((m | ~m).count(), 16);
+  m.set(5, true);
+  EXPECT_TRUE(m[5]);
+  m.set(5, false);
+  EXPECT_FALSE(m[5]);
+}
+
+TEST(SimdVec, AlignmentAndSize) {
+  static_assert(sizeof(Vec<float, 16>) == 64);
+  static_assert(alignof(Vec<float, 16>) == 64);
+  static_assert(sizeof(Vec<float, 4>) == 16);
+  static_assert(alignof(Vec<float, 4>) == 16);
+  static_assert(sizeof(Vec<double, 8>) == 64);
+  static_assert(sizeof(Vec<std::int32_t, 8>) == 32);
+  SUCCEED();
+}
+
+}  // namespace

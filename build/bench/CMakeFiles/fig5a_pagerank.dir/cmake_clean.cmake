@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_pagerank.dir/fig5a_pagerank.cpp.o"
+  "CMakeFiles/fig5a_pagerank.dir/fig5a_pagerank.cpp.o.d"
+  "fig5a_pagerank"
+  "fig5a_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

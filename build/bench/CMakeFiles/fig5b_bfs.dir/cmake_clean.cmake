@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_bfs.dir/fig5b_bfs.cpp.o"
+  "CMakeFiles/fig5b_bfs.dir/fig5b_bfs.cpp.o.d"
+  "fig5b_bfs"
+  "fig5b_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_semiclustering.dir/fig5c_semiclustering.cpp.o"
+  "CMakeFiles/fig5c_semiclustering.dir/fig5c_semiclustering.cpp.o.d"
+  "fig5c_semiclustering"
+  "fig5c_semiclustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_semiclustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

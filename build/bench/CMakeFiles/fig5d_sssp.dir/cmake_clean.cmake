@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_sssp.dir/fig5d_sssp.cpp.o"
+  "CMakeFiles/fig5d_sssp.dir/fig5d_sssp.cpp.o.d"
+  "fig5d_sssp"
+  "fig5d_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5e_toposort.dir/fig5e_toposort.cpp.o"
+  "CMakeFiles/fig5e_toposort.dir/fig5e_toposort.cpp.o.d"
+  "fig5e_toposort"
+  "fig5e_toposort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5e_toposort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

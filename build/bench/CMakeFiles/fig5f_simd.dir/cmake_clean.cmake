@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5f_simd.dir/fig5f_simd.cpp.o"
+  "CMakeFiles/fig5f_simd.dir/fig5f_simd.cpp.o.d"
+  "fig5f_simd"
+  "fig5f_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5f_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

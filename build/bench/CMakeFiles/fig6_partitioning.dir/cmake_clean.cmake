@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_partitioning.dir/fig6_partitioning.cpp.o"
+  "CMakeFiles/fig6_partitioning.dir/fig6_partitioning.cpp.o.d"
+  "fig6_partitioning"
+  "fig6_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_autotune.dir/micro_autotune.cpp.o"
+  "CMakeFiles/micro_autotune.dir/micro_autotune.cpp.o.d"
+  "micro_autotune"
+  "micro_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

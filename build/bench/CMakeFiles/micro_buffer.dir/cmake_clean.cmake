@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_buffer.dir/micro_buffer.cpp.o"
+  "CMakeFiles/micro_buffer.dir/micro_buffer.cpp.o.d"
+  "micro_buffer"
+  "micro_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_partition.dir/micro_partition.cpp.o"
+  "CMakeFiles/micro_partition.dir/micro_partition.cpp.o.d"
+  "micro_partition"
+  "micro_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sched.dir/micro_sched.cpp.o"
+  "CMakeFiles/micro_sched.dir/micro_sched.cpp.o.d"
+  "micro_sched"
+  "micro_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simd.dir/micro_simd.cpp.o"
+  "CMakeFiles/micro_simd.dir/micro_simd.cpp.o.d"
+  "micro_simd"
+  "micro_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phigraph_bench_common.dir/common/harness.cpp.o"
+  "CMakeFiles/phigraph_bench_common.dir/common/harness.cpp.o.d"
+  "libphigraph_bench_common.a"
+  "libphigraph_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phigraph_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

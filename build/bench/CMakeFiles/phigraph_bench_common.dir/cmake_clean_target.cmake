@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphigraph_bench_common.a"
+)

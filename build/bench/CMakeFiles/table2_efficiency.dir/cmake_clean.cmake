@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_efficiency.dir/table2_efficiency.cpp.o"
+  "CMakeFiles/table2_efficiency.dir/table2_efficiency.cpp.o.d"
+  "table2_efficiency"
+  "table2_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_scheduler.dir/build_scheduler.cpp.o"
+  "CMakeFiles/build_scheduler.dir/build_scheduler.cpp.o.d"
+  "build_scheduler"
+  "build_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phigraph_run.dir/phigraph_run.cpp.o"
+  "CMakeFiles/phigraph_run.dir/phigraph_run.cpp.o.d"
+  "phigraph_run"
+  "phigraph_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phigraph_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

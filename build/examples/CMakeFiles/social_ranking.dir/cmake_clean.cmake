@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_ranking.dir/social_ranking.cpp.o"
+  "CMakeFiles/social_ranking.dir/social_ranking.cpp.o.d"
+  "social_ranking"
+  "social_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/local_graph.cpp" "src/CMakeFiles/phigraph.dir/core/local_graph.cpp.o" "gcc" "src/CMakeFiles/phigraph.dir/core/local_graph.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/phigraph.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/phigraph.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/phigraph.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/phigraph.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/phigraph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/phigraph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/CMakeFiles/phigraph.dir/partition/partition.cpp.o" "gcc" "src/CMakeFiles/phigraph.dir/partition/partition.cpp.o.d"
+  "/root/repo/src/sim/model.cpp" "src/CMakeFiles/phigraph.dir/sim/model.cpp.o" "gcc" "src/CMakeFiles/phigraph.dir/sim/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phigraph.dir/core/local_graph.cpp.o"
+  "CMakeFiles/phigraph.dir/core/local_graph.cpp.o.d"
+  "CMakeFiles/phigraph.dir/gen/generators.cpp.o"
+  "CMakeFiles/phigraph.dir/gen/generators.cpp.o.d"
+  "CMakeFiles/phigraph.dir/graph/csr.cpp.o"
+  "CMakeFiles/phigraph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/phigraph.dir/graph/io.cpp.o"
+  "CMakeFiles/phigraph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/phigraph.dir/partition/partition.cpp.o"
+  "CMakeFiles/phigraph.dir/partition/partition.cpp.o.d"
+  "CMakeFiles/phigraph.dir/sim/model.cpp.o"
+  "CMakeFiles/phigraph.dir/sim/model.cpp.o.d"
+  "libphigraph.a"
+  "libphigraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phigraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/comm_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/comm_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/csb_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/csb_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/csb_test.cpp.o.d"
+  "/root/repo/tests/engine_counters_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/engine_counters_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/engine_counters_test.cpp.o.d"
+  "/root/repo/tests/engine_edge_cases_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/engine_edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/engine_edge_cases_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/generators_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/generators_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/io_test.cpp.o.d"
+  "/root/repo/tests/local_graph_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/local_graph_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/local_graph_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/semiclustering_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/semiclustering_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/semiclustering_test.cpp.o.d"
+  "/root/repo/tests/sim_model_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/sim_model_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/sim_model_test.cpp.o.d"
+  "/root/repo/tests/simd_vec_test.cpp" "tests/CMakeFiles/phigraph_tests.dir/simd_vec_test.cpp.o" "gcc" "tests/CMakeFiles/phigraph_tests.dir/simd_vec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phigraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

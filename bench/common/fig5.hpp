@@ -23,6 +23,7 @@ void fig5_run(const std::string& figure, const std::string& app,
               const Fig5Bands& bands, const AppCost& cost = {}) {
   const auto scale = get_scale();
   print_header(figure + ": " + app, g, scale);
+  JsonEmitter json(figure, app, g, scale);
 
   using Mode = core::ExecMode;
   auto cpu = [&](Mode m) { return with_cost(cpu_setup(m), cost); };
@@ -50,6 +51,17 @@ void fig5_run(const std::string& figure, const std::string& app,
   print_row("MIC Pipe", mic_pipe.modeled.execution());
   print_row("CPU-MIC", hetero.modeled.execution_seconds,
             hetero.modeled.comm_seconds);
+
+  json.add_version("CPU OMP", cpu_omp.modeled.execution(), 0, cpu_omp.trace);
+  json.add_version("CPU Lock", cpu_lock.modeled.execution(), 0, cpu_lock.trace);
+  json.add_version("CPU Pipe", cpu_pipe.modeled.execution(), 0, cpu_pipe.trace);
+  json.add_version("MIC OMP", mic_omp.modeled.execution(), 0, mic_omp.trace);
+  json.add_version("MIC Lock", mic_lock.modeled.execution(), 0, mic_lock.trace);
+  json.add_version("MIC Pipe", mic_pipe.modeled.execution(), 0, mic_pipe.trace);
+  json.add_version("CPU-MIC (cpu rank)", hetero.modeled.execution_seconds,
+                   hetero.modeled.comm_seconds, hetero.cpu_trace);
+  json.add_version("CPU-MIC (mic rank)", hetero.modeled.execution_seconds,
+                   hetero.modeled.comm_seconds, hetero.mic_trace);
 
   const double best_single =
       std::min({cpu_lock.modeled.execution(), cpu_pipe.modeled.execution(),

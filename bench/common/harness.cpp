@@ -1,5 +1,8 @@
 #include "bench/common/harness.hpp"
 
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -115,5 +118,104 @@ void print_ratio(const std::string& label, double ratio,
 }
 
 void print_footer() { std::printf("\n"); }
+
+// ---- JSON emitter ----------------------------------------------------------------
+
+namespace {
+
+/// "Fig 5(b)" -> "fig5b": lowercase alphanumerics only, filesystem-safe.
+std::string fig_slug(const std::string& figure) {
+  std::string slug;
+  for (char ch : figure) {
+    if (std::isalnum(static_cast<unsigned char>(ch)))
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return slug.empty() ? "bench" : slug;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v,
+               bool last = false) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += std::to_string(v);
+  if (!last) out += ", ";
+}
+
+}  // namespace
+
+bool JsonEmitter::enabled() {
+  const char* env = std::getenv("PHIGRAPH_BENCH_JSON");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+JsonEmitter::JsonEmitter(const std::string& figure, const std::string& app,
+                         const graph::Csr& g, const Scale& s)
+    : enabled_(enabled()) {
+  if (!enabled_) return;
+  const std::string env = std::getenv("PHIGRAPH_BENCH_JSON");
+  std::string dir = env == "1" ? "." : env;
+  path_ = dir + "/BENCH_" + fig_slug(figure) + ".json";
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"figure\": \"%s\",\n  \"app\": \"%s\",\n"
+                "  \"scale\": \"%s\",\n  \"vertices\": %u,\n"
+                "  \"edges\": %llu,\n  \"versions\": [",
+                figure.c_str(), app.c_str(), s.name.c_str(), g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()));
+  body_ = head;
+}
+
+void JsonEmitter::add_version(const std::string& name, double exec_s,
+                              double comm_s, const metrics::RunTrace& trace) {
+  if (!enabled_) return;
+  if (!first_version_) body_ += ',';
+  first_version_ = false;
+  const auto t = metrics::totals(trace);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\n    {\"name\": \"%s\", \"exec_s\": %.6f, \"comm_s\": %.6f, "
+                "\"supersteps\": %zu,\n     \"totals\": {",
+                name.c_str(), exec_s, comm_s, trace.size());
+  body_ += buf;
+  append_kv(body_, "active_vertices", t.active_vertices);
+  append_kv(body_, "edges_scanned", t.edges_scanned);
+  append_kv(body_, "msgs_local", t.msgs_local);
+  append_kv(body_, "msgs_remote", t.msgs_remote);
+  append_kv(body_, "msgs_received", t.msgs_received);
+  append_kv(body_, "columns_allocated", t.columns_allocated);
+  append_kv(body_, "sched_retrievals", t.sched_retrievals);
+  append_kv(body_, "frontier_size", t.frontier_size);
+  append_kv(body_, "dense_supersteps", t.dense_supersteps);
+  append_kv(body_, "sparse_supersteps", t.sparse_supersteps);
+  append_kv(body_, "groups_dirty", t.groups_dirty);
+  append_kv(body_, "groups_skipped", t.groups_skipped, /*last=*/true);
+  body_ += "},\n     \"supersteps_detail\": [";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& c = trace[i];
+    if (i > 0) body_ += ',';
+    body_ += "\n       {";
+    append_kv(body_, "frontier_size", c.frontier_size);
+    append_kv(body_, "sparse", c.sparse_supersteps);
+    append_kv(body_, "groups_dirty", c.groups_dirty);
+    append_kv(body_, "groups_skipped", c.groups_skipped);
+    append_kv(body_, "active", c.active_vertices);
+    append_kv(body_, "verts_updated", c.verts_updated, /*last=*/true);
+    body_ += '}';
+  }
+  body_ += "]}";
+}
+
+JsonEmitter::~JsonEmitter() {
+  if (!enabled_) return;
+  body_ += "\n  ]\n}\n";
+  if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+    std::fwrite(body_.data(), 1, body_.size(), f);
+    std::fclose(f);
+    std::printf("   [json] wrote %s\n", path_.c_str());
+  } else {
+    std::fprintf(stderr, "   [json] could not open %s\n", path_.c_str());
+  }
+}
 
 }  // namespace phigraph::bench

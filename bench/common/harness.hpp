@@ -161,4 +161,33 @@ void print_ratio(const std::string& label, double ratio,
                  const std::string& paper_band);
 void print_footer();
 
+// ---- machine-readable output -----------------------------------------------------
+
+/// Per-run JSON emitter so the perf trajectory is machine-readable: when the
+/// PHIGRAPH_BENCH_JSON environment variable is set ("1" for the working
+/// directory, anything else is treated as an output directory), the
+/// destructor writes BENCH_<fig>.json containing, per engine version, the
+/// modeled times, whole-run counter totals, and per-superstep series of the
+/// sparse-frontier counters (frontier_size, sparse flag, groups_dirty,
+/// groups_skipped). Disabled, every call is a no-op.
+class JsonEmitter {
+ public:
+  JsonEmitter(const std::string& figure, const std::string& app,
+              const graph::Csr& g, const Scale& s);
+  ~JsonEmitter();
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  void add_version(const std::string& name, double exec_s, double comm_s,
+                   const metrics::RunTrace& trace);
+
+  [[nodiscard]] static bool enabled();
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+  std::string body_;
+  bool first_version_ = true;
+};
+
 }  // namespace phigraph::bench

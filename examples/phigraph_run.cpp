@@ -15,6 +15,10 @@
 //   --mode=omp|lock|pipe execution scheme (default lock)
 //   --threads=T          worker threads (default 4); --movers=M (default 2)
 //   --simd=cpu|mic       lane profile: SSE 4-wide or 512-bit 16-wide
+//   --frontier=F         sparse-frontier density switch in [0,1]: supersteps
+//                        whose frontier is below F*n walk the active list
+//                        instead of scanning the bitmap (0 forces the dense
+//                        scan, 1 forces the list; default 0.05)
 //   --hetero             run CPU+MIC with hybrid partitioning
 //   --ratio=A:B          CPU:MIC workload ratio (default 1:1)
 //   --partition=FILE     use an existing partitioning file
@@ -55,6 +59,7 @@ struct Options {
   int threads = 4;
   int movers = 2;
   int simd_bytes = simd::kMicSimdBytes;
+  double frontier = core::EngineConfig{}.frontier_density_switch;
   bool hetero = false;
   partition::Ratio ratio{1, 1};
 };
@@ -88,6 +93,10 @@ Options parse(int argc, char** argv) {
     else if (auto v8 = val("--movers")) o.movers = std::stoi(*v8);
     else if (auto v9 = val("--simd")) {
       o.simd_bytes = (*v9 == "cpu") ? simd::kCpuSimdBytes : simd::kMicSimdBytes;
+    } else if (auto vf = val("--frontier")) {
+      o.frontier = std::stod(*vf);
+      if (o.frontier < 0.0 || o.frontier > 1.0)
+        usage("bad --frontier, expected a density in [0,1]");
     } else if (arg == "--hetero") o.hetero = true;
     else if (auto v10 = val("--ratio")) {
       if (std::sscanf(v10->c_str(), "%d:%d", &o.ratio.cpu, &o.ratio.mic) != 2)
@@ -139,6 +148,7 @@ core::EngineConfig make_cfg(const Options& o, int default_iters) {
   cfg.movers = o.movers;
   cfg.simd_bytes = o.simd_bytes;
   cfg.max_supersteps = o.iters > 0 ? o.iters : default_iters;
+  cfg.frontier_density_switch = o.frontier;
   return cfg;
 }
 
@@ -147,6 +157,7 @@ int run_app(const Options& o, const graph::Csr& g, const Program& prog,
             int default_iters, Format&& format) {
   std::vector<typename Program::vertex_value_t> values;
   int supersteps = 0;
+  metrics::SuperstepCounters totals{};
   if (o.hetero) {
     std::vector<Device> owner =
         !o.partition_path.empty()
@@ -163,14 +174,20 @@ int run_app(const Options& o, const graph::Csr& g, const Program& prog,
     auto res = engine.run();
     values = std::move(res.global_values);
     supersteps = res.cpu.supersteps;
+    totals = metrics::totals(res.cpu.trace);
   } else {
     auto res = core::run_single(g, prog, make_cfg(o, default_iters));
     values = std::move(res.values);
     supersteps = res.run.supersteps;
+    totals = metrics::totals(res.run.trace);
   }
-  std::printf("ran %s on %u vertices / %llu edges: %d supersteps\n",
-              o.app.c_str(), g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()), supersteps);
+  std::printf(
+      "ran %s on %u vertices / %llu edges: %d supersteps "
+      "(%llu sparse, %llu dense)\n",
+      o.app.c_str(), g.num_vertices(),
+      static_cast<unsigned long long>(g.num_edges()), supersteps,
+      static_cast<unsigned long long>(totals.sparse_supersteps),
+      static_cast<unsigned long long>(totals.dense_supersteps));
   if (!o.out_path.empty()) {
     std::ofstream out(o.out_path);
     for (vid_t v = 0; v < g.num_vertices(); ++v)
@@ -183,7 +200,12 @@ int run_app(const Options& o, const graph::Csr& g, const Program& prog,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
+  Options o;
+  try {
+    o = parse(argc, argv);
+  } catch (const std::exception&) {
+    usage("bad numeric flag value");
+  }
 
   if (o.app == "pagerank") {
     const auto g = load_graph(o, false);

@@ -91,6 +91,19 @@ class Csb {
   [[nodiscard]] std::size_t num_array_tasks() const noexcept {
     return num_groups() * static_cast<std::size_t>(k_);
   }
+  /// Groups that received at least one message since the last clear_dirty()
+  /// — the only groups process/update/reset need to visit.
+  [[nodiscard]] std::size_t num_dirty_groups() const noexcept {
+    return dirty_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t dirty_group(std::size_t i) const noexcept {
+    PG_DCHECK(i < num_dirty_groups());
+    return dirty_groups_[i];
+  }
+  /// Task units restricted to dirty groups (dirty_count × k).
+  [[nodiscard]] std::size_t num_dirty_array_tasks() const noexcept {
+    return num_dirty_groups() * static_cast<std::size_t>(k_);
+  }
   [[nodiscard]] vid_t sorted_vertex(vid_t pos) const noexcept {
     PG_DCHECK(pos < num_vertices_);
     return sorted_ids_[pos];
@@ -124,10 +137,18 @@ class Csb {
       col_to_slot_[col0 + c] = -1;
     }
     col_offset_[g] = 0;
+    group_dirty_[g].store(0, std::memory_order_relaxed);
   }
 
   void reset_all() noexcept {
     for (std::size_t g = 0; g < num_groups(); ++g) reset_group(g);
+    clear_dirty();
+  }
+
+  /// Forget the dirty list. Call after resetting the dirty groups (their
+  /// dirty flags are cleared by reset_group); must not race with insertions.
+  void clear_dirty() noexcept {
+    dirty_count_.store(0, std::memory_order_release);
   }
 
   // ---- insertion ---------------------------------------------------------------
@@ -137,6 +158,7 @@ class Csb {
   void insert(vid_t dst, const Msg& m, InsertStats& stats) {
     const vid_t pos = redirection_[dst];
     const std::size_t g = pos / group_width();
+    mark_dirty(g);
     const vid_t col = locate_column<true>(g, pos % group_width(), stats);
     const std::size_t gcol = g * group_width() + col;
     column_locks_[gcol].lock();
@@ -154,6 +176,7 @@ class Csb {
   void insert_owned(vid_t dst, const Msg& m, InsertStats& stats) {
     const vid_t pos = redirection_[dst];
     const std::size_t g = pos / group_width();
+    mark_dirty(g);
     const vid_t col = locate_column<false>(g, pos % group_width(), stats);
     const std::size_t gcol = g * group_width() + col;
     const std::uint32_t row = counts_[gcol]++;
@@ -305,6 +328,20 @@ class Csb {
     col_offset_.assign(groups, 0);
     group_locks_ = std::make_unique<sched::SpinLock[]>(groups);
     column_locks_ = std::make_unique<sched::SpinLock[]>(ncols);
+    group_dirty_ = std::make_unique<std::atomic<std::uint8_t>[]>(groups);
+    for (std::size_t g = 0; g < groups; ++g)
+      group_dirty_[g].store(0, std::memory_order_relaxed);
+    dirty_groups_.assign(groups, 0);
+  }
+
+  /// Record group g in the dirty list on its first message of the superstep.
+  /// The relaxed fast path adds one load per insertion; the exchange makes
+  /// each group register exactly once. Readers only look at the list after a
+  /// phase barrier, so relaxed ordering on the slot stores suffices.
+  void mark_dirty(std::size_t g) noexcept {
+    if (group_dirty_[g].load(std::memory_order_relaxed)) return;
+    if (group_dirty_[g].exchange(1, std::memory_order_relaxed) == 0)
+      dirty_groups_[dirty_count_.fetch_add(1, std::memory_order_acq_rel)] = g;
   }
 
   /// Columns that exist in group g (the last group may be ragged).
@@ -368,6 +405,13 @@ class Csb {
 
   std::unique_ptr<sched::SpinLock[]> group_locks_;
   std::unique_ptr<sched::SpinLock[]> column_locks_;
+
+  // Dirty-group tracking: per-group flag + compact list of groups touched
+  // since the last clear_dirty(), so per-superstep work is proportional to
+  // the groups that actually received messages.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> group_dirty_;
+  std::vector<std::size_t> dirty_groups_;  // first dirty_count_ entries valid
+  std::atomic<std::size_t> dirty_count_{0};
 };
 
 }  // namespace phigraph::buffer

@@ -6,6 +6,11 @@
 // We keep one dense slot per global vertex; the first deposit records the
 // vertex in a touched list so draining and clearing are proportional to the
 // number of distinct remote destinations, not the graph size.
+//
+// The touched list is sharded by destination hash: deposits from many
+// threads contend only within a shard, and the drain/serialize step of the
+// exchange phase can be parallelized over shards (each shard is drained by
+// exactly one thread).
 #pragma once
 
 #include <cstdint>
@@ -21,10 +26,15 @@ namespace phigraph::comm {
 template <typename Msg>
 class RemoteBuffer {
  public:
-  explicit RemoteBuffer(vid_t num_global_vertices)
+  static constexpr std::size_t kDefaultShards = 32;
+
+  explicit RemoteBuffer(vid_t num_global_vertices,
+                        std::size_t shards = kDefaultShards)
       : value_(num_global_vertices),
         has_(num_global_vertices, 0),
-        locks_(std::make_unique<sched::SpinLock[]>(num_global_vertices)) {}
+        locks_(std::make_unique<sched::SpinLock[]>(num_global_vertices)),
+        shard_mask_(round_up_pow2(shards) - 1),
+        shards_(shard_mask_ + 1) {}
 
   /// Deposit a message for global vertex `dst`, combining with any message
   /// already buffered for it. Thread-safe. Combine is the application's
@@ -39,33 +49,72 @@ class RemoteBuffer {
       value_[dst] = m;
       has_[dst] = 1;
       locks_[dst].unlock();
-      sched::LockGuard<sched::SpinLock> g(touched_lock_);
-      touched_.push_back(dst);
+      Shard& s = shards_[shard_of(dst)];
+      sched::LockGuard<sched::SpinLock> g(s.lock);
+      s.touched.push_back(dst);
     }
   }
 
-  /// Number of distinct destinations currently buffered.
-  [[nodiscard]] std::size_t touched_count() const noexcept {
-    return touched_.size();
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
   }
 
-  /// Invoke f(dst, combined_value) for every buffered destination, then
-  /// clear the buffer. Single-threaded (runs in the exchange step).
+  /// Distinct destinations buffered in shard `s`. Not synchronized with
+  /// concurrent deposits — call between phases.
+  [[nodiscard]] std::size_t shard_touched_count(std::size_t s) const noexcept {
+    return shards_[s].touched.size();
+  }
+
+  /// Number of distinct destinations currently buffered (all shards).
+  [[nodiscard]] std::size_t touched_count() const noexcept {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.touched.size();
+    return n;
+  }
+
+  /// Invoke f(dst, combined_value) for every destination buffered in shard
+  /// `s`, then clear that shard. Safe to run concurrently for *different*
+  /// shards (each destination lives in exactly one shard), but must not race
+  /// with deposits.
   template <typename F>
-  void drain(F&& f) {
-    for (vid_t dst : touched_) {
+  void drain_shard(std::size_t s, F&& f) {
+    Shard& shard = shards_[s];
+    for (vid_t dst : shard.touched) {
       f(dst, value_[dst]);
       has_[dst] = 0;
     }
-    touched_.clear();
+    shard.touched.clear();
+  }
+
+  /// Drain every shard on the calling thread (tests / non-parallel callers).
+  template <typename F>
+  void drain(F&& f) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) drain_shard(s, f);
   }
 
  private:
+  struct alignas(64) Shard {
+    sched::SpinLock lock;
+    std::vector<vid_t> touched;
+  };
+
+  [[nodiscard]] std::size_t shard_of(vid_t dst) const noexcept {
+    // Multiplicative hash so contiguous destination ranges (continuous
+    // partitions) spread across shards instead of hammering one.
+    return (static_cast<std::size_t>(dst) * 0x9E3779B9u >> 16) & shard_mask_;
+  }
+
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
   std::vector<Msg> value_;
   std::vector<std::uint8_t> has_;
   std::unique_ptr<sched::SpinLock[]> locks_;
-  sched::SpinLock touched_lock_;
-  std::vector<vid_t> touched_;
+  std::size_t shard_mask_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace phigraph::comm

@@ -55,6 +55,19 @@ struct EngineConfig {
   /// terminate earlier on their own).
   int max_supersteps = 1000;
 
+  /// Sparse-frontier switch: generation walks the compact active list when
+  /// frontier_size < frontier_density_switch * num_vertices, and falls back
+  /// to the dense bitmap scan above that density (a push-side analogue of
+  /// direction-switching). 0.0 forces the dense path every superstep; 1.0
+  /// forces the sparse path. Ignored by kAllActive programs (PageRank),
+  /// which are always dense.
+  double frontier_density_switch = 0.05;
+
+  /// Shards for the remote buffer's touched lists: deposits contend per
+  /// shard and the exchange drain parallelizes over shards. Rounded up to a
+  /// power of two.
+  std::size_t remote_shards = 32;
+
   [[nodiscard]] int total_threads() const noexcept {
     return mode == ExecMode::kPipelining ? threads + movers : threads;
   }

@@ -92,11 +92,13 @@ class DeviceEngine {
       bc.mode = cfg_.column_mode;
       csb_.emplace(std::span<const vid_t>(lg_.in_degree), bc);
     }
-    if (peer_) remote_.emplace(lg_.global_num_vertices);
+    if (peer_) remote_.emplace(lg_.global_num_vertices, cfg_.remote_shards);
     if (cfg_.mode == ExecMode::kPipelining)
       pipe_.emplace(cfg_.threads, cfg_.movers, cfg_.queue_capacity);
     team_.emplace(cfg_.total_threads());
     tstats_.resize(static_cast<std::size_t>(cfg_.total_threads()));
+    if constexpr (!Program::kAllActive)
+      tl_frontier_.resize(static_cast<std::size_t>(cfg_.total_threads()));
     init_vertices();
   }
 
@@ -136,9 +138,10 @@ class DeviceEngine {
       update(s);
       upd_w.stop();
 
-      std::swap(active_, next_active_);
-
       res.trace.push_back(collect_counters(s));
+
+      std::swap(active_, next_active_);
+      advance_frontier();
 
       std::uint64_t next = 0;
       for (const auto& t : tstats_) next += t.next_active;
@@ -273,43 +276,83 @@ class DeviceEngine {
       bool act = false;
       prog_.init_vertex(lg_.global_id[u], values_[u], act, info);
       active_[u] = act ? 1 : 0;
+      if constexpr (!Program::kAllActive)
+        if (act) frontier_.push_back(u);
     }
+  }
+
+  /// After the active/next-active swap: remember the frontier that just ran
+  /// (its bits now live in next_active_ and must be cleared by the next
+  /// prepare()), and assemble the next frontier from the per-thread buffers
+  /// filled by update(). kAllActive programs never consult the frontier.
+  void advance_frontier() {
+    if constexpr (!Program::kAllActive) {
+      prev_frontier_.swap(frontier_);
+      frontier_.clear();
+      for (auto& buf : tl_frontier_) {
+        frontier_.insert(frontier_.end(), buf.begin(), buf.end());
+        buf.clear();
+      }
+    }
+  }
+
+  /// Sparse-frontier rule: walk the compact active list when it is small
+  /// relative to the vertex count; scan the dense bitmap otherwise.
+  [[nodiscard]] bool use_sparse_frontier() const noexcept {
+    if constexpr (Program::kAllActive) return false;
+    const double n = static_cast<double>(lg_.num_local_vertices());
+    return static_cast<double>(frontier_.size()) <
+           cfg_.frontier_density_switch * n;
   }
 
   // ---- phases -------------------------------------------------------------------
 
   void prepare() {
-    const vid_t n = lg_.num_local_vertices();
-    const std::size_t groups = csb_ ? csb_->num_groups() : 0;
-    sched_.reset(groups + n, cfg_.sched_chunk);
-    team_->run([&](int tid) {
-      auto& ts = tstats_[static_cast<std::size_t>(tid)];
+    // Cost proportional to last superstep's work, not graph size: reset only
+    // the CSB groups dirtied by the previous generation/exchange and clear
+    // only the next-active bits the previous update actually set (their
+    // owners are exactly prev_frontier_; has_msg_ is cleared inline by the
+    // OMP-mode update).
+    const std::size_t dirty = csb_ ? csb_->num_dirty_groups() : 0;
+    const std::size_t nverts =
+        Program::kAllActive ? 0 : prev_frontier_.size();
+    sched_.reset(dirty + nverts, cfg_.sched_chunk);
+    team_->run([&](int) {
       while (auto r = sched_.next_chunk()) {
         for (std::size_t i = r->begin; i < r->end; ++i) {
-          if (i < groups) {
-            csb_->reset_group(i);
+          if (i < dirty) {
+            csb_->reset_group(csb_->dirty_group(i));
           } else {
-            const vid_t u = static_cast<vid_t>(i - groups);
-            next_active_[u] = 0;
-            if (cfg_.mode == ExecMode::kOmpStyle) has_msg_[u] = 0;
+            next_active_[prev_frontier_[i - dirty]] = 0;
           }
         }
       }
-      (void)ts;
     });
+    if (csb_) csb_->clear_dirty();
   }
 
   void generate(int superstep) {
     const vid_t n = lg_.num_local_vertices();
-    sched_.reset(n, cfg_.sched_chunk);
+    const bool sparse = use_sparse_frontier();
+    superstep_sparse_ = sparse;
+    superstep_frontier_size_ =
+        Program::kAllActive ? static_cast<std::uint64_t>(n)
+                            : static_cast<std::uint64_t>(frontier_.size());
+    sched_.reset(sparse ? frontier_.size() : static_cast<std::size_t>(n),
+                 cfg_.sched_chunk);
     auto v = view(superstep);
 
     auto worker_body = [&](int tid, auto&& sink) {
       auto& ts = tstats_[static_cast<std::size_t>(tid)];
       while (auto r = sched_.next_chunk()) {
         for (std::size_t i = r->begin; i < r->end; ++i) {
-          const vid_t u = static_cast<vid_t>(i);
-          if (!Program::kAllActive && !active_[u]) continue;
+          vid_t u;
+          if (!Program::kAllActive && sparse) {
+            u = frontier_[i];  // active by construction
+          } else {
+            u = static_cast<vid_t>(i);
+            if (!Program::kAllActive && !active_[u]) continue;
+          }
           ++ts.active;
           ts.edges += lg_.local.out_degree(u);
           prog_.generate_messages(u, v, sink);
@@ -351,10 +394,23 @@ class DeviceEngine {
   }
 
   void exchange_messages() {
-    Batch outgoing;
-    outgoing.reserve(remote_->touched_count());
-    remote_->drain([&](vid_t dst, const Msg& m) {
-      outgoing.push_back({dst, m});
+    // Serialize the combined remote messages in parallel: shard sizes are
+    // known up front, so each shard drains into its own slice of the batch.
+    const std::size_t nshards = remote_->num_shards();
+    std::vector<std::size_t> offset(nshards + 1, 0);
+    for (std::size_t s = 0; s < nshards; ++s)
+      offset[s + 1] = offset[s] + remote_->shard_touched_count(s);
+    Batch outgoing(offset[nshards]);
+    sched_.reset(nshards, 1);
+    team_->run([&](int) {
+      while (auto r = sched_.next_chunk()) {
+        for (std::size_t s = r->begin; s < r->end; ++s) {
+          std::size_t i = offset[s];
+          remote_->drain_shard(s, [&](vid_t dst, const Msg& m) {
+            outgoing[i++] = {dst, m};
+          });
+        }
+      }
     });
     tstats_[0].bytes_sent +=
         outgoing.size() * sizeof(pipeline::Envelope<Msg>);
@@ -388,13 +444,15 @@ class DeviceEngine {
 
   void process(int superstep) {
     (void)superstep;
-    const std::size_t tasks = csb_->num_array_tasks();
+    // Only groups that received messages this superstep hold work.
+    const std::size_t tasks = csb_->num_dirty_array_tasks();
     sched_.reset(tasks, cfg_.sched_chunk);
     team_->run([&](int tid) {
       auto& ts = tstats_[static_cast<std::size_t>(tid)];
       while (auto r = sched_.next_chunk()) {
         for (std::size_t t = r->begin; t < r->end; ++t) {
-          const std::size_t g = t / static_cast<std::size_t>(cfg_.csb_k);
+          const std::size_t g =
+              csb_->dirty_group(t / static_cast<std::size_t>(cfg_.csb_k));
           const int a = static_cast<int>(t % static_cast<std::size_t>(cfg_.csb_k));
           process_array(g, a, ts);
         }
@@ -445,6 +503,16 @@ class DeviceEngine {
     }
   }
 
+  /// Flag u for the next superstep: set its bit and append it to the
+  /// calling thread's next-frontier buffer (each receiver is visited at most
+  /// once per update phase, so no duplicates arise).
+  void activate(vid_t u, int tid, ThreadStats& ts) {
+    next_active_[u] = 1;
+    ++ts.next_active;
+    if constexpr (!Program::kAllActive)
+      tl_frontier_[static_cast<std::size_t>(tid)].push_back(u);
+  }
+
   void update(int superstep) {
     auto v = view(superstep);
     if (cfg_.mode == ExecMode::kOmpStyle) {
@@ -456,22 +524,21 @@ class DeviceEngine {
           for (std::size_t i = r->begin; i < r->end; ++i) {
             const vid_t u = static_cast<vid_t>(i);
             if (!has_msg_[u]) continue;
+            has_msg_[u] = 0;  // cleared here so prepare() need not scan all n
             ++ts.updated;
-            if (prog_.update_vertex(acc_[u], v, u)) {
-              next_active_[u] = 1;
-              ++ts.next_active;
-            }
+            if (prog_.update_vertex(acc_[u], v, u)) activate(u, tid, ts);
           }
         }
       });
     } else {
-      const std::size_t tasks = csb_->num_array_tasks();
+      const std::size_t tasks = csb_->num_dirty_array_tasks();
       sched_.reset(tasks, cfg_.sched_chunk);
       team_->run([&](int tid) {
         auto& ts = tstats_[static_cast<std::size_t>(tid)];
         while (auto r = sched_.next_chunk()) {
           for (std::size_t t = r->begin; t < r->end; ++t) {
-            const std::size_t g = t / static_cast<std::size_t>(cfg_.csb_k);
+            const std::size_t g =
+                csb_->dirty_group(t / static_cast<std::size_t>(cfg_.csb_k));
             const int a = static_cast<int>(t % static_cast<std::size_t>(cfg_.csb_k));
             const int cols = csb_->array_cols(g, a);
             for (int c = 0; c < cols; ++c) {
@@ -480,10 +547,8 @@ class DeviceEngine {
               const vid_t u = csb_->column_vertex(g, col);
               PG_DCHECK(u != kInvalidVertex);
               ++ts.updated;
-              if (prog_.update_vertex(csb_->cell(g, col, 0), v, u)) {
-                next_active_[u] = 1;
-                ++ts.next_active;
-              }
+              if (prog_.update_vertex(csb_->cell(g, col, 0), v, u))
+                activate(u, tid, ts);
             }
           }
         }
@@ -514,6 +579,13 @@ class DeviceEngine {
       c.bytes_sent += t.bytes_sent;
       c.bytes_received += t.bytes_received;
     }
+    c.frontier_size = superstep_frontier_size_;
+    c.dense_supersteps = superstep_sparse_ ? 0 : 1;
+    c.sparse_supersteps = superstep_sparse_ ? 1 : 0;
+    if (csb_) {
+      c.groups_dirty = csb_->num_dirty_groups();
+      c.groups_skipped = csb_->num_groups() - c.groups_dirty;
+    }
     return c;
   }
 
@@ -526,6 +598,17 @@ class DeviceEngine {
   std::vector<Value> values_;
   std::vector<std::uint8_t> active_;
   std::vector<std::uint8_t> next_active_;
+
+  // Compact active lists mirroring the bitmaps (unused for kAllActive
+  // programs): frontier_ holds the vertices whose bits are set in active_;
+  // prev_frontier_ holds the bits still set in next_active_ (cleared by the
+  // next prepare()); tl_frontier_ are per-thread append buffers merged by
+  // advance_frontier() after each update phase.
+  std::vector<vid_t> frontier_;
+  std::vector<vid_t> prev_frontier_;
+  std::vector<std::vector<vid_t>> tl_frontier_;
+  std::uint64_t superstep_frontier_size_ = 0;
+  bool superstep_sparse_ = false;
 
   std::optional<buffer::Csb<Msg>> csb_;
   std::optional<comm::RemoteBuffer<Msg>> remote_;

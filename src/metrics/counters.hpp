@@ -31,6 +31,12 @@ struct SuperstepCounters {
   std::uint64_t sched_retrievals = 0;  // dynamic-scheduler chunk grabs
   std::uint64_t bytes_sent = 0;        // exchange traffic to the peer
   std::uint64_t bytes_received = 0;
+  // Sparse-frontier execution (active lists + dirty-group CSB tracking).
+  std::uint64_t frontier_size = 0;     // active vertices at generation start
+  std::uint64_t dense_supersteps = 0;  // 1 if generate scanned the bitmap
+  std::uint64_t sparse_supersteps = 0; // 1 if generate walked the active list
+  std::uint64_t groups_dirty = 0;      // CSB groups that received messages
+  std::uint64_t groups_skipped = 0;    // CSB groups process/update never visited
 
   SuperstepCounters& operator+=(const SuperstepCounters& o) noexcept {
     active_vertices += o.active_vertices;
@@ -50,6 +56,11 @@ struct SuperstepCounters {
     sched_retrievals += o.sched_retrievals;
     bytes_sent += o.bytes_sent;
     bytes_received += o.bytes_received;
+    frontier_size += o.frontier_size;
+    dense_supersteps += o.dense_supersteps;
+    sparse_supersteps += o.sparse_supersteps;
+    groups_dirty += o.groups_dirty;
+    groups_skipped += o.groups_skipped;
     return *this;
   }
 };

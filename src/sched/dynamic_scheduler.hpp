@@ -42,6 +42,10 @@ class DynamicScheduler {
 
   /// Grab the next chunk; empty optional when the phase is drained.
   [[nodiscard]] std::optional<TaskRange> next_chunk() noexcept {
+    // Cheap early-out once the phase is drained: without it, idle threads
+    // spinning on an exhausted scheduler keep fetch_add-ing, growing next_
+    // without bound and bouncing the cache line between cores.
+    if (next_.load(std::memory_order_relaxed) >= total_) return std::nullopt;
     const std::size_t begin =
         next_.fetch_add(chunk_, std::memory_order_relaxed);
     if (begin >= total_) return std::nullopt;

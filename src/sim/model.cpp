@@ -86,9 +86,20 @@ PhaseTimes model_superstep(const metrics::SuperstepCounters& c,
       static_cast<double>(c.active_vertices) * dev.cyc_vertex_gen +
       static_cast<double>(c.edges_scanned) * dev.cyc_edge_gen;
   // CSR walk streams; message insertion scatters (a cache line per message).
+  // Finding the active vertices costs a full bitmap sweep (one flag byte per
+  // hosted vertex) on dense supersteps, but only the compact active list
+  // (one vid per active vertex) on sparse ones — the frontier win the
+  // engine's active lists buy. Traces from before frontier tracking carry
+  // neither flag and price as before.
+  const double frontier_bytes =
+      c.dense_supersteps > 0
+          ? n_local
+          : (c.sparse_supersteps > 0
+                 ? static_cast<double>(c.frontier_size) * sizeof(vid_t)
+                 : 0.0);
   const double gen_bytes =
       static_cast<double>(c.edges_scanned) * sizeof(vid_t) +
-      msgs * dev.scatter_bytes;
+      msgs * dev.scatter_bytes + frontier_bytes;
 
   switch (prof.mode) {
     case core::ExecMode::kOmpStyle: {

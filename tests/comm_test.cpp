@@ -99,4 +99,96 @@ TEST(RemoteBuffer, ConcurrentDepositsAreExact) {
   EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(RemoteBuffer, ConcurrentOverlappingDepositsAreExactPerDestination) {
+  // Stress the sharded touched lists: many threads hammer a small hot set of
+  // overlapping destinations plus a cold tail. Per-destination combined sums
+  // and the distinct-destination count must both be exact.
+  constexpr vid_t kVerts = 4096;
+  constexpr vid_t kHot = 16;  // every thread hits all of these
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  comm::RemoteBuffer<std::uint64_t> buf(kVerts, /*shards=*/8);
+  auto sum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+
+  std::vector<std::map<vid_t, std::uint64_t>> expected(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 97 + 13);
+      for (int i = 0; i < kPerThread; ++i) {
+        // 50% of traffic funnels into the hot set (overlapping across all
+        // threads); the rest scatters — both shard-list paths get exercised.
+        const vid_t dst = (i % 2 == 0)
+                              ? static_cast<vid_t>(rng.below(kHot))
+                              : static_cast<vid_t>(rng.below(kVerts));
+        const std::uint64_t val = rng.below(1000) + 1;
+        buf.deposit(dst, val, sum);
+        expected[t][dst] += val;
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  std::map<vid_t, std::uint64_t> want;
+  for (const auto& m : expected)
+    for (const auto& [dst, v] : m) want[dst] += v;
+
+  // touched_count is exact: one entry per distinct destination, no dupes.
+  EXPECT_EQ(buf.touched_count(), want.size());
+  std::size_t per_shard_total = 0;
+  for (std::size_t s = 0; s < buf.num_shards(); ++s)
+    per_shard_total += buf.shard_touched_count(s);
+  EXPECT_EQ(per_shard_total, want.size());
+
+  std::map<vid_t, std::uint64_t> got;
+  buf.drain([&](vid_t dst, std::uint64_t v) {
+    EXPECT_TRUE(got.emplace(dst, v).second) << "duplicate drain of " << dst;
+  });
+  EXPECT_EQ(got, want);
+
+  // Fully drained and reusable.
+  EXPECT_EQ(buf.touched_count(), 0u);
+  buf.deposit(3, 7u, sum);
+  buf.drain([&](vid_t dst, std::uint64_t v) {
+    EXPECT_EQ(dst, 3u);
+    EXPECT_EQ(v, 7u);
+  });
+}
+
+TEST(RemoteBuffer, ParallelShardDrainsPartitionTheDestinations) {
+  // drain_shard is safe to run concurrently for different shards: drain all
+  // shards from distinct threads and verify the union is exact and disjoint.
+  constexpr vid_t kVerts = 2048;
+  comm::RemoteBuffer<std::uint64_t> buf(kVerts, /*shards=*/16);
+  auto sum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  std::uint64_t want_total = 0;
+  for (vid_t v = 0; v < kVerts; v += 3) {
+    buf.deposit(v, v + 1, sum);
+    buf.deposit(v, 1, sum);
+    want_total += v + 2;
+  }
+
+  std::vector<std::vector<std::pair<vid_t, std::uint64_t>>> per_shard(
+      buf.num_shards());
+  std::vector<std::thread> threads;
+  for (std::size_t s = 0; s < buf.num_shards(); ++s)
+    threads.emplace_back([&, s] {
+      buf.drain_shard(s, [&](vid_t dst, std::uint64_t v) {
+        per_shard[s].emplace_back(dst, v);
+      });
+    });
+  for (auto& th : threads) th.join();
+
+  std::map<vid_t, std::uint64_t> got;
+  for (const auto& shard : per_shard)
+    for (const auto& [dst, v] : shard)
+      EXPECT_TRUE(got.emplace(dst, v).second) << "dst in two shards: " << dst;
+  std::uint64_t got_total = 0;
+  for (const auto& [dst, v] : got) {
+    EXPECT_EQ(v, static_cast<std::uint64_t>(dst) + 2);
+    got_total += v;
+  }
+  EXPECT_EQ(got.size(), (kVerts + 2) / 3);
+  EXPECT_EQ(got_total, want_total);
+}
+
 }  // namespace

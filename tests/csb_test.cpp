@@ -285,4 +285,71 @@ TEST(CsbPadding, PadFillsBubblesOnly) {
   EXPECT_EQ(csb.cell(0, 3, 0), -1.f);
 }
 
+// ---------------------------------------------------------------------------
+// Dirty-group tracking (sparse-frontier execution).
+// ---------------------------------------------------------------------------
+
+TEST(CsbDirtyGroups, OnlyTouchedGroupsRegister) {
+  // 4 groups of width 4 (lanes 2, k 2), all with capacity for 3 messages.
+  std::vector<vid_t> budget(16, 2);
+  Csb<float> csb(budget, cfg(2, 2, ColumnMode::kDynamic));
+  EXPECT_EQ(csb.num_groups(), 4u);
+  EXPECT_EQ(csb.num_dirty_groups(), 0u);
+  EXPECT_EQ(csb.num_dirty_array_tasks(), 0u);
+
+  InsertStats st;
+  csb.insert(0, 1.f, st);   // group of sorted position of vertex 0
+  csb.insert(0, 2.f, st);   // same group: must not register twice
+  EXPECT_EQ(csb.num_dirty_groups(), 1u);
+  EXPECT_EQ(csb.num_dirty_array_tasks(), 2u);
+  const std::size_t g0 = csb.redirection(0) / csb.group_width();
+  EXPECT_EQ(csb.dirty_group(0), g0);
+
+  csb.insert(15, 3.f, st);  // a vertex in a different group
+  const std::size_t g1 = csb.redirection(15) / csb.group_width();
+  ASSERT_NE(g0, g1);
+  EXPECT_EQ(csb.num_dirty_groups(), 2u);
+
+  // reset_all clears the groups and the dirty list; re-insertion re-marks.
+  csb.reset_all();
+  EXPECT_EQ(csb.num_dirty_groups(), 0u);
+  csb.insert_owned(15, 4.f, st);
+  EXPECT_EQ(csb.num_dirty_groups(), 1u);
+  EXPECT_EQ(csb.dirty_group(0), g1);
+}
+
+TEST(CsbDirtyGroups, ConcurrentInsertersRegisterEachGroupOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  const vid_t n = 64;
+  std::vector<vid_t> budget(n, static_cast<vid_t>(kThreads * kPerThread));
+  Csb<float> csb(budget, cfg(4, 2, ColumnMode::kDynamic));
+
+  std::vector<std::thread> threads;
+  std::vector<InsertStats> stats(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kPerThread; ++i)
+        csb.insert(static_cast<vid_t>(rng.below(n)), 1.f, stats[t]);
+    });
+  for (auto& th : threads) th.join();
+
+  // Every group received messages; each appears exactly once in the list.
+  EXPECT_EQ(csb.num_dirty_groups(), csb.num_groups());
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < csb.num_dirty_groups(); ++i)
+    seen.insert(csb.dirty_group(i));
+  EXPECT_EQ(seen.size(), csb.num_groups());
+}
+
+TEST(CsbDirtyGroups, OneToOneModeAlsoTracksDirtyGroups) {
+  std::vector<vid_t> budget(16, 2);
+  Csb<float> csb(budget, cfg(2, 2, ColumnMode::kOneToOne));
+  InsertStats st;
+  csb.insert(3, 1.f, st);
+  EXPECT_EQ(csb.num_dirty_groups(), 1u);
+  EXPECT_EQ(csb.dirty_group(0), csb.redirection(3) / csb.group_width());
+}
+
 }  // namespace

@@ -1,0 +1,211 @@
+// Sparse-frontier execution tests: the active-list (sparse) and bitmap
+// (dense) generation paths must be result-identical for every scheme, and
+// the new frontier / dirty-group counters must obey their invariants.
+#include <gtest/gtest.h>
+
+#include "src/apps/bfs.hpp"
+#include "src/apps/connected_components.hpp"
+#include "src/apps/reference.hpp"
+#include "src/apps/sssp.hpp"
+#include "src/apps/toposort.hpp"
+#include "src/core/hetero_engine.hpp"
+#include "src/gen/generators.hpp"
+#include "src/partition/partition.hpp"
+
+namespace {
+
+using namespace phigraph;
+using core::EngineConfig;
+using core::ExecMode;
+
+constexpr double kAlwaysDense = 0.0;   // frontier_size < 0 never holds
+constexpr double kAlwaysSparse = 1.0;  // frontier_size < n (near-)always holds
+
+EngineConfig cfg(ExecMode mode, double frontier_switch, int simd_bytes = 64) {
+  EngineConfig c;
+  c.mode = mode;
+  c.simd_bytes = simd_bytes;
+  c.threads = 3;
+  c.movers = 2;
+  c.sched_chunk = 16;
+  c.frontier_density_switch = frontier_switch;
+  return c;
+}
+
+graph::Csr weighted_graph() {
+  auto g = gen::pokec_like(3000, 30000, 21);
+  gen::add_random_weights(g, 4);
+  return g;
+}
+
+struct FrontierModes
+    : public ::testing::TestWithParam<std::pair<ExecMode, int>> {};
+
+TEST_P(FrontierModes, BfsIdenticalAcrossDenseSparseAndAuto) {
+  const auto [mode, simd_bytes] = GetParam();
+  const auto g = weighted_graph();
+  const apps::Bfs prog(0);
+  const auto dense = core::run_single(g, prog, cfg(mode, kAlwaysDense, simd_bytes));
+  const auto sparse = core::run_single(g, prog, cfg(mode, kAlwaysSparse, simd_bytes));
+  EngineConfig auto_cfg = cfg(mode, 0.05, simd_bytes);
+  const auto autosw = core::run_single(g, prog, auto_cfg);
+
+  EXPECT_EQ(dense.values, sparse.values);
+  EXPECT_EQ(dense.values, autosw.values);
+  const auto ref = apps::reference_run(g, prog);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(dense.values[v], ref[v]) << "vertex " << v;
+
+  // The forced paths really took the paths they were forced onto.
+  const auto td = metrics::totals(dense.run.trace);
+  const auto ts = metrics::totals(sparse.run.trace);
+  EXPECT_EQ(td.sparse_supersteps, 0u);
+  EXPECT_EQ(td.dense_supersteps, dense.run.trace.size());
+  EXPECT_EQ(ts.dense_supersteps, 0u);
+  EXPECT_EQ(ts.sparse_supersteps, sparse.run.trace.size());
+  // Structural counters are path-independent.
+  EXPECT_EQ(td.msgs_local, ts.msgs_local);
+  EXPECT_EQ(td.verts_updated, ts.verts_updated);
+  EXPECT_EQ(td.frontier_size, ts.frontier_size);
+}
+
+TEST_P(FrontierModes, SsspIdenticalAcrossDenseSparseAndAuto) {
+  const auto [mode, simd_bytes] = GetParam();
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  const auto dense = core::run_single(g, prog, cfg(mode, kAlwaysDense, simd_bytes));
+  const auto sparse = core::run_single(g, prog, cfg(mode, kAlwaysSparse, simd_bytes));
+  const auto autosw = core::run_single(g, prog, cfg(mode, 0.05, simd_bytes));
+
+  EXPECT_EQ(dense.values, sparse.values);
+  EXPECT_EQ(dense.values, autosw.values);
+  const auto ref = apps::reference_run(g, prog);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(dense.values[v], ref[v]) << "vertex " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, FrontierModes,
+    ::testing::Values(std::pair{ExecMode::kOmpStyle, 16},
+                      std::pair{ExecMode::kLocking, 16},
+                      std::pair{ExecMode::kLocking, 64},
+                      std::pair{ExecMode::kPipelining, 64}),
+    [](const ::testing::TestParamInfo<std::pair<ExecMode, int>>& info) {
+      std::string s = core::exec_mode_name(info.param.first);
+      s += info.param.second == 64 ? "_MIC" : "_CPU";
+      return s;
+    });
+
+TEST(Frontier, CountersTrackActiveSetExactly) {
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  const auto res = core::run_single(g, prog, cfg(ExecMode::kLocking, 0.05));
+  ASSERT_FALSE(res.run.trace.empty());
+  for (const auto& c : res.run.trace) {
+    // The compact list mirrors the bitmap: its size is the number of
+    // vertices that ran generate_messages.
+    EXPECT_EQ(c.frontier_size, c.active_vertices);
+    EXPECT_EQ(c.dense_supersteps + c.sparse_supersteps, 1u);
+  }
+  // Superstep 0: a single-source frontier is far below 5% density.
+  EXPECT_EQ(res.run.trace[0].frontier_size, 1u);
+  EXPECT_EQ(res.run.trace[0].sparse_supersteps, 1u);
+}
+
+TEST(Frontier, DirtyGroupTrackingSkipsUntouchedGroups) {
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  const auto res = core::run_single(g, prog, cfg(ExecMode::kLocking, 0.05));
+  const std::size_t num_groups =
+      res.run.trace[0].groups_dirty + res.run.trace[0].groups_skipped;
+  ASSERT_GT(num_groups, 0u);
+  std::uint64_t best_skip_ratio = 0;
+  for (const auto& c : res.run.trace) {
+    // dirty + skipped always partitions the group set.
+    EXPECT_EQ(c.groups_dirty + c.groups_skipped, num_groups);
+    // A group only gets dirty if some message landed in it.
+    if (c.msgs_local == 0) EXPECT_EQ(c.groups_dirty, 0u);
+    if (c.groups_dirty > 0)
+      best_skip_ratio =
+          std::max(best_skip_ratio, c.groups_skipped / c.groups_dirty);
+  }
+  // Low-frontier supersteps skip the overwhelming majority of groups — the
+  // >=10x CSB task-count reduction the sparse path exists for.
+  EXPECT_GE(best_skip_ratio, 10u);
+}
+
+TEST(Frontier, ConnectedComponentsIdenticalDenseAndSparse) {
+  // CC starts all-active (every vertex is a frontier member in superstep 0)
+  // and shrinks — exercises the density switch in both directions.
+  auto g = gen::dblp_like(2000, 6000, 17);
+  const apps::ConnectedComponents prog;
+  const auto dense =
+      core::run_single(g, prog, cfg(ExecMode::kLocking, kAlwaysDense));
+  const auto sparse =
+      core::run_single(g, prog, cfg(ExecMode::kLocking, kAlwaysSparse));
+  const auto autosw = core::run_single(g, prog, cfg(ExecMode::kLocking, 0.05));
+  EXPECT_EQ(dense.values, sparse.values);
+  EXPECT_EQ(dense.values, autosw.values);
+}
+
+TEST(Frontier, ToposortIdenticalDenseAndSparse) {
+  const auto g = gen::dag_like(1500, 15000, 23);
+  const apps::TopoSort prog;
+  const auto dense =
+      core::run_single(g, prog, cfg(ExecMode::kPipelining, kAlwaysDense));
+  const auto sparse =
+      core::run_single(g, prog, cfg(ExecMode::kPipelining, kAlwaysSparse));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(dense.values[v].order, sparse.values[v].order);
+    EXPECT_EQ(dense.values[v].remaining, sparse.values[v].remaining);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// With a peer device: frontier switching on both ranks, remote combine
+// through the sharded buffer, parallel exchange drain.
+// ---------------------------------------------------------------------------
+
+std::vector<Device> round_robin_owner(vid_t n, int a, int b) {
+  std::vector<Device> owner(n);
+  for (vid_t v = 0; v < n; ++v)
+    owner[v] = (static_cast<int>(v % static_cast<vid_t>(a + b)) < a)
+                   ? Device::Cpu
+                   : Device::Mic;
+  return owner;
+}
+
+TEST(FrontierHetero, BfsIdenticalAcrossThresholdsWithPeer) {
+  const auto g = weighted_graph();
+  const apps::Bfs prog(3);
+  const auto classic = apps::classic_bfs(g, 3);
+
+  for (double thresh : {kAlwaysDense, kAlwaysSparse, 0.05}) {
+    core::HeteroEngine<apps::Bfs> he(
+        g, round_robin_owner(g.num_vertices(), 1, 2), prog,
+        cfg(ExecMode::kLocking, thresh, 16),
+        cfg(ExecMode::kPipelining, thresh, 64));
+    auto res = he.run();
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(res.global_values[v], classic[v])
+          << "vertex " << v << " threshold " << thresh;
+  }
+}
+
+TEST(FrontierHetero, SsspShardedRemoteCombineMatchesReference) {
+  const auto g = weighted_graph();
+  const apps::Sssp prog(0);
+  const auto ref = apps::reference_run(g, prog);
+
+  auto cpu = cfg(ExecMode::kLocking, kAlwaysSparse, 16);
+  auto mic = cfg(ExecMode::kLocking, kAlwaysSparse, 64);
+  cpu.remote_shards = 4;  // force multi-entry shards
+  mic.remote_shards = 4;
+  core::HeteroEngine<apps::Sssp> he(
+      g, round_robin_owner(g.num_vertices(), 1, 1), prog, cpu, mic);
+  auto res = he.run();
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(res.global_values[v], ref[v]) << "vertex " << v;
+}
+
+}  // namespace

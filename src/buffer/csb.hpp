@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/aligned.hpp"
+#include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
 #include "src/common/types.hpp"
 #include "src/sched/spinlock.hpp"
@@ -135,6 +136,8 @@ class Csb {
       counts_[col0 + c] = 0;
       index_array_[col0 + c].store(-1, std::memory_order_relaxed);
       col_to_slot_[col0 + c] = -1;
+      PG_AUDIT_ONLY(
+          col_owner_[col0 + c].store(-1, std::memory_order_relaxed);)
     }
     col_offset_[g] = 0;
     group_dirty_[g].store(0, std::memory_order_relaxed);
@@ -156,6 +159,10 @@ class Csb {
   /// the duration of the store (paper: "the computing thread should lock the
   /// entire column"), and the group lock for first-touch column allocation.
   void insert(vid_t dst, const Msg& m, InsertStats& stats) {
+    PG_DCHECK_FMT(dst < num_vertices_,
+                  "Csb::insert: destination vertex %u is outside the "
+                  "redirection map (%u local vertices)",
+                  dst, num_vertices_);
     const vid_t pos = redirection_[dst];
     const std::size_t g = pos / group_width();
     mark_dirty(g);
@@ -174,11 +181,16 @@ class Csb {
   /// this destination class, so the row counter needs no lock; only column
   /// allocation synchronizes (on the group lock).
   void insert_owned(vid_t dst, const Msg& m, InsertStats& stats) {
+    PG_DCHECK_FMT(dst < num_vertices_,
+                  "Csb::insert_owned: destination vertex %u is outside the "
+                  "redirection map (%u local vertices)",
+                  dst, num_vertices_);
     const vid_t pos = redirection_[dst];
     const std::size_t g = pos / group_width();
     mark_dirty(g);
     const vid_t col = locate_column<false>(g, pos % group_width(), stats);
     const std::size_t gcol = g * group_width() + col;
+    PG_AUDIT_ONLY(claim_column(g, col, gcol, dst);)
     const std::uint32_t row = counts_[gcol]++;
     store(g, col, row, m);
     if (row > 0) ++stats.conflicts;
@@ -332,7 +344,62 @@ class Csb {
     for (std::size_t g = 0; g < groups; ++g)
       group_dirty_[g].store(0, std::memory_order_relaxed);
     dirty_groups_.assign(groups, 0);
+
+#if PG_AUDIT_ENABLED
+    col_owner_ = std::make_unique<std::atomic<std::int32_t>[]>(ncols);
+    for (std::size_t i = 0; i < ncols; ++i)
+      col_owner_[i].store(-1, std::memory_order_relaxed);
+    audit_validate_redirection(in_degrees);
+#endif
   }
+
+#if PG_AUDIT_ENABLED
+  /// One-shot post-build check: the redirection map must be a bijection onto
+  /// sorted positions, its inverse must agree with sorted_ids_, and the
+  /// sorted order must be non-increasing by in-degree (the property group
+  /// capacity sizing depends on).
+  void audit_validate_redirection(std::span<const vid_t> in_degrees) const {
+    std::vector<std::uint8_t> seen(num_vertices_, 0);
+    for (vid_t v = 0; v < num_vertices_; ++v) {
+      const vid_t pos = redirection_[v];
+      PG_AUDIT_FMT(pos < num_vertices_, "csb-redirection-bijection",
+                   "vertex %u redirects to position %u, outside [0, %u)", v,
+                   pos, num_vertices_);
+      PG_AUDIT_FMT(!seen[pos], "csb-redirection-bijection",
+                   "position %u is the image of two vertices (second: %u)",
+                   pos, v);
+      seen[pos] = 1;
+      PG_AUDIT_FMT(sorted_ids_[pos] == v, "csb-redirection-bijection",
+                   "redirection/sorted_ids mismatch: vertex %u -> position "
+                   "%u, but sorted_ids[%u] = %u",
+                   v, pos, pos, sorted_ids_[pos]);
+    }
+    for (vid_t pos = 1; pos < num_vertices_; ++pos)
+      PG_AUDIT_FMT(in_degrees[sorted_ids_[pos - 1]] >=
+                       in_degrees[sorted_ids_[pos]],
+                   "csb-degree-order",
+                   "sorted positions %u,%u are out of degree order (%u < %u)",
+                   pos - 1, pos, in_degrees[sorted_ids_[pos - 1]],
+                   in_degrees[sorted_ids_[pos]]);
+  }
+
+  /// Column-ownership tracking (§IV-C): the first insert_owned() of the
+  /// superstep claims the column for the calling thread; a second mover
+  /// touching it aborts with both thread ids and the (group, column)
+  /// coordinates. reset_group() releases claims for the next superstep.
+  void claim_column(std::size_t g, vid_t col, std::size_t gcol, vid_t dst) {
+    const auto me = static_cast<std::int32_t>(audit::thread_id());
+    std::int32_t owner = -1;
+    if (col_owner_[gcol].compare_exchange_strong(owner, me,
+                                                 std::memory_order_acq_rel))
+      return;
+    if (owner != me)
+      audit::fail("csb-column-ownership", __FILE__, __LINE__,
+                  "column %u of group %zu (destination vertex %u) moved by "
+                  "thread %d after being owned by thread %d this superstep",
+                  col, g, dst, static_cast<int>(me), static_cast<int>(owner));
+  }
+#endif
 
   /// Record group g in the dirty list on its first message of the superstep.
   /// The relaxed fast path adds one load per insertion; the exchange makes
@@ -378,7 +445,11 @@ class Csb {
   }
 
   void store(std::size_t g, vid_t col, std::uint32_t row, const Msg& m) noexcept {
-    PG_DCHECK(row < group_cap_rows_[g]);
+    PG_DCHECK_FMT(row < group_cap_rows_[g],
+                  "Csb::store: row %u exceeds the %u rows allocated for "
+                  "group %zu (column %u received more messages than its "
+                  "in-degree allows)",
+                  row, group_cap_rows_[g], g, col);
     cell(g, col, row) = m;
   }
 
@@ -412,6 +483,12 @@ class Csb {
   std::unique_ptr<std::atomic<std::uint8_t>[]> group_dirty_;
   std::vector<std::size_t> dirty_groups_;  // first dirty_count_ entries valid
   std::atomic<std::size_t> dirty_count_{0};
+
+#if PG_AUDIT_ENABLED
+  // Checked build only: per-column mover thread id (-1 = unclaimed), reset
+  // with the group each superstep.
+  std::unique_ptr<std::atomic<std::int32_t>[]> col_owner_;
+#endif
 };
 
 }  // namespace phigraph::buffer

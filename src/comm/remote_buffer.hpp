@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
 #include "src/common/types.hpp"
 #include "src/sched/spinlock.hpp"
@@ -41,6 +42,16 @@ class RemoteBuffer {
   /// scalar reduction (min for SSSP, + for PageRank, ...).
   template <typename Combine>
   void deposit(vid_t dst, const Msg& m, Combine&& combine) {
+    PG_DCHECK_FMT(static_cast<std::size_t>(dst) < value_.size(),
+                  "RemoteBuffer::deposit: global vertex %u outside the %zu "
+                  "vertex id space",
+                  dst, value_.size());
+    PG_AUDIT_FMT(!shards_[shard_of(dst)].draining.load(
+                     std::memory_order_relaxed),
+                 "remote-shard-quiescence",
+                 "deposit for vertex %u raced with the drain of its shard "
+                 "%zu (deposits must stop before the exchange phase drains)",
+                 dst, shard_of(dst));
     locks_[dst].lock();
     if (has_[dst]) {
       value_[dst] = combine(value_[dst], m);
@@ -78,12 +89,21 @@ class RemoteBuffer {
   /// with deposits.
   template <typename F>
   void drain_shard(std::size_t s, F&& f) {
+    PG_DCHECK_FMT(s < shards_.size(),
+                  "RemoteBuffer::drain_shard: shard %zu outside [0, %zu)", s,
+                  shards_.size());
     Shard& shard = shards_[s];
+    PG_AUDIT_FMT(!shard.draining.exchange(true, std::memory_order_acq_rel),
+                 "remote-shard-single-drainer",
+                 "shard %zu drained by thread %d while another drain of the "
+                 "same shard is in flight",
+                 s, audit::thread_id());
     for (vid_t dst : shard.touched) {
       f(dst, value_[dst]);
       has_[dst] = 0;
     }
     shard.touched.clear();
+    PG_AUDIT_ONLY(shard.draining.store(false, std::memory_order_release);)
   }
 
   /// Drain every shard on the calling thread (tests / non-parallel callers).
@@ -96,6 +116,11 @@ class RemoteBuffer {
   struct alignas(64) Shard {
     sched::SpinLock lock;
     std::vector<vid_t> touched;
+#if PG_AUDIT_ENABLED
+    // Checked build only: set for the duration of drain_shard so concurrent
+    // drains of one shard — and deposits racing a drain — are caught.
+    std::atomic<bool> draining{false};
+#endif
   };
 
   [[nodiscard]] std::size_t shard_of(vid_t dst) const noexcept {

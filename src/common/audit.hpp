@@ -1,0 +1,207 @@
+// Concurrency-audit layer ("checked build") — executable versions of the
+// structural invariants the paper's correctness argument rests on but never
+// mechanically checks:
+//
+//   * each CSB column is touched by exactly one mover per superstep (§IV-C:
+//     only column *allocation* needs a lock) — column-ownership tracking;
+//   * each pipeline queue is strictly single-producer/single-consumer
+//     (§IV-C, Fig. 4: "each message queue is only written by only one
+//     thread, as well as read by only one thread") — thread-affinity
+//     contracts;
+//   * the three BSP user functions run in a fixed superstep order (§III/IV-A:
+//     prepare → generate → exchange → process → update) — a phase state
+//     machine that also guards every user-callback invocation site.
+//
+// Everything here is gated on the PHIGRAPH_AUDIT preprocessor definition
+// (CMake option -DPHIGRAPH_AUDIT=ON, the `audit` preset). When the gate is
+// off, the PG_AUDIT_* macros expand to `((void)0)` / nothing, so the default
+// build carries no extra state, loads, or branches — audited classes keep
+// their exact release-layout and the fig5 numbers are unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/expect.hpp"
+
+#if defined(PHIGRAPH_AUDIT)
+#define PG_AUDIT_ENABLED 1
+#else
+#define PG_AUDIT_ENABLED 0
+#endif
+
+namespace phigraph::audit {
+
+/// Abort naming the violated invariant — the audit analogue of
+/// detail::check_failed. Every audit diagnostic leads with `invariant:` so
+/// death tests (and humans grepping a CI log) can match on the contract name.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+fail(const char* invariant, const char* file, int line, const char* fmt, ...) {
+  char msg[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  std::fprintf(stderr,
+               "phigraph: audit invariant violated: %s\n  at %s:%d\n  %s\n",
+               invariant, file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Small dense id for the calling thread (assigned on first use). std::thread
+/// ids are opaque; audit diagnostics want short numbers that can be matched
+/// against the engine's worker/mover layout.
+inline int thread_id() noexcept {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Thread-affinity contract: the first check() binds the calling thread to a
+/// role; any later check() from a different thread aborts naming both thread
+/// ids. Used for the SPSC producer/consumer ends, the pipeline's per-worker /
+/// per-mover slots, and the ThreadTeam orchestrator.
+class ThreadAffinity {
+ public:
+  void check(const char* invariant, const char* role, const char* file,
+             int line) noexcept {
+    const int me = thread_id();
+    std::int32_t bound = -1;
+    if (bound_.compare_exchange_strong(bound, me, std::memory_order_acq_rel))
+      return;  // first touch: this thread now owns the role
+    if (bound != me)
+      fail(invariant, file, line,
+           "%s is bound to thread %d but was entered by thread %d", role,
+           bound, me);
+  }
+
+  /// Forget the binding (e.g. when a new phase may legally re-assign roles).
+  void rebind() noexcept { bound_.store(-1, std::memory_order_release); }
+
+  [[nodiscard]] bool is_bound() const noexcept {
+    return bound_.load(std::memory_order_acquire) >= 0;
+  }
+
+ private:
+  std::atomic<std::int32_t> bound_{-1};
+};
+
+// ---- BSP phase state machine -----------------------------------------------
+
+enum class BspPhase : std::uint8_t {
+  kIdle = 0,
+  kPrepare,
+  kGenerate,
+  kExchange,
+  kProcess,
+  kUpdate,
+};
+
+constexpr const char* phase_name(BspPhase p) noexcept {
+  switch (p) {
+    case BspPhase::kIdle: return "idle";
+    case BspPhase::kPrepare: return "prepare";
+    case BspPhase::kGenerate: return "generate";
+    case BspPhase::kExchange: return "exchange";
+    case BspPhase::kProcess: return "process";
+    case BspPhase::kUpdate: return "update";
+  }
+  return "?";
+}
+
+/// Asserts the superstep ordering prepare → generate → [exchange] →
+/// [process] → update → (prepare | idle). exchange is skipped on
+/// single-device runs and process on OMP-mode / reduction-free programs, so
+/// those two phases are optional edges. Transitions happen only on the
+/// orchestrator thread (between team barriers); user-callback guards read the
+/// phase concurrently from team threads, hence the atomic.
+class PhaseMachine {
+ public:
+  void enter(BspPhase next, const char* file, int line) noexcept {
+    const auto cur = static_cast<BspPhase>(
+        state_.load(std::memory_order_acquire));
+    if (!legal(cur, next))
+      fail("bsp-phase-order", file, line,
+           "illegal superstep transition %s -> %s (required order: prepare -> "
+           "generate -> [exchange] -> [process] -> update)",
+           phase_name(cur), phase_name(next));
+    state_.store(static_cast<std::uint8_t>(next), std::memory_order_release);
+  }
+
+  /// Guard for a user-callback invocation site: aborts unless the machine is
+  /// in `required`. Called from team threads while the phase is stable.
+  void expect(BspPhase required, const char* what, const char* file,
+              int line) const noexcept {
+    const auto cur = static_cast<BspPhase>(
+        state_.load(std::memory_order_acquire));
+    if (cur != required)
+      fail("bsp-phase-callback", file, line,
+           "%s invoked during the %s phase; it may only run in the %s phase",
+           what, phase_name(cur), phase_name(required));
+  }
+
+  [[nodiscard]] BspPhase current() const noexcept {
+    return static_cast<BspPhase>(state_.load(std::memory_order_acquire));
+  }
+
+ private:
+  static constexpr bool legal(BspPhase from, BspPhase to) noexcept {
+    switch (to) {
+      case BspPhase::kIdle:      // run() may end before any superstep starts
+        return from == BspPhase::kUpdate || from == BspPhase::kIdle;
+      case BspPhase::kPrepare:
+        return from == BspPhase::kIdle || from == BspPhase::kUpdate;
+      case BspPhase::kGenerate:
+        return from == BspPhase::kPrepare;
+      case BspPhase::kExchange:
+        return from == BspPhase::kGenerate;
+      case BspPhase::kProcess:
+        return from == BspPhase::kGenerate || from == BspPhase::kExchange;
+      case BspPhase::kUpdate:
+        return from == BspPhase::kGenerate || from == BspPhase::kExchange ||
+               from == BspPhase::kProcess;
+    }
+    return false;
+  }
+
+  std::atomic<std::uint8_t> state_{static_cast<std::uint8_t>(BspPhase::kIdle)};
+};
+
+}  // namespace phigraph::audit
+
+// ---- audit macros -----------------------------------------------------------
+//
+// PG_AUDIT_FMT(expr, invariant, fmt, ...) — checked-build assertion; aborts
+//   naming `invariant` with a printf-style diagnostic when `expr` is false.
+// PG_AUDIT_ONLY(...) — splices its arguments into the program only in audit
+//   builds (member declarations, bookkeeping statements).
+// PG_AUDIT_PHASE_ENTER / PG_AUDIT_PHASE_EXPECT — sugar for the state machine
+//   so call sites stay one line.
+#if PG_AUDIT_ENABLED
+#define PG_AUDIT_FMT(expr, invariant, ...)                             \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]]                                          \
+      ::phigraph::audit::fail(invariant, __FILE__, __LINE__,           \
+                              __VA_ARGS__);                            \
+  } while (0)
+#define PG_AUDIT_ONLY(...) __VA_ARGS__
+#define PG_AUDIT_AFFINITY(aff, invariant, role) \
+  (aff).check(invariant, role, __FILE__, __LINE__)
+#define PG_AUDIT_PHASE_ENTER(machine, phase) \
+  (machine).enter(::phigraph::audit::BspPhase::phase, __FILE__, __LINE__)
+#define PG_AUDIT_PHASE_EXPECT(machine, phase, what) \
+  (machine).expect(::phigraph::audit::BspPhase::phase, what, __FILE__, __LINE__)
+#else
+#define PG_AUDIT_FMT(expr, invariant, ...) ((void)0)
+#define PG_AUDIT_ONLY(...)
+#define PG_AUDIT_AFFINITY(aff, invariant, role) ((void)0)
+#define PG_AUDIT_PHASE_ENTER(machine, phase) ((void)0)
+#define PG_AUDIT_PHASE_EXPECT(machine, phase, what) ((void)0)
+#endif

@@ -1,9 +1,15 @@
 // Lightweight contract-checking macros (CppCoreGuidelines I.6/I.8 style).
 //
-// PG_CHECK   — always-on invariant check; aborts with a message on failure.
-// PG_DCHECK  — debug-only check, compiled out in NDEBUG builds; use on hot paths.
+// PG_CHECK       — always-on invariant check; aborts with a message on failure.
+// PG_CHECK_FMT   — always-on check with a printf-style diagnostic (use when
+//                  the message must name the offending value, e.g. a vertex
+//                  id; the format arguments are only evaluated on failure).
+// PG_DCHECK      — debug-only check, compiled out in NDEBUG builds; use on
+//                  hot paths.
+// PG_DCHECK_MSG / PG_DCHECK_FMT — debug-only variants with diagnostics.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +21,20 @@ namespace phigraph::detail {
                file, line, msg ? msg : "");
   std::fflush(stderr);
   std::abort();
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+check_failed_fmt(const char* expr, const char* file, int line, const char* fmt,
+                 ...) {
+  char msg[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  check_failed(expr, file, line, msg);
 }
 
 }  // namespace phigraph::detail
@@ -31,8 +51,19 @@ namespace phigraph::detail {
       ::phigraph::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
   } while (0)
 
+#define PG_CHECK_FMT(expr, ...)                                        \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]]                                          \
+      ::phigraph::detail::check_failed_fmt(#expr, __FILE__, __LINE__,  \
+                                           __VA_ARGS__);               \
+  } while (0)
+
 #ifdef NDEBUG
 #define PG_DCHECK(expr) ((void)0)
+#define PG_DCHECK_MSG(expr, msg) ((void)0)
+#define PG_DCHECK_FMT(expr, ...) ((void)0)
 #else
 #define PG_DCHECK(expr) PG_CHECK(expr)
+#define PG_DCHECK_MSG(expr, msg) PG_CHECK_MSG(expr, msg)
+#define PG_DCHECK_FMT(expr, ...) PG_CHECK_FMT(expr, __VA_ARGS__)
 #endif

@@ -27,6 +27,7 @@
 #include "src/buffer/vmsg_array.hpp"
 #include "src/comm/exchange.hpp"
 #include "src/comm/remote_buffer.hpp"
+#include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
 #include "src/common/timer.hpp"
 #include "src/common/types.hpp"
@@ -109,6 +110,13 @@ class DeviceEngine {
   [[nodiscard]] int lanes() const noexcept { return lanes_; }
   [[nodiscard]] const buffer::Csb<Msg>& csb() const noexcept { return *csb_; }
 
+#if PG_AUDIT_ENABLED
+  /// Current BSP phase (audit builds only; kIdle outside run()).
+  [[nodiscard]] audit::BspPhase audit_phase() const noexcept {
+    return bsp_phase_.current();
+  }
+#endif
+
   /// Executes supersteps to completion and returns the run trace.
   RunResult run() {
     Timer total;
@@ -119,21 +127,29 @@ class DeviceEngine {
     for (; s < cfg_.max_supersteps; ++s) {
       for (auto& t : tstats_) t = ThreadStats{};
 
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kPrepare);
       prepare();
 
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kGenerate);
       gen_w.start();
       generate(s);
       gen_w.stop();
 
       exch_w.start();
-      if (peer_) exchange_messages();
+      if (peer_) {
+        PG_AUDIT_PHASE_ENTER(bsp_phase_, kExchange);
+        exchange_messages();
+      }
       exch_w.stop();
 
       proc_w.start();
-      if (cfg_.mode != ExecMode::kOmpStyle && Program::kNeedsReduction)
+      if (cfg_.mode != ExecMode::kOmpStyle && Program::kNeedsReduction) {
+        PG_AUDIT_PHASE_ENTER(bsp_phase_, kProcess);
         process(s);
+      }
       proc_w.stop();
 
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kUpdate);
       upd_w.start();
       update(s);
       upd_w.stop();
@@ -142,6 +158,9 @@ class DeviceEngine {
 
       std::swap(active_, next_active_);
       advance_frontier();
+#if PG_AUDIT_ENABLED
+      audit_validate_frontier();
+#endif
 
       std::uint64_t next = 0;
       for (const auto& t : tstats_) next += t.next_active;
@@ -152,6 +171,7 @@ class DeviceEngine {
       }
     }
 
+    PG_AUDIT_PHASE_ENTER(bsp_phase_, kIdle);
     res.supersteps = s;
     res.host_seconds = total.seconds();
     res.gen_seconds = gen_w.total_seconds();
@@ -296,6 +316,38 @@ class DeviceEngine {
     }
   }
 
+#if PG_AUDIT_ENABLED
+  /// Post-superstep check (after the active/next-active swap and
+  /// advance_frontier): the compact active list must mirror the active
+  /// bitmap exactly — the sparse-frontier fast paths from the active-list
+  /// work assume each vertex appears at most once and only with its bit set.
+  void audit_validate_frontier() const {
+    if constexpr (!Program::kAllActive) {
+      std::vector<std::uint8_t> seen(active_.size(), 0);
+      for (const vid_t u : frontier_) {
+        PG_AUDIT_FMT(static_cast<std::size_t>(u) < active_.size(),
+                     "frontier-bitmap-consistency",
+                     "active list holds out-of-range vertex %u (%zu local "
+                     "vertices)",
+                     u, active_.size());
+        PG_AUDIT_FMT(!seen[u], "frontier-bitmap-consistency",
+                     "vertex %u appears twice in the active list", u);
+        seen[u] = 1;
+        PG_AUDIT_FMT(active_[u] == 1, "frontier-bitmap-consistency",
+                     "vertex %u is on the active list but its bitmap bit is "
+                     "clear",
+                     u);
+      }
+      std::size_t bits = 0;
+      for (const std::uint8_t b : active_) bits += b;
+      PG_AUDIT_FMT(bits == frontier_.size(), "frontier-bitmap-consistency",
+                   "active bitmap has %zu set bits but the active list holds "
+                   "%zu vertices",
+                   bits, frontier_.size());
+    }
+  }
+#endif
+
   /// Sparse-frontier rule: walk the compact active list when it is small
   /// relative to the vertex count; scan the dense bitmap otherwise.
   [[nodiscard]] bool use_sparse_frontier() const noexcept {
@@ -355,6 +407,7 @@ class DeviceEngine {
           }
           ++ts.active;
           ts.edges += lg_.local.out_degree(u);
+          PG_AUDIT_PHASE_EXPECT(bsp_phase_, kGenerate, "generate_messages()");
           prog_.generate_messages(u, v, sink);
         }
       }
@@ -486,11 +539,14 @@ class DeviceEngine {
     using V = simd::Vec<Msg, W>;
     auto* base = reinterpret_cast<V*>(csb_->array_base(g, a));
     buffer::VMsgArray<V> vmsgs(base, rows);
+    PG_AUDIT_PHASE_EXPECT(bsp_phase_, kProcess, "process_messages()");
     prog_.process_messages(vmsgs);
     ts.vector_rows += rows;
   }
 
   void scalar_reduce(std::size_t g, int a, int cols, ThreadStats& ts) {
+    PG_AUDIT_PHASE_EXPECT(bsp_phase_, kProcess,
+                          "combine() (scalar message reduction)");
     for (int c = 0; c < cols; ++c) {
       const vid_t col = static_cast<vid_t>(a * lanes_ + c);
       const std::uint32_t cnt = csb_->column_count(g, col);
@@ -526,6 +582,7 @@ class DeviceEngine {
             if (!has_msg_[u]) continue;
             has_msg_[u] = 0;  // cleared here so prepare() need not scan all n
             ++ts.updated;
+            PG_AUDIT_PHASE_EXPECT(bsp_phase_, kUpdate, "update_vertex()");
             if (prog_.update_vertex(acc_[u], v, u)) activate(u, tid, ts);
           }
         }
@@ -547,6 +604,7 @@ class DeviceEngine {
               const vid_t u = csb_->column_vertex(g, col);
               PG_DCHECK(u != kInvalidVertex);
               ++ts.updated;
+              PG_AUDIT_PHASE_EXPECT(bsp_phase_, kUpdate, "update_vertex()");
               if (prog_.update_vertex(csb_->cell(g, col, 0), v, u))
                 activate(u, tid, ts);
             }
@@ -622,6 +680,12 @@ class DeviceEngine {
   std::unique_ptr<sched::SpinLock[]> vertex_locks_;
 
   std::vector<ThreadStats> tstats_;
+
+#if PG_AUDIT_ENABLED
+  // Checked build only: asserts the prepare -> generate -> [exchange] ->
+  // [process] -> update superstep order and guards every user-callback site.
+  audit::PhaseMachine bsp_phase_;
+#endif
 };
 
 }  // namespace phigraph::core

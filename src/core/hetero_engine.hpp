@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/comm/exchange.hpp"
+#include "src/common/audit.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/local_graph.hpp"
 
@@ -49,6 +50,16 @@ class HeteroEngine {
     mic_thread.join();
     PG_CHECK_MSG(res.cpu.supersteps == res.mic.supersteps,
                  "devices must execute the same superstep count");
+    // Both per-device phase machines must have come to rest before the
+    // gather reads their vertex values (a device mid-phase here would mean
+    // the control exchange let one side run ahead).
+    PG_AUDIT_FMT(cpu_->audit_phase() == audit::BspPhase::kIdle &&
+                     mic_->audit_phase() == audit::BspPhase::kIdle,
+                 "hetero-devices-idle",
+                 "gather started while a device is mid-superstep (CPU phase: "
+                 "%s, MIC phase: %s)",
+                 audit::phase_name(cpu_->audit_phase()),
+                 audit::phase_name(mic_->audit_phase()));
 
     const auto& cg = cpu_->local_graph();
     res.global_values.resize(cg.global_num_vertices);

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
 #include "src/common/types.hpp"
 #include "src/pipeline/spsc_queue.hpp"
@@ -36,16 +37,34 @@ class MessagePipeline {
     queues_.reserve(static_cast<std::size_t>(num_workers) * num_movers);
     for (int i = 0; i < num_workers * num_movers; ++i)
       queues_.push_back(std::make_unique<SpscQueue<Envelope<Msg>>>(queue_capacity));
+#if PG_AUDIT_ENABLED
+    worker_aff_ = std::make_unique<audit::ThreadAffinity[]>(
+        static_cast<std::size_t>(num_workers));
+    mover_aff_ = std::make_unique<audit::ThreadAffinity[]>(
+        static_cast<std::size_t>(num_movers));
+#endif
   }
 
   [[nodiscard]] int num_workers() const noexcept { return num_workers_; }
   [[nodiscard]] int num_movers() const noexcept { return num_movers_; }
 
-  /// Rearm for a new generation phase.
+  /// Rearm for a new generation phase. A phase boundary is the only point
+  /// where worker/mover roles may legally move to different threads, so the
+  /// audit affinity bindings are released here (the queues are verified
+  /// empty first — an undrained queue means the previous phase is still
+  /// running and rebinding would mask a race).
   void reset() noexcept {
     workers_done_.store(0, std::memory_order_relaxed);
 #ifndef NDEBUG
-    for (const auto& q : queues_) PG_DCHECK(q->empty());
+    for (const auto& q : queues_)
+      PG_DCHECK_MSG(q->empty(),
+                    "MessagePipeline::reset while a queue still holds "
+                    "messages from the previous phase");
+#endif
+#if PG_AUDIT_ENABLED
+    for (const auto& q : queues_) q->audit_rebind_ends();
+    for (int w = 0; w < num_workers_; ++w) worker_aff_[w].rebind();
+    for (int m = 0; m < num_movers_; ++m) mover_aff_[m].rebind();
 #endif
   }
 
@@ -53,6 +72,11 @@ class MessagePipeline {
   /// Returns the number of full-queue spin rounds (a contention signal for
   /// the performance model: the mover count was too low).
   std::uint64_t push(int worker, vid_t dst, const Msg& value) noexcept {
+    PG_DCHECK_FMT(worker >= 0 && worker < num_workers_,
+                  "MessagePipeline::push: worker index %d outside [0, %d)",
+                  worker, num_workers_);
+    PG_AUDIT_AFFINITY(worker_aff_[worker], "pipeline-worker-affinity",
+                      "pipeline worker slot");
     const int qid = static_cast<int>(dst % static_cast<vid_t>(num_movers_));
     auto& q = *queues_[static_cast<std::size_t>(worker) * num_movers_ + qid];
     std::uint64_t spins = 0;
@@ -79,6 +103,12 @@ class MessagePipeline {
   /// queues are drained. Returns messages moved.
   template <typename Consume>
   std::uint64_t mover_loop(int mover, Consume&& consume) {
+    PG_DCHECK_FMT(mover >= 0 && mover < num_movers_,
+                  "MessagePipeline::mover_loop: mover index %d outside "
+                  "[0, %d)",
+                  mover, num_movers_);
+    PG_AUDIT_AFFINITY(mover_aff_[mover], "pipeline-mover-affinity",
+                      "pipeline mover slot");
     std::uint64_t moved = 0;
     std::uint64_t idle_sweeps = 0;
     for (;;) {
@@ -120,6 +150,12 @@ class MessagePipeline {
   // queues_[worker * num_movers_ + mover]
   std::vector<std::unique_ptr<SpscQueue<Envelope<Msg>>>> queues_;
   std::atomic<int> workers_done_{0};
+#if PG_AUDIT_ENABLED
+  // Checked build only: each worker/mover slot is bound to one thread per
+  // phase (released by reset()).
+  std::unique_ptr<audit::ThreadAffinity[]> worker_aff_;
+  std::unique_ptr<audit::ThreadAffinity[]> mover_aff_;
+#endif
 };
 
 }  // namespace phigraph::pipeline

@@ -5,12 +5,18 @@
 // one thread, as well as read by only one thread". That is exactly the SPSC
 // contract, so no locks are needed — just acquire/release on the two indices,
 // with cached counterparts to keep the common case a single shared load.
+//
+// In audit builds (PHIGRAPH_AUDIT) the SPSC contract itself is enforced: the
+// first try_push() binds the producer end to the calling thread and the first
+// try_pop() binds the consumer end; any later call from a different thread
+// aborts naming both thread ids.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <vector>
 
+#include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
 
 namespace phigraph::pipeline {
@@ -18,21 +24,33 @@ namespace phigraph::pipeline {
 template <typename T>
 class SpscQueue {
  public:
-  /// Capacity is rounded up to a power of two (one slot is sacrificed to
-  /// distinguish full from empty).
+  /// `capacity` is the slot count and must be a power of two >= 2 (one slot
+  /// is sacrificed to distinguish full from empty, so `capacity - 1` items
+  /// fit). Non-power-of-two capacities are rejected rather than silently
+  /// rounded — the caller sizes queues against a memory budget and should
+  /// not get 2x what it asked for.
   explicit SpscQueue(std::size_t capacity) {
-    std::size_t cap = 2;
-    while (cap < capacity + 1) cap <<= 1;
-    buf_.resize(cap);
-    mask_ = cap - 1;
+    PG_CHECK_FMT(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                 "SpscQueue capacity must be a power of two >= 2, got %zu",
+                 capacity);
+    buf_.resize(capacity);
+    mask_ = capacity - 1;
   }
 
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
   SpscQueue(SpscQueue&&) = delete;
 
+  ~SpscQueue() {
+    PG_DCHECK_MSG(empty(),
+                  "SpscQueue destroyed with undrained messages — a pipeline "
+                  "phase ended before its movers finished");
+  }
+
   /// Producer side. False when full.
   bool try_push(const T& item) noexcept {
+    PG_AUDIT_AFFINITY(producer_aff_, "spsc-single-producer",
+                      "SpscQueue producer end (try_push)");
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == tail_cache_) {
@@ -46,6 +64,8 @@ class SpscQueue {
 
   /// Consumer side. False when empty.
   bool try_pop(T& out) noexcept {
+    PG_AUDIT_AFFINITY(consumer_aff_, "spsc-single-consumer",
+                      "SpscQueue consumer end (try_pop)");
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_cache_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -73,7 +93,17 @@ class SpscQueue {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Items that fit (slot count minus the full/empty sentinel slot).
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_; }
+
+#if PG_AUDIT_ENABLED
+  /// Release both affinity bindings — legal only between phases, when the
+  /// queue is empty and no thread holds an end.
+  void audit_rebind_ends() noexcept {
+    producer_aff_.rebind();
+    consumer_aff_.rebind();
+  }
+#endif
 
  private:
   std::vector<T> buf_;
@@ -82,6 +112,10 @@ class SpscQueue {
   alignas(64) std::size_t tail_cache_ = 0;        // producer-private
   alignas(64) std::atomic<std::size_t> tail_{0};  // consumer writes
   alignas(64) std::size_t head_cache_ = 0;        // consumer-private
+#if PG_AUDIT_ENABLED
+  audit::ThreadAffinity producer_aff_;
+  audit::ThreadAffinity consumer_aff_;
+#endif
 };
 
 }  // namespace phigraph::pipeline

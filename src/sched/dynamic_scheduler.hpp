@@ -34,6 +34,7 @@ class DynamicScheduler {
 
   /// Rearm for a new phase. Must not race with next_chunk().
   void reset(std::size_t total, std::size_t chunk) noexcept {
+    PG_CHECK(chunk >= 1);
     total_ = total;
     chunk_ = chunk;
     next_.store(0, std::memory_order_relaxed);

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
 
 namespace phigraph::sched {
@@ -42,6 +43,11 @@ class ThreadTeam {
   std::uint64_t epoch_ = 0;   // bumped per run()
   int remaining_ = 0;         // workers still executing the current job
   bool shutdown_ = false;
+#if PG_AUDIT_ENABLED
+  // Checked build only: the fork/join model has one orchestrator — the first
+  // run() binds it, later run() calls from other threads abort.
+  audit::ThreadAffinity orchestrator_;
+#endif
 };
 
 inline ThreadTeam::ThreadTeam(int size) {
@@ -61,6 +67,8 @@ inline ThreadTeam::~ThreadTeam() {
 }
 
 inline void ThreadTeam::run(const std::function<void(int)>& job) {
+  PG_AUDIT_AFFINITY(orchestrator_, "thread-team-orchestrator",
+                    "ThreadTeam::run");
   std::unique_lock<std::mutex> g(mu_);
   PG_CHECK_MSG(remaining_ == 0, "ThreadTeam::run is not reentrant");
   job_ = &job;

@@ -1,0 +1,221 @@
+// Concurrency-audit layer tests.
+//
+// The seeded-violation tests are death tests: each one commits a deliberate
+// contract violation — a second mover writing an owned CSB column, an SPSC
+// pop from a foreign thread, an out-of-phase user callback — and asserts the
+// audit layer aborts with a diagnostic naming the violated invariant. They
+// only run when the audit layer is compiled in (the `audit` preset); in
+// default builds they GTEST_SKIP so one test list serves every
+// configuration. The always-on contract checks (SPSC capacity rejection,
+// drained-destructor DCHECK) are exercised here too.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/buffer/csb.hpp"
+#include "src/common/audit.hpp"
+#include "src/pipeline/message_pipeline.hpp"
+#include "src/pipeline/spsc_queue.hpp"
+
+namespace {
+
+using namespace phigraph;
+
+// ---- always-on contract checks ---------------------------------------------
+
+TEST(SpscQueueContract, RejectsNonPowerOfTwoCapacity) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(pipeline::SpscQueue<int>(3), "power of two");
+  EXPECT_DEATH(pipeline::SpscQueue<int>(0), "power of two");
+  EXPECT_DEATH(pipeline::SpscQueue<int>(1), "power of two");
+  EXPECT_DEATH(pipeline::SpscQueue<int>(100), "power of two");
+}
+
+TEST(SpscQueueContract, AcceptsPowerOfTwoCapacity) {
+  pipeline::SpscQueue<int> q2(2);
+  EXPECT_EQ(q2.capacity(), 1u);
+  pipeline::SpscQueue<int> q1k(1024);
+  EXPECT_EQ(q1k.capacity(), 1023u);
+}
+
+TEST(SpscQueueContract, DestructorChecksQueueDrained) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "PG_DCHECK is compiled out in NDEBUG builds";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        pipeline::SpscQueue<int> q(8);
+        q.try_push(1);
+      },
+      "undrained");
+#endif
+}
+
+// ---- seeded-violation death tests (audit builds) ----------------------------
+
+#if PG_AUDIT_ENABLED
+
+TEST(AuditLayer, ThreadIdsAreStableAndDistinct) {
+  const int me = audit::thread_id();
+  EXPECT_EQ(me, audit::thread_id());
+  int other = -1;
+  std::thread t([&] { other = audit::thread_id(); });
+  t.join();
+  EXPECT_NE(me, other);
+}
+
+// A second mover inserting into a column already owned this superstep must
+// abort naming the column-ownership invariant and both thread ids.
+TEST(AuditLayer, TwoMoverColumnWriteAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        const std::vector<vid_t> deg(32, 4);
+        buffer::Csb<float>::Config bc;
+        bc.lanes = 4;
+        bc.k = 2;
+        buffer::Csb<float> csb(deg, bc);
+        buffer::InsertStats stats;
+        csb.insert_owned(5, 1.0f, stats);  // this thread claims the column
+        std::thread second([&] { csb.insert_owned(5, 2.0f, stats); });
+        second.join();
+      },
+      "csb-column-ownership");
+}
+
+// The same destination class re-inserted by its owning thread is legal.
+TEST(AuditLayer, SameMoverMayTouchItsColumnRepeatedly) {
+  const std::vector<vid_t> deg(32, 4);
+  buffer::Csb<float>::Config bc;
+  bc.lanes = 4;
+  bc.k = 2;
+  buffer::Csb<float> csb(deg, bc);
+  buffer::InsertStats stats;
+  csb.insert_owned(5, 1.0f, stats);
+  csb.insert_owned(5, 2.0f, stats);
+  EXPECT_EQ(stats.inserted, 2u);
+  // reset_group releases the claim: a different thread may own it next
+  // superstep.
+  csb.reset_group(csb.redirection(5) / csb.group_width());
+  std::thread next_owner([&] { csb.insert_owned(5, 3.0f, stats); });
+  next_owner.join();
+}
+
+// A pop from a thread other than the bound consumer must abort naming the
+// SPSC contract.
+TEST(AuditLayer, CrossThreadSpscPopAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        pipeline::SpscQueue<int> q(8);
+        q.try_push(1);
+        q.try_push(2);
+        int out = 0;
+        q.try_pop(out);  // binds this thread as the consumer
+        std::thread thief([&] { q.try_pop(out); });
+        thief.join();
+        // drain so the destructor check does not fire first
+        while (q.try_pop(out)) {
+        }
+      },
+      "spsc-single-consumer");
+}
+
+TEST(AuditLayer, CrossThreadSpscPushAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        pipeline::SpscQueue<int> q(8);
+        q.try_push(1);  // binds this thread as the producer
+        std::thread intruder([&] { q.try_push(2); });
+        intruder.join();
+        int out = 0;
+        while (q.try_pop(out)) {
+        }
+      },
+      "spsc-single-producer");
+}
+
+// MessagePipeline::reset() releases the role bindings, so the same pipeline
+// may be driven by different threads across phases but not within one.
+TEST(AuditLayer, PipelineWorkerSlotReboundAcrossPhases) {
+  pipeline::MessagePipeline<int> pipe(1, 1, 16);
+  for (int phase = 0; phase < 2; ++phase) {
+    pipe.reset();
+    std::thread phase_thread([&] {
+      for (vid_t d = 0; d < 4; ++d) pipe.push(0, d, 7);
+      pipe.worker_done();
+      pipe.mover_loop(0, [](const pipeline::Envelope<int>&) {});
+    });
+    phase_thread.join();
+  }
+}
+
+TEST(AuditLayer, PipelineWorkerSlotStolenWithinPhaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        pipeline::MessagePipeline<int> pipe(1, 1, 16);
+        pipe.reset();
+        pipe.push(0, 0, 7);  // binds worker slot 0 to this thread
+        std::thread thief([&] { pipe.push(0, 1, 8); });
+        thief.join();
+      },
+      "pipeline-worker-affinity");
+}
+
+// The BSP state machine: an update_vertex() guard hit outside the update
+// phase must abort naming the callback, and out-of-order phase transitions
+// must abort naming both phases. This drives the exact guard the engine
+// places before every prog_.update_vertex() call.
+TEST(AuditLayer, OutOfPhaseUpdateVertexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        audit::PhaseMachine pm;
+        pm.enter(audit::BspPhase::kPrepare, __FILE__, __LINE__);
+        pm.enter(audit::BspPhase::kGenerate, __FILE__, __LINE__);
+        // update_vertex() during generation — the violation iPregel-style
+        // runtimes silently tolerate.
+        pm.expect(audit::BspPhase::kUpdate, "update_vertex()", __FILE__,
+                  __LINE__);
+      },
+      "update_vertex");
+}
+
+TEST(AuditLayer, PhaseOrderViolationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        audit::PhaseMachine pm;
+        pm.enter(audit::BspPhase::kPrepare, __FILE__, __LINE__);
+        // process before generate: illegal.
+        pm.enter(audit::BspPhase::kProcess, __FILE__, __LINE__);
+      },
+      "bsp-phase-order");
+}
+
+TEST(AuditLayer, LegalSuperstepSequencesPass) {
+  audit::PhaseMachine pm;
+  using P = audit::BspPhase;
+  // Two supersteps: one full (with exchange + process), one minimal.
+  for (const P p : {P::kPrepare, P::kGenerate, P::kExchange, P::kProcess,
+                    P::kUpdate, P::kPrepare, P::kGenerate, P::kUpdate,
+                    P::kIdle})
+    pm.enter(p, __FILE__, __LINE__);
+  EXPECT_EQ(pm.current(), P::kIdle);
+}
+
+#else  // !PG_AUDIT_ENABLED
+
+TEST(AuditLayer, SkippedWithoutAuditBuild) {
+  GTEST_SKIP()
+      << "audit layer compiled out; configure with -DPHIGRAPH_AUDIT=ON "
+         "(the 'audit' preset) to run the seeded-violation death tests";
+}
+
+#endif  // PG_AUDIT_ENABLED
+
+}  // namespace

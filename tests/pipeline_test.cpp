@@ -28,10 +28,11 @@ TEST(SpscQueue, FifoSingleThread) {
 }
 
 TEST(SpscQueue, FullAndWrapAround) {
-  SpscQueue<int> q(4);  // rounds to 8 slots, 7 usable
+  SpscQueue<int> q(8);  // 8 slots, 7 usable (one sentinel slot)
+  EXPECT_EQ(q.capacity(), 7u);
   int pushed = 0;
   while (q.try_push(pushed)) ++pushed;
-  EXPECT_GE(pushed, 4);
+  EXPECT_EQ(pushed, 7);
   int out = -1;
   EXPECT_TRUE(q.try_pop(out));
   EXPECT_EQ(out, 0);

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# PhiGraph lint gate: grep-based allocation/concurrency bans + clang-tidy.
+#
+# Usage: tools/lint.sh [--no-tidy]
+#
+# The grep checks always run and need no toolchain. The clang-tidy pass runs
+# when clang-tidy is on PATH (CI installs it; locally it is optional — pass
+# --no-tidy to silence the warning). Exit status is non-zero on any
+# violation, so CI can use this script directly as a required job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+violation() {
+  echo "lint: $1" >&2
+  fail=1
+}
+
+# --- grep-based checks -------------------------------------------------------
+# 1. No raw array-new anywhere in src/: message storage and per-column state
+#    must use aligned_vector / std::make_unique so alignment and ownership
+#    are explicit (raw new[] in a SIMD path silently loses the 64-byte
+#    alignment the KNC/AVX-512 loads require).
+if grep -rnE 'new[[:space:]]+[A-Za-z_][A-Za-z0-9_:<>, ]*\[' \
+    --include='*.hpp' --include='*.cpp' src; then
+  violation "raw array new[] found; use aligned_vector or std::make_unique"
+fi
+
+# 2. No unaligned heap allocation in src/: malloc/calloc/realloc give no
+#    alignment guarantee beyond max_align_t — SIMD-resident buffers must go
+#    through AlignedAllocator.
+if grep -rnE '\b(malloc|calloc|realloc)[[:space:]]*\(' \
+    --include='*.hpp' --include='*.cpp' src; then
+  violation "raw malloc/calloc/realloc found; use aligned_vector (AlignedAllocator)"
+fi
+
+# 3. std::aligned_alloc only inside the allocator that wraps it.
+if grep -rn 'aligned_alloc' --include='*.hpp' --include='*.cpp' src \
+    | grep -v 'src/common/aligned.hpp'; then
+  violation "aligned_alloc outside src/common/aligned.hpp; use aligned_vector"
+fi
+
+# 4. No volatile-as-synchronization: cross-thread state must be std::atomic
+#    (volatile neither orders nor atomicizes accesses).
+if grep -rnE '\bvolatile\b' --include='*.hpp' --include='*.cpp' src; then
+  violation "volatile found; use std::atomic for cross-thread state"
+fi
+
+# --- clang-tidy --------------------------------------------------------------
+run_tidy=1
+for arg in "$@"; do
+  [ "$arg" = "--no-tidy" ] && run_tidy=0
+done
+
+if [ "$run_tidy" = 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    if [ ! -f build-lint/compile_commands.json ]; then
+      cmake --preset lint >/dev/null
+    fi
+    mapfile -t sources < <(find src -name '*.cpp' | sort)
+    echo "lint: clang-tidy over ${#sources[@]} translation units (config: .clang-tidy)"
+    if ! clang-tidy -p build-lint --quiet "${sources[@]}"; then
+      violation "clang-tidy reported errors"
+    fi
+  else
+    echo "lint: clang-tidy not found on PATH; skipping the static-analysis pass" >&2
+    echo "lint: (install clang-tidy or pass --no-tidy to silence this warning)" >&2
+  fi
+fi
+
+if [ "$fail" = 0 ]; then
+  echo "lint: OK"
+fi
+exit "$fail"

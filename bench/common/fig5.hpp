@@ -62,6 +62,7 @@ void fig5_run(const std::string& figure, const std::string& app,
                    hetero.modeled.comm_seconds, hetero.cpu_trace);
   json.add_version("CPU-MIC (mic rank)", hetero.modeled.execution_seconds,
                    hetero.modeled.comm_seconds, hetero.mic_trace);
+  json.set_failover(hetero.failover);
 
   const double best_single =
       std::min({cpu_lock.modeled.execution(), cpu_pipe.modeled.execution(),

@@ -206,9 +206,27 @@ void JsonEmitter::add_version(const std::string& name, double exec_s,
   body_ += "]}";
 }
 
+void JsonEmitter::set_failover(const metrics::FailoverStats& f) {
+  if (!enabled_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\n  \"failover\": {\"failed_over\": %llu, "
+                "\"lost_supersteps\": %llu, \"recovery_ms\": %.3f},",
+                static_cast<unsigned long long>(f.failed_over),
+                static_cast<unsigned long long>(f.lost_supersteps),
+                f.recovery_ms);
+  failover_json_ = buf;
+}
+
 JsonEmitter::~JsonEmitter() {
   if (!enabled_) return;
-  body_ += "\n  ]\n}\n";
+  body_ += "\n  ],";
+  body_ += failover_json_.empty()
+               ? "\n  \"failover\": {\"failed_over\": 0, "
+                 "\"lost_supersteps\": 0, \"recovery_ms\": 0.000},"
+               : failover_json_.c_str();
+  body_.pop_back();  // drop the trailing comma after the last member
+  body_ += "\n}\n";
   if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
     std::fwrite(body_.data(), 1, body_.size(), f);
     std::fclose(f);

@@ -120,6 +120,8 @@ struct HeteroRunResult {
   metrics::RunTrace mic_trace;
   sim::HeteroEstimate modeled;
   int supersteps = 0;
+  bool completed = true;
+  metrics::FailoverStats failover;
 };
 
 template <core::VertexProgram Program>
@@ -149,6 +151,8 @@ HeteroRunResult<Program> run_hetero(const graph::Csr& g, const Program& prog,
   out.supersteps = res.cpu.supersteps;
   out.cpu_trace = std::move(res.cpu.trace);
   out.mic_trace = std::move(res.mic.trace);
+  out.completed = res.completed;
+  out.failover = res.failover;
   return out;
 }
 
@@ -181,12 +185,17 @@ class JsonEmitter {
   void add_version(const std::string& name, double exec_s, double comm_s,
                    const metrics::RunTrace& trace);
 
+  /// Record the heterogeneous run's failover counters (all-zero on a
+  /// fault-free run); emitted as a top-level "failover" object.
+  void set_failover(const metrics::FailoverStats& f);
+
   [[nodiscard]] static bool enabled();
 
  private:
   bool enabled_ = false;
   std::string path_;
   std::string body_;
+  std::string failover_json_;
   bool first_version_ = true;
 };
 

@@ -5,42 +5,142 @@
 // paper: "The combination result is sent to the other device as a single MPI
 // message") plus one termination-control word. Exchange<T> implements the
 // blocking pairwise swap both uses need.
+//
+// Fault tolerance (see DESIGN.md §6): the historical exchange() blocks
+// forever, so a peer that dies mid-superstep deadlocks the survivor.
+// exchange_for() bounds every wait by a deadline, and poison() lets a
+// failing rank wake its peer *immediately* with a structured FaultReport.
+// A poisoned exchange never re-arms: every later call from either rank
+// returns kPeerFailed at once, so retries cannot resurrect a half-dead
+// rendezvous.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
 
 #include "src/common/expect.hpp"
+#include "src/fault/fault.hpp"
 
 namespace phigraph::comm {
+
+/// Outcome of a deadline-bounded exchange.
+enum class ExchangeStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,     // the peer did not show up before the deadline
+  kPeerFailed,  // the channel is poisoned; `fault` names the failing rank
+};
+
+constexpr const char* exchange_status_name(ExchangeStatus s) noexcept {
+  switch (s) {
+    case ExchangeStatus::kOk: return "ok";
+    case ExchangeStatus::kTimeout: return "timeout";
+    case ExchangeStatus::kPeerFailed: return "peer-failed";
+  }
+  return "?";
+}
 
 template <typename T>
 class Exchange {
  public:
+  struct Result {
+    ExchangeStatus status = ExchangeStatus::kOk;
+    T value{};                  // the peer's contribution (kOk only)
+    fault::FaultReport fault;   // the poison reason (kPeerFailed only)
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return status == ExchangeStatus::kOk;
+    }
+  };
+
   /// Deposits `mine` as rank `rank`'s contribution and blocks until the
   /// other rank's contribution is available; returns it. Reusable across
   /// rounds: a slot is only refilled after its previous value was consumed.
+  /// Aborts if the channel was poisoned — callers that must survive a peer
+  /// failure use exchange_for().
   T exchange(int rank, T mine) {
+    Result r = exchange_for(rank, std::move(mine), kForever);
+    PG_CHECK_FMT(r.status == ExchangeStatus::kOk,
+                 "Exchange::exchange on a dead channel (%s); use "
+                 "exchange_for() on fault-tolerant paths",
+                 exchange_status_name(r.status));
+    return std::move(r.value);
+  }
+
+  /// Deadline-bounded exchange. Returns kOk with the peer's value, kTimeout
+  /// if the peer did not arrive in time (the deposit is retracted if still
+  /// unconsumed, so the channel is not left half-advanced), or kPeerFailed
+  /// with the poisoning rank's FaultReport. Once poisoned, every call from
+  /// either rank returns kPeerFailed immediately.
+  Result exchange_for(int rank, T mine, std::chrono::milliseconds deadline) {
     PG_CHECK(rank == 0 || rank == 1);
     const int peer = 1 - rank;
+    const auto until = std::chrono::steady_clock::now() + deadline;
     std::unique_lock<std::mutex> l(mu_);
-    cv_.wait(l, [&] { return !present_[rank]; });
+    if (!cv_.wait_until(l, until, [&] { return poisoned_ || !present_[rank]; }))
+      return Result{ExchangeStatus::kTimeout, T{}, {}};
+    if (poisoned_) return poisoned_result();
     slot_[rank] = std::move(mine);
     present_[rank] = true;
     cv_.notify_all();
-    cv_.wait(l, [&] { return present_[peer]; });
-    T theirs = std::move(slot_[peer]);
+    if (!cv_.wait_until(l, until, [&] { return poisoned_ || present_[peer]; })) {
+      if (present_[rank]) {  // peer never consumed it: retract
+        slot_[rank] = T{};
+        present_[rank] = false;
+      }
+      return Result{ExchangeStatus::kTimeout, T{}, {}};
+    }
+    if (poisoned_) return poisoned_result();
+    Result r;
+    r.value = std::move(slot_[peer]);
     present_[peer] = false;
     cv_.notify_all();
-    return theirs;
+    return r;
+  }
+
+  /// Marks the channel dead on behalf of `rank` and wakes any waiter. The
+  /// first report wins (a second poison from the other rank is dropped);
+  /// there is no un-poison.
+  void poison(int rank, fault::FaultReport reason) {
+    PG_CHECK(rank == 0 || rank == 1);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (!poisoned_) {
+        poisoned_ = true;
+        fault_ = std::move(reason);
+      }
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool poisoned() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return poisoned_;
+  }
+
+  /// The poison reason (default-constructed report if not poisoned).
+  [[nodiscard]] fault::FaultReport fault() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return fault_;
   }
 
  private:
-  std::mutex mu_;
+  // "Forever" for the legacy blocking wrapper: one year, far past any
+  // plausible run, without risking time_point overflow.
+  static constexpr std::chrono::milliseconds kForever =
+      std::chrono::hours(24 * 365);
+
+  Result poisoned_result() const {
+    return Result{ExchangeStatus::kPeerFailed, T{}, fault_};
+  }
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   T slot_[2];
   bool present_[2] = {false, false};
+  bool poisoned_ = false;
+  fault::FaultReport fault_;
 };
 
 }  // namespace phigraph::comm

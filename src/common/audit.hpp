@@ -151,6 +151,16 @@ class PhaseMachine {
     return static_cast<BspPhase>(state_.load(std::memory_order_acquire));
   }
 
+  /// Fault path only: a device fault tore the run down mid-superstep, so the
+  /// ordinary update -> idle edge never happens. Jump straight to idle
+  /// without legality checking so the failed engine can be joined and
+  /// inspected. Never call this on a healthy run — it would mask a real
+  /// phase-order violation.
+  void abort_to_idle() noexcept {
+    state_.store(static_cast<std::uint8_t>(BspPhase::kIdle),
+                 std::memory_order_release);
+  }
+
  private:
   static constexpr bool legal(BspPhase from, BspPhase to) noexcept {
     switch (to) {

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "src/buffer/csb.hpp"
+#include "src/fault/checkpoint.hpp"
 #include "src/simd/simd.hpp"
 
 namespace phigraph::core {
@@ -67,6 +68,19 @@ struct EngineConfig {
   /// shard and the exchange drain parallelizes over shards. Rounded up to a
   /// power of two.
   std::size_t remote_shards = 32;
+
+  /// Deadline for each peer exchange (data and termination control) in
+  /// heterogeneous runs. A peer that misses the deadline is declared dead:
+  /// the waiting rank poisons the channels and fails over (see DESIGN.md
+  /// §6). Generous by default — failing ranks poison their peer *immediately*
+  /// via Exchange::poison, so the deadline only catches wedged (not crashed)
+  /// devices.
+  int exchange_deadline_ms = 30000;
+
+  /// Superstep checkpointing (fault tolerance): interval 0 disables it.
+  /// In a heterogeneous run both devices must use the same interval so their
+  /// frames land on the same superstep boundaries.
+  fault::CheckpointConfig checkpoint;
 
   [[nodiscard]] int total_threads() const noexcept {
     return mode == ExecMode::kPipelining ? threads + movers : threads;

@@ -16,9 +16,21 @@
 // Every phase runs under dynamic chunk scheduling (§IV-D) on a persistent
 // thread team, and every phase streams event counters into the run trace
 // consumed by the performance model.
+//
+// Fault tolerance (DESIGN.md §6): exceptions escaping the three user
+// callbacks on team threads are captured and rethrown on the orchestrator
+// (a team thread letting one escape would std::terminate). On heterogeneous
+// runs the orchestrator converts any such fault into an Exchange poison —
+// the peer wakes immediately with a structured FaultReport — and run()
+// returns with RunResult::failed set instead of crashing. Peer exchanges
+// are deadline-bounded, and an optional checkpoint store snapshots
+// values + frontier + superstep at BSP boundaries for CPU-only failover.
 #pragma once
 
+#include <chrono>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -35,6 +47,9 @@
 #include "src/core/graph_view.hpp"
 #include "src/core/local_graph.hpp"
 #include "src/core/program_traits.hpp"
+#include "src/fault/checkpoint.hpp"
+#include "src/fault/fault.hpp"
+#include "src/fault/fault_injection.hpp"
 #include "src/metrics/counters.hpp"
 #include "src/pipeline/message_pipeline.hpp"
 #include "src/sched/dynamic_scheduler.hpp"
@@ -53,6 +68,11 @@ struct RunResult {
   double exchange_seconds = 0;
   double process_seconds = 0;
   double update_seconds = 0;
+  /// Heterogeneous runs only: a device fault — this rank's own (converted to
+  /// a peer poison) or the peer's (observed through the exchange) — ended
+  /// the run early. `fault` names the origin rank either way.
+  bool failed = false;
+  fault::FaultReport fault;
 };
 
 template <VertexProgram Program>
@@ -94,6 +114,8 @@ class DeviceEngine {
       csb_.emplace(std::span<const vid_t>(lg_.in_degree), bc);
     }
     if (peer_) remote_.emplace(lg_.global_num_vertices, cfg_.remote_shards);
+    if (cfg_.checkpoint.enabled())
+      ckpt_.emplace(cfg_.checkpoint, peer_ ? peer_->rank : 0);
     if (cfg_.mode == ExecMode::kPipelining)
       pipe_.emplace(cfg_.threads, cfg_.movers, cfg_.queue_capacity);
     team_.emplace(cfg_.total_threads());
@@ -110,6 +132,37 @@ class DeviceEngine {
   [[nodiscard]] int lanes() const noexcept { return lanes_; }
   [[nodiscard]] const buffer::Csb<Msg>& csb() const noexcept { return *csb_; }
 
+  /// This device's MPI-style rank (0 when running single-device).
+  [[nodiscard]] int rank() const noexcept { return peer_ ? peer_->rank : 0; }
+
+  /// The checkpoint store, or nullptr when checkpointing is disabled.
+  [[nodiscard]] const fault::CheckpointStore* checkpoint_store() const noexcept {
+    return ckpt_ ? &*ckpt_ : nullptr;
+  }
+
+  /// Reload state from a checkpoint snapshot (local-indexed values + active
+  /// bitmap) and arrange for run() to resume at `superstep`. Only valid
+  /// before run() is (re)invoked on a freshly constructed engine — the
+  /// failover path builds a new single-device engine and seeds it here.
+  void restore(std::span<const Value> values,
+               std::span<const std::uint8_t> active, int superstep) {
+    PG_CHECK_MSG(values.size() == values_.size() &&
+                     active.size() == active_.size(),
+                 "checkpoint snapshot does not match this engine's partition");
+    PG_CHECK(superstep >= 0);
+    std::copy(values.begin(), values.end(), values_.begin());
+    std::copy(active.begin(), active.end(), active_.begin());
+    std::fill(next_active_.begin(), next_active_.end(), 0);
+    if constexpr (!Program::kAllActive) {
+      frontier_.clear();
+      prev_frontier_.clear();
+      for (auto& b : tl_frontier_) b.clear();
+      for (vid_t u = 0; u < static_cast<vid_t>(active_.size()); ++u)
+        if (active_[u]) frontier_.push_back(u);
+    }
+    start_superstep_ = superstep;
+  }
+
 #if PG_AUDIT_ENABLED
   /// Current BSP phase (audit builds only; kIdle outside run()).
   [[nodiscard]] audit::BspPhase audit_phase() const noexcept {
@@ -118,60 +171,48 @@ class DeviceEngine {
 #endif
 
   /// Executes supersteps to completion and returns the run trace.
+  ///
+  /// Heterogeneous runs never throw from here: a fault in this rank poisons
+  /// the peer and returns with `failed` set; a fault in the peer is observed
+  /// through the exchange and likewise returns with `failed` set (carrying
+  /// the peer's FaultReport). Single-device runs rethrow user-program
+  /// exceptions on the calling thread.
   RunResult run() {
     Timer total;
     RunResult res;
     StopWatch gen_w, exch_w, proc_w, upd_w;
 
-    int s = 0;
+    int s = start_superstep_;
     for (; s < cfg_.max_supersteps; ++s) {
-      for (auto& t : tstats_) t = ThreadStats{};
-
-      PG_AUDIT_PHASE_ENTER(bsp_phase_, kPrepare);
-      prepare();
-
-      PG_AUDIT_PHASE_ENTER(bsp_phase_, kGenerate);
-      gen_w.start();
-      generate(s);
-      gen_w.stop();
-
-      exch_w.start();
-      if (peer_) {
-        PG_AUDIT_PHASE_ENTER(bsp_phase_, kExchange);
-        exchange_messages();
+      StepOutcome out;
+      try {
+        out = superstep(s, res, gen_w, exch_w, proc_w, upd_w);
+      } catch (const std::exception& e) {
+        if (!peer_) throw;
+        fail_run(res, s, e.what());
+        break;
+      } catch (...) {
+        if (!peer_) throw;
+        fail_run(res, s, "unknown exception");
+        break;
       }
-      exch_w.stop();
-
-      proc_w.start();
-      if (cfg_.mode != ExecMode::kOmpStyle && Program::kNeedsReduction) {
-        PG_AUDIT_PHASE_ENTER(bsp_phase_, kProcess);
-        process(s);
-      }
-      proc_w.stop();
-
-      PG_AUDIT_PHASE_ENTER(bsp_phase_, kUpdate);
-      upd_w.start();
-      update(s);
-      upd_w.stop();
-
-      res.trace.push_back(collect_counters(s));
-
-      std::swap(active_, next_active_);
-      advance_frontier();
-#if PG_AUDIT_ENABLED
-      audit_validate_frontier();
-#endif
-
-      std::uint64_t next = 0;
-      for (const auto& t : tstats_) next += t.next_active;
-      if (peer_) next += peer_->control->exchange(peer_->rank, next);
-      if (!Program::kAllActive && next == 0) {
+      if (out == StepOutcome::kPeerFailed) break;
+      if (out == StepOutcome::kTerminated) {
         ++s;
         break;
       }
     }
 
+#if PG_AUDIT_ENABLED
+    // A faulted run is torn down mid-phase; the ordinary update -> idle edge
+    // never fires, so force the machine to rest before anyone inspects it.
+    if (res.failed)
+      bsp_phase_.abort_to_idle();
+    else
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kIdle);
+#else
     PG_AUDIT_PHASE_ENTER(bsp_phase_, kIdle);
+#endif
     res.supersteps = s;
     res.host_seconds = total.seconds();
     res.gen_seconds = gen_w.total_seconds();
@@ -182,6 +223,149 @@ class DeviceEngine {
   }
 
  private:
+  enum class StepOutcome { kContinue, kTerminated, kPeerFailed };
+
+  StepOutcome superstep(int s, RunResult& res, StopWatch& gen_w,
+                        StopWatch& exch_w, StopWatch& proc_w,
+                        StopWatch& upd_w) {
+    for (auto& t : tstats_) t = ThreadStats{};
+    cur_superstep_ = s;
+
+    phase_ = "prepare";
+    PG_AUDIT_PHASE_ENTER(bsp_phase_, kPrepare);
+    prepare();
+
+    phase_ = "generate";
+    PG_AUDIT_PHASE_ENTER(bsp_phase_, kGenerate);
+    gen_w.start();
+    generate(s);
+    gen_w.stop();
+
+    if (peer_) {
+      phase_ = "exchange";
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kExchange);
+      exch_w.start();
+      const bool ok = exchange_messages(s, res);
+      exch_w.stop();
+      if (!ok) return StepOutcome::kPeerFailed;
+    }
+
+    if (cfg_.mode != ExecMode::kOmpStyle && Program::kNeedsReduction) {
+      phase_ = "process";
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kProcess);
+      proc_w.start();
+      process(s);
+      proc_w.stop();
+    }
+
+    phase_ = "update";
+    PG_AUDIT_PHASE_ENTER(bsp_phase_, kUpdate);
+    upd_w.start();
+    update(s);
+    upd_w.stop();
+
+    res.trace.push_back(collect_counters(s));
+
+    std::swap(active_, next_active_);
+    advance_frontier();
+#if PG_AUDIT_ENABLED
+    audit_validate_frontier();
+#endif
+
+    std::uint64_t next = 0;
+    for (const auto& t : tstats_) next += t.next_active;
+    if (peer_) {
+      phase_ = "terminate";
+      auto r = peer_->control->exchange_for(peer_->rank, next,
+                                            exchange_deadline());
+      if (r.status != comm::ExchangeStatus::kOk)
+        return handle_peer_down(r.status, r.fault, s, res);
+      next += r.value;
+    }
+    if (!Program::kAllActive && next == 0) return StepOutcome::kTerminated;
+
+    maybe_checkpoint(s);
+    return StepOutcome::kContinue;
+  }
+
+  /// Convert a fault on this rank into a peer poison + failed RunResult.
+  void fail_run(RunResult& res, int s, const char* what) {
+    fault::FaultReport rep;
+    rep.rank = rank();
+    rep.superstep = s;
+    rep.phase = phase_;
+    rep.what = what;
+    peer_->data->poison(peer_->rank, rep);
+    peer_->control->poison(peer_->rank, rep);
+    res.failed = true;
+    res.fault = std::move(rep);
+  }
+
+  /// The peer poisoned the channel (we carry its report onward) or missed
+  /// the exchange deadline (we declare it dead and poison on its behalf so a
+  /// merely-wedged peer also wakes to a structured failure).
+  StepOutcome handle_peer_down(comm::ExchangeStatus status,
+                               const fault::FaultReport& fault, int s,
+                               RunResult& res) {
+    if (status == comm::ExchangeStatus::kPeerFailed) {
+      res.fault = fault;
+    } else {
+      fault::FaultReport rep;
+      rep.rank = 1 - rank();
+      rep.superstep = s;
+      rep.phase = phase_;
+      rep.what = "exchange deadline exceeded: peer did not arrive within " +
+                 std::to_string(cfg_.exchange_deadline_ms) + " ms";
+      peer_->data->poison(rank(), rep);
+      peer_->control->poison(rank(), rep);
+      res.fault = std::move(rep);
+    }
+    res.failed = true;
+    return StepOutcome::kPeerFailed;
+  }
+
+  [[nodiscard]] std::chrono::milliseconds exchange_deadline() const noexcept {
+    return std::chrono::milliseconds(cfg_.exchange_deadline_ms);
+  }
+
+  /// Snapshot values + active bitmap + frontier at the BSP boundary after
+  /// superstep `s` completed (resume point s + 1). No messages are in
+  /// flight here, so the snapshot is the device's complete state.
+  void maybe_checkpoint(int s) {
+    if (!ckpt_) return;
+    if ((s + 1) % cfg_.checkpoint.interval != 0) return;
+    phase_ = "checkpoint";
+    PG_FAULT_POINT(kCheckpointWrite, rank(), s);
+    static_assert(std::is_trivially_copyable_v<Value>,
+                  "checkpointing snapshots vertex values bytewise");
+    fault::CheckpointFrame f;
+    f.superstep = s + 1;
+    f.values.resize(values_.size() * sizeof(Value));
+    if (!values_.empty())
+      std::memcpy(f.values.data(), values_.data(), f.values.size());
+    f.active = active_;
+    f.frontier = frontier_;
+    f.seal();
+    ckpt_->write(f);
+  }
+
+  /// Run a job on the team, capturing the first exception any worker throws
+  /// and rethrowing it on the orchestrator after the join — a team thread
+  /// letting an exception escape would std::terminate the process.
+  template <typename Job>
+  void team_run_guarded(Job&& job) {
+    std::exception_ptr first;
+    std::mutex emu;
+    team_->run([&](int tid) {
+      try {
+        job(tid);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(emu);
+        if (!first) first = std::current_exception();
+      }
+    });
+    if (first) std::rethrow_exception(first);
+  }
   // Per-thread counters, cache-line separated.
   struct alignas(64) ThreadStats {
     buffer::InsertStats ins;
@@ -369,7 +553,7 @@ class DeviceEngine {
     const std::size_t nverts =
         Program::kAllActive ? 0 : prev_frontier_.size();
     sched_.reset(dirty + nverts, cfg_.sched_chunk);
-    team_->run([&](int) {
+    team_run_guarded([&](int) {
       while (auto r = sched_.next_chunk()) {
         for (std::size_t i = r->begin; i < r->end; ++i) {
           if (i < dirty) {
@@ -408,6 +592,7 @@ class DeviceEngine {
           ++ts.active;
           ts.edges += lg_.local.out_degree(u);
           PG_AUDIT_PHASE_EXPECT(bsp_phase_, kGenerate, "generate_messages()");
+          PG_FAULT_POINT(kEngineGenerate, rank(), superstep);
           prog_.generate_messages(u, v, sink);
         }
       }
@@ -415,29 +600,46 @@ class DeviceEngine {
 
     switch (cfg_.mode) {
       case ExecMode::kLocking:
-        team_->run([&](int tid) {
+        team_run_guarded([&](int tid) {
           LockingSink sink{this, &tstats_[static_cast<std::size_t>(tid)]};
           worker_body(tid, sink);
         });
         break;
       case ExecMode::kPipelining:
         pipe_->reset();
-        team_->run([&](int tid) {
+        team_run_guarded([&](int tid) {
           auto& ts = tstats_[static_cast<std::size_t>(tid)];
           if (tid < cfg_.threads) {
             PipelineSink sink{this, &ts, tid};
-            worker_body(tid, sink);
+            // A worker dying without worker_done() would spin the movers
+            // forever inside this very team run — always signal completion,
+            // then let the guard surface the fault.
+            try {
+              worker_body(tid, sink);
+            } catch (...) {
+              pipe_->worker_done();
+              throw;
+            }
             pipe_->worker_done();
           } else {
             const int mover = tid - cfg_.threads;
-            pipe_->mover_loop(mover, [&](const pipeline::Envelope<Msg>& env) {
-              csb_->insert_owned(env.dst, env.value, ts.ins);
-            });
+            try {
+              pipe_->mover_loop(mover, [&](const pipeline::Envelope<Msg>& env) {
+                PG_FAULT_POINT(kPipelineMoverInsert, rank(), cur_superstep_);
+                csb_->insert_owned(env.dst, env.value, ts.ins);
+              });
+            } catch (...) {
+              // A dead mover means workers block on its full queues; keep
+              // draining (discarding — the run is aborting anyway) until the
+              // workers finish, then surface the fault.
+              pipe_->mover_loop(mover, [](const pipeline::Envelope<Msg>&) {});
+              throw;
+            }
           }
         });
         break;
       case ExecMode::kOmpStyle:
-        team_->run([&](int tid) {
+        team_run_guarded([&](int tid) {
           OmpSink sink{this, &tstats_[static_cast<std::size_t>(tid)]};
           worker_body(tid, sink);
         });
@@ -446,7 +648,10 @@ class DeviceEngine {
     tstats_[0].sched_retrievals += sched_.retrievals();
   }
 
-  void exchange_messages() {
+  /// Returns false when the peer is down (RunResult filled via
+  /// handle_peer_down); true on a completed exchange.
+  bool exchange_messages(int superstep, RunResult& res) {
+    PG_FAULT_POINT(kExchangeDeposit, rank(), superstep);
     // Serialize the combined remote messages in parallel: shard sizes are
     // known up front, so each shard drains into its own slice of the batch.
     const std::size_t nshards = remote_->num_shards();
@@ -455,7 +660,7 @@ class DeviceEngine {
       offset[s + 1] = offset[s] + remote_->shard_touched_count(s);
     Batch outgoing(offset[nshards]);
     sched_.reset(nshards, 1);
-    team_->run([&](int) {
+    team_run_guarded([&](int) {
       while (auto r = sched_.next_chunk()) {
         for (std::size_t s = r->begin; s < r->end; ++s) {
           std::size_t i = offset[s];
@@ -468,12 +673,18 @@ class DeviceEngine {
     tstats_[0].bytes_sent +=
         outgoing.size() * sizeof(pipeline::Envelope<Msg>);
 
-    Batch incoming = peer_->data->exchange(peer_->rank, std::move(outgoing));
+    auto ex = peer_->data->exchange_for(peer_->rank, std::move(outgoing),
+                                        exchange_deadline());
+    if (ex.status != comm::ExchangeStatus::kOk) {
+      handle_peer_down(ex.status, ex.fault, superstep, res);
+      return false;
+    }
+    Batch incoming = std::move(ex.value);
     tstats_[0].bytes_received +=
         incoming.size() * sizeof(pipeline::Envelope<Msg>);
 
     sched_.reset(incoming.size(), cfg_.sched_chunk);
-    team_->run([&](int tid) {
+    team_run_guarded([&](int tid) {
       auto& ts = tstats_[static_cast<std::size_t>(tid)];
       while (auto r = sched_.next_chunk()) {
         for (std::size_t i = r->begin; i < r->end; ++i) {
@@ -493,6 +704,7 @@ class DeviceEngine {
         }
       }
     });
+    return true;
   }
 
   void process(int superstep) {
@@ -500,7 +712,7 @@ class DeviceEngine {
     // Only groups that received messages this superstep hold work.
     const std::size_t tasks = csb_->num_dirty_array_tasks();
     sched_.reset(tasks, cfg_.sched_chunk);
-    team_->run([&](int tid) {
+    team_run_guarded([&](int tid) {
       auto& ts = tstats_[static_cast<std::size_t>(tid)];
       while (auto r = sched_.next_chunk()) {
         for (std::size_t t = r->begin; t < r->end; ++t) {
@@ -540,6 +752,7 @@ class DeviceEngine {
     auto* base = reinterpret_cast<V*>(csb_->array_base(g, a));
     buffer::VMsgArray<V> vmsgs(base, rows);
     PG_AUDIT_PHASE_EXPECT(bsp_phase_, kProcess, "process_messages()");
+    PG_FAULT_POINT(kEngineProcess, rank(), cur_superstep_);
     prog_.process_messages(vmsgs);
     ts.vector_rows += rows;
   }
@@ -547,6 +760,7 @@ class DeviceEngine {
   void scalar_reduce(std::size_t g, int a, int cols, ThreadStats& ts) {
     PG_AUDIT_PHASE_EXPECT(bsp_phase_, kProcess,
                           "combine() (scalar message reduction)");
+    PG_FAULT_POINT(kEngineProcess, rank(), cur_superstep_);
     for (int c = 0; c < cols; ++c) {
       const vid_t col = static_cast<vid_t>(a * lanes_ + c);
       const std::uint32_t cnt = csb_->column_count(g, col);
@@ -574,7 +788,7 @@ class DeviceEngine {
     if (cfg_.mode == ExecMode::kOmpStyle) {
       const vid_t n = lg_.num_local_vertices();
       sched_.reset(n, cfg_.sched_chunk);
-      team_->run([&](int tid) {
+      team_run_guarded([&](int tid) {
         auto& ts = tstats_[static_cast<std::size_t>(tid)];
         while (auto r = sched_.next_chunk()) {
           for (std::size_t i = r->begin; i < r->end; ++i) {
@@ -583,6 +797,7 @@ class DeviceEngine {
             has_msg_[u] = 0;  // cleared here so prepare() need not scan all n
             ++ts.updated;
             PG_AUDIT_PHASE_EXPECT(bsp_phase_, kUpdate, "update_vertex()");
+            PG_FAULT_POINT(kEngineUpdate, rank(), superstep);
             if (prog_.update_vertex(acc_[u], v, u)) activate(u, tid, ts);
           }
         }
@@ -590,7 +805,7 @@ class DeviceEngine {
     } else {
       const std::size_t tasks = csb_->num_dirty_array_tasks();
       sched_.reset(tasks, cfg_.sched_chunk);
-      team_->run([&](int tid) {
+      team_run_guarded([&](int tid) {
         auto& ts = tstats_[static_cast<std::size_t>(tid)];
         while (auto r = sched_.next_chunk()) {
           for (std::size_t t = r->begin; t < r->end; ++t) {
@@ -605,6 +820,7 @@ class DeviceEngine {
               PG_DCHECK(u != kInvalidVertex);
               ++ts.updated;
               PG_AUDIT_PHASE_EXPECT(bsp_phase_, kUpdate, "update_vertex()");
+              PG_FAULT_POINT(kEngineUpdate, rank(), superstep);
               if (prog_.update_vertex(csb_->cell(g, col, 0), v, u))
                 activate(u, tid, ts);
             }
@@ -680,6 +896,16 @@ class DeviceEngine {
   std::unique_ptr<sched::SpinLock[]> vertex_locks_;
 
   std::vector<ThreadStats> tstats_;
+
+  // Fault tolerance: optional checkpoint store (engaged when
+  // cfg_.checkpoint.enabled()), the superstep run() resumes at after
+  // restore(), and bookkeeping for FaultReports — the superstep and BSP
+  // phase currently executing, read when an exception or fault-injection
+  // point tears the run down.
+  std::optional<fault::CheckpointStore> ckpt_;
+  int start_superstep_ = 0;
+  int cur_superstep_ = -1;
+  const char* phase_ = "idle";
 
 #if PG_AUDIT_ENABLED
   // Checked build only: asserts the prepare -> generate -> [exchange] ->

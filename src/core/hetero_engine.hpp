@@ -5,19 +5,53 @@
 // structure, though parameters such as numbers of threads running on each
 // device are separately configured" — wired by a data exchange and a
 // termination-control exchange, each running on its own host thread.
+//
+// Fault tolerance (DESIGN.md §6): the MIC thread is joined by a scope guard,
+// so an exception on the CPU path can no longer std::terminate the process
+// with a joinable thread in flight. When either device faults, run() falls
+// over to a single-device engine covering BOTH partitions, seeded from the
+// newest superstep checkpoint that CRC-validates in *both* device stores
+// (or restarted from superstep 0 when checkpointing is off / no common frame
+// survives), and finishes the computation CPU-only. The outcome — origin
+// FaultReport, lost supersteps, recovery wall time — is reported in
+// Result::failover.
 #pragma once
 
 #include <array>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/comm/exchange.hpp"
 #include "src/common/audit.hpp"
+#include "src/common/timer.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/local_graph.hpp"
+#include "src/fault/checkpoint.hpp"
+#include "src/fault/fault.hpp"
+#include "src/metrics/counters.hpp"
 
 namespace phigraph::core {
+
+/// Joins the wrapped thread on scope exit. Keeps HeteroEngine::run()
+/// exception-safe: std::thread's destructor calls std::terminate when the
+/// thread is still joinable, so without the guard any throw between spawn
+/// and join (user-program exception, PG_CHECK in a death test, ...) kills
+/// the whole process instead of unwinding.
+class ThreadJoiner {
+ public:
+  explicit ThreadJoiner(std::thread& t) noexcept : t_(t) {}
+  ~ThreadJoiner() {
+    if (t_.joinable()) t_.join();
+  }
+  ThreadJoiner(const ThreadJoiner&) = delete;
+  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+
+ private:
+  std::thread& t_;
+};
 
 template <VertexProgram Program>
 class HeteroEngine {
@@ -30,11 +64,29 @@ class HeteroEngine {
     RunResult cpu;
     RunResult mic;
     std::vector<Value> global_values;  // gathered over both devices
+
+    // Fault-tolerance outcome. On a fault-free run: completed == true,
+    // failover all-zero, fault invalid, recovery empty. After a device
+    // fault: `fault` is the origin report, `recovery` the CPU-only rerun's
+    // RunResult, and global_values holds the recovered values. completed is
+    // false only if the recovery run itself failed.
+    bool completed = true;
+    fault::FaultReport fault;
+    RunResult recovery;
+    metrics::FailoverStats failover;
   };
 
   /// owner[v] assigns each global vertex to a device (from src/partition).
   HeteroEngine(const graph::Csr& g, std::vector<Device> owner, Program prog,
-               EngineConfig cpu_cfg, EngineConfig mic_cfg) {
+               EngineConfig cpu_cfg, EngineConfig mic_cfg)
+      : graph_(&g), prog_(prog), recovery_cfg_(cpu_cfg) {
+    PG_CHECK_MSG(cpu_cfg.checkpoint.interval == mic_cfg.checkpoint.interval,
+                 "both devices must checkpoint at the same interval so their "
+                 "frames land on the same superstep boundaries");
+    // The recovery engine runs CPU-only after the fault; it must not trip
+    // armed fault-injection specs at checkpoint.write or overwrite the
+    // frames being recovered from.
+    recovery_cfg_.checkpoint = {};
     auto parts = LocalGraph::split(g, std::move(owner));
     using PeerLink = typename Engine::PeerLink;
     cpu_.emplace(std::move(parts[0]), prog, cpu_cfg,
@@ -45,9 +97,15 @@ class HeteroEngine {
 
   Result run() {
     Result res;
-    std::thread mic_thread([&] { res.mic = mic_->run(); });
-    res.cpu = cpu_->run();
-    mic_thread.join();
+    {
+      std::thread mic_thread([&] { res.mic = mic_->run(); });
+      ThreadJoiner joiner(mic_thread);
+      res.cpu = cpu_->run();
+    }
+    if (res.cpu.failed || res.mic.failed) {
+      fail_over(res);
+      return res;
+    }
     PG_CHECK_MSG(res.cpu.supersteps == res.mic.supersteps,
                  "devices must execute the same superstep count");
     // Both per-device phase machines must have come to rest before the
@@ -79,6 +137,88 @@ class HeteroEngine {
       out[lg.global_id[u]] = vals[u];
   }
 
+  /// CPU-only failover: rebuild a single-device engine over BOTH partitions,
+  /// seed it from the newest checkpoint superstep that validates on both
+  /// devices (falling back to superstep 0), and run it to completion.
+  void fail_over(Result& res) {
+    Timer rec;
+    res.fault = res.cpu.failed && res.cpu.fault.valid() ? res.cpu.fault
+                                                        : res.mic.fault;
+
+    // Newest resume superstep whose frame CRC-validates in BOTH stores — a
+    // frame corrupted on either side (torn write, injected fault, bit flip)
+    // drops that superstep and the search falls back to the previous one.
+    int resume = 0;
+    std::optional<fault::CheckpointFrame> cpu_frame, mic_frame;
+    const auto* cs = cpu_->checkpoint_store();
+    const auto* ms = mic_->checkpoint_store();
+    if (cs && ms) {
+      for (int s : cs->valid_supersteps()) {
+        auto a = cs->frame_at(s);
+        auto b = ms->frame_at(s);
+        if (a && b) {
+          cpu_frame = std::move(a);
+          mic_frame = std::move(b);
+          resume = s;
+          break;
+        }
+      }
+    }
+
+    // LocalGraph::whole maps local == global, so scattering each partition's
+    // snapshot through its global_id table lands directly on the recovery
+    // engine's indices.
+    Engine engine(LocalGraph::whole(*graph_), prog_, recovery_cfg_);
+    if (cpu_frame && mic_frame) {
+      const vid_t n = graph_->num_vertices();
+      std::vector<Value> vals(n);
+      std::vector<std::uint8_t> act(n, 0);
+      if (!apply_frame(*cpu_frame, cpu_->local_graph(), vals, act) ||
+          !apply_frame(*mic_frame, mic_->local_graph(), vals, act)) {
+        resume = 0;  // frame shape mismatch: restart from scratch
+      } else {
+        engine.restore(vals, act, resume);
+      }
+    }
+
+    try {
+      res.recovery = engine.run();
+    } catch (const std::exception& e) {
+      res.completed = false;
+      res.fault.what += std::string("; recovery also failed: ") + e.what();
+      res.failover.failed_over = 1;
+      res.failover.recovery_ms = rec.millis();
+      return;
+    }
+    res.global_values.assign(engine.values().begin(), engine.values().end());
+    res.failover.failed_over = 1;
+    res.failover.lost_supersteps = static_cast<std::uint64_t>(
+        res.fault.superstep > resume ? res.fault.superstep - resume : 0);
+    res.failover.recovery_ms = rec.millis();
+  }
+
+  /// Scatter one device's checkpointed values/active bits into global-indexed
+  /// arrays. Returns false if the frame does not match the partition shape
+  /// (e.g. a structurally damaged but CRC-lucky file) — callers then restart
+  /// from superstep 0 instead of loading garbage.
+  static bool apply_frame(const fault::CheckpointFrame& f,
+                          const LocalGraph& lg, std::vector<Value>& vals,
+                          std::vector<std::uint8_t>& act) {
+    const std::size_t n = static_cast<std::size_t>(lg.num_local_vertices());
+    if (f.values.size() != n * sizeof(Value) || f.active.size() != n)
+      return false;
+    for (std::size_t u = 0; u < n; ++u) {
+      const vid_t g = lg.global_id[u];
+      std::memcpy(&vals[g], f.values.data() + u * sizeof(Value),
+                  sizeof(Value));
+      act[g] = f.active[u];
+    }
+    return true;
+  }
+
+  const graph::Csr* graph_;
+  Program prog_;
+  EngineConfig recovery_cfg_;
   comm::Exchange<typename Engine::Batch> data_;
   comm::Exchange<std::uint64_t> control_;
   std::optional<Engine> cpu_;

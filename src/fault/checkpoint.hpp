@@ -1,0 +1,251 @@
+// Superstep checkpointing — CRC32-validated snapshots of one device's BSP
+// state (vertex values + active bitmap + compact frontier + resume
+// superstep), taken at superstep boundaries where no messages are in flight.
+//
+// A CheckpointStore keeps the last two frames (current + previous) either in
+// memory or file-backed. Reads always re-validate the CRC: a corrupted frame
+// is rejected and the reader falls back to the previous frame (or superstep
+// 0) rather than loading garbage. Both devices of a heterogeneous run
+// checkpoint at the same superstep numbers (same interval), so the failover
+// path resumes from the newest superstep that validates in *both* stores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/expect.hpp"
+#include "src/common/types.hpp"
+
+namespace phigraph::fault {
+
+/// Checkpointing knobs (part of core::EngineConfig). interval == 0 disables
+/// checkpointing entirely — the engine then carries no checkpoint state.
+struct CheckpointConfig {
+  /// Snapshot after every `interval` completed supersteps (k in the docs):
+  /// frames land at resume supersteps k, 2k, 3k, ... 0 = off.
+  int interval = 0;
+  /// false: frames live in memory. true: frames are serialized to `dir`.
+  bool file_backed = false;
+  std::string dir;
+
+  [[nodiscard]] bool enabled() const noexcept { return interval > 0; }
+};
+
+/// Plain table-based CRC-32 (IEEE 802.3 polynomial, zlib-compatible). Small
+/// and dependency-free; checkpoint frames are written once per k supersteps,
+/// so throughput is irrelevant next to integrity.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t bytes) noexcept {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < bytes; ++i)
+      c = table()[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    state_ = c;
+  }
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  static std::uint32_t of(const void* data, std::size_t bytes) noexcept {
+    Crc32 crc;
+    crc.update(data, bytes);
+    return crc.value();
+  }
+
+ private:
+  static const std::array<std::uint32_t, 256>& table() noexcept {
+    static const std::array<std::uint32_t, 256> t = [] {
+      std::array<std::uint32_t, 256> out{};
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+          c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        out[i] = c;
+      }
+      return out;
+    }();
+    return t;
+  }
+
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One snapshot. `values` holds the device's vertex values as raw bytes
+/// (vertex value types are trivially copyable); `active` is the per-vertex
+/// active bitmap; `frontier` the compact active list; `superstep` is the
+/// superstep execution resumes at.
+struct CheckpointFrame {
+  int superstep = 0;
+  std::vector<std::uint8_t> values;
+  std::vector<std::uint8_t> active;
+  std::vector<vid_t> frontier;
+  std::uint32_t crc = 0;
+
+  [[nodiscard]] std::uint32_t compute_crc() const noexcept {
+    Crc32 c;
+    const std::uint64_t header[4] = {
+        static_cast<std::uint64_t>(superstep), values.size(), active.size(),
+        frontier.size()};
+    c.update(header, sizeof header);
+    c.update(values.data(), values.size());
+    c.update(active.data(), active.size());
+    c.update(frontier.data(), frontier.size() * sizeof(vid_t));
+    return c.value();
+  }
+
+  /// Stamp the CRC after filling the payload.
+  void seal() noexcept { crc = compute_crc(); }
+
+  [[nodiscard]] bool valid() const noexcept { return crc == compute_crc(); }
+};
+
+/// Holds the last two frames for one rank. write() alternates between two
+/// slots so a failure *while writing* (torn file, fault injection) never
+/// destroys the previous good frame.
+class CheckpointStore {
+ public:
+  CheckpointStore(CheckpointConfig cfg, int rank)
+      : cfg_(std::move(cfg)), rank_(rank) {
+    if (cfg_.file_backed)
+      PG_CHECK_MSG(!cfg_.dir.empty(),
+                   "file-backed checkpointing requires CheckpointConfig::dir");
+  }
+
+  [[nodiscard]] const CheckpointConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  /// Persist a sealed frame into the next slot. File-backed stores serialize
+  /// to `<dir>/phigraph_ckpt_rank<R>_slot<K>.bin`; a write failure throws so
+  /// the engine's fault path treats it like any other device fault.
+  void write(const CheckpointFrame& frame) {
+    const int slot = next_slot_;
+    if (cfg_.file_backed) {
+      write_file(slot_path(slot), frame);
+      file_superstep_[slot] = frame.superstep;
+      file_present_[slot] = true;
+    } else {
+      mem_[slot] = frame;
+    }
+    next_slot_ = 1 - next_slot_;
+  }
+
+  /// Supersteps of all stored frames whose CRC still validates, newest
+  /// first. Corrupted frames are skipped (the fallback contract).
+  [[nodiscard]] std::vector<int> valid_supersteps() const {
+    std::vector<int> out;
+    for (int slot = 0; slot < 2; ++slot) {
+      auto f = read_slot(slot);
+      if (f && f->valid()) out.push_back(f->superstep);
+    }
+    if (out.size() == 2 && out[0] < out[1]) std::swap(out[0], out[1]);
+    return out;
+  }
+
+  /// The frame checkpointed at exactly `superstep`, if present and valid.
+  [[nodiscard]] std::optional<CheckpointFrame> frame_at(int superstep) const {
+    for (int slot = 0; slot < 2; ++slot) {
+      auto f = read_slot(slot);
+      if (f && f->superstep == superstep && f->valid()) return f;
+    }
+    return std::nullopt;
+  }
+
+  /// Newest frame that validates; corrupted latest frame falls back to the
+  /// previous one.
+  [[nodiscard]] std::optional<CheckpointFrame> latest_valid() const {
+    std::optional<CheckpointFrame> best;
+    for (int slot = 0; slot < 2; ++slot) {
+      auto f = read_slot(slot);
+      if (f && f->valid() && (!best || f->superstep > best->superstep))
+        best = std::move(f);
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::string slot_path(int slot) const {
+    return cfg_.dir + "/phigraph_ckpt_rank" + std::to_string(rank_) + "_slot" +
+           std::to_string(slot) + ".bin";
+  }
+
+ private:
+  static constexpr std::uint32_t kMagic = 0x5047434bu;  // "PGCK"
+
+  [[nodiscard]] std::optional<CheckpointFrame> read_slot(int slot) const {
+    if (cfg_.file_backed) {
+      if (!file_present_[slot]) return std::nullopt;
+      return read_file(slot_path(slot));
+    }
+    if (!mem_[slot]) return std::nullopt;
+    return mem_[slot];
+  }
+
+  static void write_file(const std::string& path, const CheckpointFrame& f) {
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    PG_CHECK_FMT(fp != nullptr, "cannot open checkpoint file %s for writing",
+                 path.c_str());
+    bool ok = true;
+    auto put = [&](const void* p, std::size_t bytes) {
+      ok = ok && std::fwrite(p, 1, bytes, fp) == bytes;
+    };
+    const std::uint32_t magic = kMagic;
+    const std::uint64_t header[4] = {
+        static_cast<std::uint64_t>(f.superstep), f.values.size(),
+        f.active.size(), f.frontier.size()};
+    put(&magic, sizeof magic);
+    put(header, sizeof header);
+    put(f.values.data(), f.values.size());
+    put(f.active.data(), f.active.size());
+    put(f.frontier.data(), f.frontier.size() * sizeof(vid_t));
+    put(&f.crc, sizeof f.crc);
+    ok = std::fclose(fp) == 0 && ok;
+    PG_CHECK_FMT(ok, "write failure on checkpoint file %s", path.c_str());
+  }
+
+  /// Returns nullopt on any structural damage (missing file, bad magic,
+  /// truncation, implausible sizes); CRC mismatches are surfaced through
+  /// CheckpointFrame::valid() by the callers above.
+  [[nodiscard]] static std::optional<CheckpointFrame> read_file(
+      const std::string& path) {
+    std::FILE* fp = std::fopen(path.c_str(), "rb");
+    if (fp == nullptr) return std::nullopt;
+    bool ok = true;
+    auto get = [&](void* p, std::size_t bytes) {
+      ok = ok && std::fread(p, 1, bytes, fp) == bytes;
+    };
+    std::uint32_t magic = 0;
+    std::uint64_t header[4] = {0, 0, 0, 0};
+    get(&magic, sizeof magic);
+    get(header, sizeof header);
+    CheckpointFrame f;
+    constexpr std::uint64_t kSane = 1ull << 40;  // reject absurd lengths
+    if (!ok || magic != kMagic || header[1] > kSane || header[2] > kSane ||
+        header[3] > kSane) {
+      std::fclose(fp);
+      return std::nullopt;
+    }
+    f.superstep = static_cast<int>(header[0]);
+    f.values.resize(static_cast<std::size_t>(header[1]));
+    f.active.resize(static_cast<std::size_t>(header[2]));
+    f.frontier.resize(static_cast<std::size_t>(header[3]));
+    get(f.values.data(), f.values.size());
+    get(f.active.data(), f.active.size());
+    get(f.frontier.data(), f.frontier.size() * sizeof(vid_t));
+    get(&f.crc, sizeof f.crc);
+    std::fclose(fp);
+    if (!ok) return std::nullopt;
+    return f;
+  }
+
+  CheckpointConfig cfg_;
+  int rank_;
+  int next_slot_ = 0;
+  std::array<std::optional<CheckpointFrame>, 2> mem_;
+  std::array<int, 2> file_superstep_ = {-1, -1};
+  std::array<bool, 2> file_present_ = {false, false};
+};
+
+}  // namespace phigraph::fault

@@ -1,0 +1,29 @@
+// Structured fault descriptions shared by the comm poison protocol, the
+// engine's failure paths, and the heterogeneous failover machinery.
+//
+// A FaultReport answers "which rank died, in which superstep, in which BSP
+// phase, and why" — it is what a failing rank hands its peer through
+// Exchange::poison() so the survivor wakes immediately with a diagnosis
+// instead of timing out against a dead condition variable.
+#pragma once
+
+#include <string>
+
+namespace phigraph::fault {
+
+struct FaultReport {
+  int rank = -1;       // failing rank (0 = CPU, 1 = MIC); -1 = no fault
+  int superstep = -1;  // superstep the fault occurred in
+  std::string phase;   // BSP phase or component ("generate", "exchange", ...)
+  std::string what;    // exception message / diagnostic
+
+  [[nodiscard]] bool valid() const noexcept { return rank >= 0; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (!valid()) return "no fault";
+    return "rank " + std::to_string(rank) + " failed in superstep " +
+           std::to_string(superstep) + " (phase: " + phase + "): " + what;
+  }
+};
+
+}  // namespace phigraph::fault

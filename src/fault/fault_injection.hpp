@@ -1,0 +1,186 @@
+// Deterministic fault injection ("fault build") — named fault points at every
+// place the fault-tolerance layer must survive a failure, armed by a seeded
+// FaultPlan so failure paths are exercised by replayable tests instead of
+// luck.
+//
+// Everything is gated on the PHIGRAPH_FAULTS preprocessor definition (CMake
+// option -DPHIGRAPH_FAULTS=ON, the `faults` preset). When the gate is off,
+// PG_FAULT_POINT expands to `((void)0)` — the default build carries no extra
+// state, loads, or branches, exactly like the audit layer.
+//
+// A fault point fires by throwing FaultInjected, which then travels the same
+// road a real failure would: caught by the engine's guarded phase runner,
+// converted into an Exchange poison, and surfaced to the peer as a
+// structured FaultReport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/expect.hpp"
+#include "src/common/rng.hpp"
+
+#if defined(PHIGRAPH_FAULTS)
+#define PG_FAULTS_ENABLED 1
+#else
+#define PG_FAULTS_ENABLED 0
+#endif
+
+namespace phigraph::fault {
+
+/// Every named fault point in the runtime. The names mirror the code site:
+/// `engine.*` fire around the three user callbacks, `exchange.deposit` at
+/// the start of the data-exchange phase, `pipeline.mover_insert` in the
+/// mover's CSB insertion, and `checkpoint.write` while a frame is written.
+enum class Point : std::uint8_t {
+  kExchangeDeposit = 0,
+  kEngineGenerate,
+  kEngineProcess,
+  kEngineUpdate,
+  kPipelineMoverInsert,
+  kCheckpointWrite,
+};
+
+inline constexpr int kNumPoints = 6;
+
+constexpr const char* point_name(Point p) noexcept {
+  switch (p) {
+    case Point::kExchangeDeposit: return "exchange.deposit";
+    case Point::kEngineGenerate: return "engine.generate";
+    case Point::kEngineProcess: return "engine.process";
+    case Point::kEngineUpdate: return "engine.update";
+    case Point::kPipelineMoverInsert: return "pipeline.mover_insert";
+    case Point::kCheckpointWrite: return "checkpoint.write";
+  }
+  return "?";
+}
+
+/// The exception a fired fault point throws.
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected(Point p, int r, int s)
+      : std::runtime_error(std::string("injected fault at ") + point_name(p) +
+                           " (rank " + std::to_string(r) + ", superstep " +
+                           std::to_string(s) + ")"),
+        point(p),
+        rank(r),
+        superstep(s) {}
+
+  Point point;
+  int rank;
+  int superstep;
+};
+
+/// One armed fault: fire on the `occurrence`-th time `point` is reached by
+/// `rank` in `superstep` (occurrences count from 1).
+struct FaultSpec {
+  Point point = Point::kEngineGenerate;
+  int rank = 0;
+  int superstep = 0;
+  int occurrence = 1;
+};
+
+/// A deterministic schedule of faults. Build explicitly via arm(), or derive
+/// one from a seed: the same seed always yields the same schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& arm(FaultSpec spec) {
+    PG_CHECK_MSG(spec.rank == 0 || spec.rank == 1, "fault rank must be 0 or 1");
+    PG_CHECK_MSG(spec.superstep >= 0 && spec.occurrence >= 1,
+                 "fault superstep/occurrence out of range");
+    specs_.push_back(spec);
+    return *this;
+  }
+
+  /// Seeded single-fault plan: point, rank, and superstep are drawn from the
+  /// seed (superstep uniform in [0, max_superstep]).
+  static FaultPlan from_seed(std::uint64_t seed, int max_superstep) {
+    PG_CHECK(max_superstep >= 0);
+    Rng rng(seed);
+    FaultSpec spec;
+    spec.point = static_cast<Point>(rng.below(kNumPoints));
+    spec.rank = static_cast<int>(rng.below(2));
+    spec.superstep =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(max_superstep) + 1));
+    spec.occurrence = 1;
+    FaultPlan plan;
+    plan.arm(spec);
+    return plan;
+  }
+
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return specs_.empty(); }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+#if PG_FAULTS_ENABLED
+
+/// Process-global injector (fault builds only). install() arms a plan and
+/// resets its occurrence counters; check() is called from PG_FAULT_POINT
+/// sites, possibly concurrently from team threads, and throws FaultInjected
+/// when an armed spec's occurrence is reached. Plans must not be installed
+/// while an engine is running.
+class Injector {
+ public:
+  static Injector& instance() {
+    static Injector inj;
+    return inj;
+  }
+
+  void install(const FaultPlan& plan) {
+    armed_.clear();
+    for (const FaultSpec& s : plan.specs())
+      armed_.push_back(std::make_unique<Armed>(s));
+  }
+
+  void clear() { armed_.clear(); }
+
+  void check(Point p, int rank, int superstep) {
+    for (const auto& a : armed_) {
+      if (a->spec.point != p || a->spec.rank != rank ||
+          a->spec.superstep != superstep)
+        continue;
+      const int hit = a->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (hit == a->spec.occurrence) throw FaultInjected(p, rank, superstep);
+    }
+  }
+
+ private:
+  struct Armed {
+    explicit Armed(const FaultSpec& s) : spec(s) {}
+    FaultSpec spec;
+    std::atomic<int> hits{0};
+  };
+  std::vector<std::unique_ptr<Armed>> armed_;
+};
+
+/// RAII plan installation for tests: arms on construction, clears on exit.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const FaultPlan& plan) { Injector::instance().install(plan); }
+  ~ScopedPlan() { Injector::instance().clear(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+#endif  // PG_FAULTS_ENABLED
+
+}  // namespace phigraph::fault
+
+#if PG_FAULTS_ENABLED
+#define PG_FAULT_POINT(point, rank, superstep)                       \
+  ::phigraph::fault::Injector::instance().check(                     \
+      ::phigraph::fault::Point::point, (rank), (superstep))
+#else
+#define PG_FAULT_POINT(point, rank, superstep) ((void)0)
+#endif

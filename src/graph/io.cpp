@@ -1,9 +1,12 @@
 #include "src/graph/io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -24,6 +27,64 @@ std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
   std::ofstream out(path, mode);
   PG_CHECK_MSG(out.good(), "failed to open output file");
   return out;
+}
+
+// ---- strict text parsing ---------------------------------------------------
+//
+// The text loaders reject malformed input with a diagnostic naming the file,
+// the 1-based line, and the offending token — `ls >> u` silently yielding 0
+// for "abc" is how a typo becomes a self-loop on vertex 0. Every token must
+// parse in full; vertex ids must fit vid_t and respect the declared vertex
+// count; truncated files are called out as such rather than surfacing as a
+// generic stream failure.
+
+/// Whitespace-split tokens of one line.
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream ls(line);
+  for (std::string t; ls >> t;) toks.push_back(std::move(t));
+  return toks;
+}
+
+/// Strict unsigned parse: the whole token must be a decimal integer.
+std::uint64_t parse_u64(const std::string& tok, const std::string& path,
+                        std::size_t line_no, const char* what) {
+  std::uint64_t v = 0;
+  const char* end = tok.data() + tok.size();
+  auto [p, ec] = std::from_chars(tok.data(), end, v);
+  PG_CHECK_FMT(ec == std::errc() && p == end,
+               "%s:%zu: non-numeric %s token '%s'", path.c_str(), line_no,
+               what, tok.c_str());
+  return v;
+}
+
+/// Vertex-id parse with range checking: must fit vid_t, and stay below
+/// `bound` when a vertex count is known (0 = unbounded).
+vid_t parse_vertex(const std::string& tok, vid_t bound,
+                   const std::string& path, std::size_t line_no,
+                   const char* what) {
+  const std::uint64_t v = parse_u64(tok, path, line_no, what);
+  PG_CHECK_FMT(v <= std::numeric_limits<vid_t>::max(),
+               "%s:%zu: %s id %llu does not fit a vertex id", path.c_str(),
+               line_no, what, static_cast<unsigned long long>(v));
+  PG_CHECK_FMT(bound == 0 || v < bound,
+               "%s:%zu: %s id %llu out of range (graph has %llu vertices)",
+               path.c_str(), line_no, what,
+               static_cast<unsigned long long>(v),
+               static_cast<unsigned long long>(bound));
+  return static_cast<vid_t>(v);
+}
+
+/// Strict float parse for edge weights.
+float parse_weight(const std::string& tok, const std::string& path,
+                   std::size_t line_no) {
+  float v = 0;
+  const char* end = tok.data() + tok.size();
+  auto [p, ec] = std::from_chars(tok.data(), end, v);
+  PG_CHECK_FMT(ec == std::errc() && p == end,
+               "%s:%zu: non-numeric weight token '%s'", path.c_str(), line_no,
+               tok.c_str());
+  return v;
 }
 }  // namespace
 
@@ -48,11 +109,33 @@ void save_adjacency_list(const Csr& g, const std::string& path) {
 
 Csr load_adjacency_list(const std::string& path) {
   auto in = open_in(path, std::ios::in);
-  vid_t n = 0;
-  eid_t m = 0;
-  int weighted = 0;
-  in >> n >> m >> weighted;
-  PG_CHECK_MSG(in.good(), "bad adjacency-list header");
+  std::size_t line_no = 0;
+  std::string line;
+  // Next non-blank, non-comment line as tokens; a missing line means the
+  // file was cut short — say which line we ran out at and what was expected.
+  auto next_line = [&](const char* expected) {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      auto toks = split_tokens(line);
+      if (!toks.empty()) return toks;
+    }
+    PG_CHECK_FMT(false, "%s: truncated after line %zu: expected %s",
+                 path.c_str(), line_no, expected);
+    return std::vector<std::string>{};  // unreachable
+  };
+
+  const auto header = next_line("the 'n m weighted' header");
+  PG_CHECK_FMT(header.size() == 3,
+               "%s:%zu: header must be 'n m weighted' (found %zu tokens)",
+               path.c_str(), line_no, header.size());
+  const vid_t n = parse_vertex(header[0], 0, path, line_no, "vertex-count");
+  const eid_t m = parse_u64(header[1], path, line_no, "edge-count");
+  const std::uint64_t weighted_flag =
+      parse_u64(header[2], path, line_no, "weighted-flag");
+  PG_CHECK_FMT(weighted_flag <= 1, "%s:%zu: weighted flag must be 0 or 1",
+               path.c_str(), line_no);
+  const bool weighted = weighted_flag == 1;
 
   std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
   std::vector<vid_t> targets;
@@ -60,25 +143,44 @@ Csr load_adjacency_list(const std::string& path) {
   targets.reserve(m);
   if (weighted) weights.reserve(m);
 
-  for (vid_t line = 0; line < n; ++line) {
-    vid_t u = 0;
-    eid_t deg = 0;
-    in >> u >> deg;
-    PG_CHECK_MSG(in.good() && u < n, "bad adjacency-list vertex line");
-    PG_CHECK_MSG(u == line, "adjacency-list vertices must be in id order");
+  for (vid_t expect = 0; expect < n; ++expect) {
+    const auto toks = next_line("a vertex line");
+    PG_CHECK_FMT(toks.size() >= 2,
+                 "%s:%zu: vertex line must start with '<id> <degree>'",
+                 path.c_str(), line_no);
+    const vid_t u = parse_vertex(toks[0], n, path, line_no, "vertex");
+    PG_CHECK_FMT(u == expect,
+                 "%s:%zu: vertices must appear in id order (expected %llu, "
+                 "found %llu)",
+                 path.c_str(), line_no,
+                 static_cast<unsigned long long>(expect),
+                 static_cast<unsigned long long>(u));
+    const eid_t deg = parse_u64(toks[1], path, line_no, "degree");
+    PG_CHECK_FMT(deg <= m,
+                 "%s:%zu: vertex %llu declares degree %llu but the graph has "
+                 "only %llu edges",
+                 path.c_str(), line_no, static_cast<unsigned long long>(u),
+                 static_cast<unsigned long long>(deg),
+                 static_cast<unsigned long long>(m));
+    const std::size_t per_edge = weighted ? 2 : 1;
+    PG_CHECK_FMT(toks.size() == 2 + static_cast<std::size_t>(deg) * per_edge,
+                 "%s:%zu: vertex %llu declares degree %llu but the line "
+                 "holds %zu edge tokens",
+                 path.c_str(), line_no, static_cast<unsigned long long>(u),
+                 static_cast<unsigned long long>(deg), toks.size() - 2);
     offsets[u + 1] = offsets[u] + deg;
     for (eid_t i = 0; i < deg; ++i) {
-      vid_t v = 0;
-      in >> v;
-      targets.push_back(v);
-      if (weighted) {
-        float w = 0;
-        in >> w;
-        weights.push_back(w);
-      }
+      const std::size_t base = 2 + static_cast<std::size_t>(i) * per_edge;
+      targets.push_back(parse_vertex(toks[base], n, path, line_no, "target"));
+      if (weighted)
+        weights.push_back(parse_weight(toks[base + 1], path, line_no));
     }
   }
-  PG_CHECK_MSG(targets.size() == m, "adjacency-list edge count mismatch");
+  PG_CHECK_FMT(targets.size() == m,
+               "%s: edge count mismatch: header declares %llu edges but the "
+               "vertex lines hold %zu",
+               path.c_str(), static_cast<unsigned long long>(m),
+               targets.size());
   return Csr(std::move(offsets), std::move(targets), std::move(weights));
 }
 
@@ -90,18 +192,29 @@ Csr load_edge_list(const std::string& path, vid_t num_vertices) {
   vid_t max_id = 0;
 
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    vid_t u = 0, v = 0;
-    ls >> u >> v;
-    PG_CHECK_MSG(!ls.fail(), "bad edge-list line");
-    float w = 0;
-    if (ls >> w) {
+    const auto toks = split_tokens(line);
+    if (toks.empty()) continue;
+    PG_CHECK_FMT(toks.size() == 2 || toks.size() == 3,
+                 "%s:%zu: expected 'u v [w]' (found %zu tokens)",
+                 path.c_str(), line_no, toks.size());
+    const vid_t u =
+        parse_vertex(toks[0], num_vertices, path, line_no, "source");
+    const vid_t v =
+        parse_vertex(toks[1], num_vertices, path, line_no, "target");
+    if (toks.size() == 3) {
+      PG_CHECK_FMT(weighted || edges.empty(),
+                   "%s:%zu: weighted line in an unweighted edge list",
+                   path.c_str(), line_no);
       weighted = true;
-      weights.push_back(w);
-    } else if (weighted) {
-      PG_CHECK_MSG(false, "mixed weighted/unweighted edge-list lines");
+      weights.push_back(parse_weight(toks[2], path, line_no));
+    } else {
+      PG_CHECK_FMT(!weighted,
+                   "%s:%zu: unweighted line in a weighted edge list",
+                   path.c_str(), line_no);
     }
     edges.emplace_back(u, v);
     max_id = std::max({max_id, u, v});

@@ -65,6 +65,16 @@ struct SuperstepCounters {
   }
 };
 
+/// Fault-tolerance outcome of a heterogeneous run (DESIGN.md §6). All zero
+/// on a fault-free run; filled by HeteroEngine when a device fault triggered
+/// the CPU-only failover path. Surfaced in the bench JSON next to the
+/// superstep counters.
+struct FailoverStats {
+  std::uint64_t failed_over = 0;     // 1 if the run completed via failover
+  std::uint64_t lost_supersteps = 0; // fault superstep - resume superstep
+  double recovery_ms = 0;            // rebuild + re-run wall time
+};
+
 /// Full run trace: one entry per executed superstep.
 using RunTrace = std::vector<SuperstepCounters>;
 

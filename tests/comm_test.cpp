@@ -1,8 +1,10 @@
-// Inter-device communication tests: pairwise exchange and the combining
-// remote message buffer.
+// Inter-device communication tests: pairwise exchange (including the
+// deadline/poison fault-tolerance protocol) and the combining remote
+// message buffer.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <numeric>
 #include <thread>
@@ -11,6 +13,7 @@
 #include "src/comm/exchange.hpp"
 #include "src/comm/remote_buffer.hpp"
 #include "src/common/rng.hpp"
+#include "src/fault/fault.hpp"
 
 namespace {
 
@@ -52,6 +55,102 @@ TEST(Exchange, MovesLargePayloadsWithoutLoss) {
   EXPECT_EQ(got0.front(), 100000);
   EXPECT_EQ(got1.size(), 10000u);
   EXPECT_EQ(got1.back(), 9999);
+}
+
+// ---- deadline + poison protocol ---------------------------------------------
+
+using comm::ExchangeStatus;
+using std::chrono::milliseconds;
+
+fault::FaultReport test_report(int rank) {
+  fault::FaultReport r;
+  r.rank = rank;
+  r.superstep = 3;
+  r.phase = "generate";
+  r.what = "boom";
+  return r;
+}
+
+TEST(ExchangeFault, PoisonBeforeDepositFailsImmediately) {
+  comm::Exchange<int> ex;
+  ex.poison(1, test_report(1));
+  // A long deadline must not matter: the poison check precedes the deposit.
+  const auto r = ex.exchange_for(0, 7, milliseconds(60000));
+  EXPECT_EQ(r.status, ExchangeStatus::kPeerFailed);
+  EXPECT_EQ(r.fault.rank, 1);
+  EXPECT_EQ(r.fault.superstep, 3);
+  EXPECT_EQ(r.fault.what, "boom");
+}
+
+TEST(ExchangeFault, PoisonWakesARankWaitingForItsPeer) {
+  comm::Exchange<int> ex;
+  std::thread failer([&] {
+    std::this_thread::sleep_for(milliseconds(50));
+    ex.poison(1, test_report(1));
+  });
+  // Deposits, then blocks waiting for rank 1 — which dies instead of
+  // arriving. The waiter must wake on the poison, well before the deadline.
+  const auto r = ex.exchange_for(0, 7, milliseconds(60000));
+  failer.join();
+  EXPECT_EQ(r.status, ExchangeStatus::kPeerFailed);
+  EXPECT_EQ(r.fault.rank, 1);
+}
+
+TEST(ExchangeFault, PoisonAfterConsumedRoundNeverReArms) {
+  comm::Exchange<int> ex;
+  // One healthy round completes...
+  std::thread peer([&] {
+    const auto r = ex.exchange_for(1, 11, milliseconds(60000));
+    ASSERT_EQ(r.status, ExchangeStatus::kOk);
+    EXPECT_EQ(r.value, 22);
+  });
+  const auto r0 = ex.exchange_for(0, 22, milliseconds(60000));
+  peer.join();
+  ASSERT_EQ(r0.status, ExchangeStatus::kOk);
+  EXPECT_EQ(r0.value, 11);
+  // ...then rank 0 dies. Every later call, from either rank, fails fast —
+  // retries cannot resurrect the channel.
+  ex.poison(0, test_report(0));
+  for (int round = 0; round < 3; ++round) {
+    const auto r1 = ex.exchange_for(1, 33, milliseconds(60000));
+    EXPECT_EQ(r1.status, ExchangeStatus::kPeerFailed);
+    EXPECT_EQ(r1.fault.rank, 0);
+    const auto r2 = ex.exchange_for(0, 44, milliseconds(60000));
+    EXPECT_EQ(r2.status, ExchangeStatus::kPeerFailed);
+  }
+}
+
+TEST(ExchangeFault, FirstPoisonReportWins) {
+  comm::Exchange<int> ex;
+  ex.poison(0, test_report(0));
+  ex.poison(1, test_report(1));
+  EXPECT_TRUE(ex.poisoned());
+  EXPECT_EQ(ex.fault().rank, 0);
+}
+
+TEST(ExchangeFault, TimeoutRetractsTheDepositAndTheChannelStaysUsable) {
+  comm::Exchange<int> ex;
+  // Nobody shows up: rank 0 times out and its deposit is retracted.
+  const auto r = ex.exchange_for(0, 5, milliseconds(20));
+  EXPECT_EQ(r.status, ExchangeStatus::kTimeout);
+  EXPECT_FALSE(ex.poisoned());
+  // A later healthy round pairs the fresh values, not the stale deposit.
+  std::thread peer([&] {
+    const auto rr = ex.exchange_for(1, 2, milliseconds(60000));
+    ASSERT_EQ(rr.status, ExchangeStatus::kOk);
+    EXPECT_EQ(rr.value, 1);
+  });
+  const auto rr = ex.exchange_for(0, 1, milliseconds(60000));
+  peer.join();
+  ASSERT_EQ(rr.status, ExchangeStatus::kOk);
+  EXPECT_EQ(rr.value, 2);
+}
+
+TEST(ExchangeFault, LegacyBlockingExchangeDiesOnAPoisonedChannel) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  comm::Exchange<int> ex;
+  ex.poison(1, test_report(1));
+  EXPECT_DEATH(ex.exchange(0, 1), "dead channel");
 }
 
 TEST(RemoteBuffer, CombinesPerDestination) {

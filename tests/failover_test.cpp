@@ -1,0 +1,232 @@
+// Heterogeneous failover tests that need no fault build: a vertex program
+// that throws mid-run stands in for a device failure. These pin down the
+// contracts the fault-injection matrix relies on:
+//
+//  * HeteroEngine::run() survives an exception on either device thread — the
+//    scope-guard joiner means no std::terminate with a joinable thread — and
+//    finishes CPU-only instead of crashing;
+//  * checkpointed recovery is exact: BFS levels after a mid-run MIC failure
+//    are bit-identical to a fault-free single-device run (min-combine is
+//    reduction-order independent);
+//  * from-scratch recovery re-runs the full computation, so with a
+//    deterministic (single-thread) config PageRank floats are bit-identical
+//    to the same-config single-device reference;
+//  * lost work is bounded by the checkpoint interval;
+//  * single-device runs keep the historical contract: user exceptions
+//    propagate to the caller.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/apps/bfs.hpp"
+#include "src/apps/pagerank.hpp"
+#include "src/apps/reference.hpp"
+#include "src/core/hetero_engine.hpp"
+#include "src/gen/generators.hpp"
+#include "src/graph/paper_example.hpp"
+#include "tests/watchdog.hpp"
+
+namespace {
+
+using namespace phigraph;
+using core::EngineConfig;
+using core::ExecMode;
+
+/// Wraps a vertex program; update_vertex throws exactly once, process-wide,
+/// when updating a vertex owned by `device` during `superstep`. Because
+/// update runs on the owning engine only, this kills precisely that rank.
+/// The one-shot latch keeps the throw out of the recovery run (which covers
+/// both partitions and would otherwise die at the same superstep again).
+template <typename Base>
+class ThrowOn : public Base {
+ public:
+  ThrowOn(Base base, std::shared_ptr<const std::vector<Device>> owner,
+          Device device, int superstep)
+      : Base(std::move(base)),
+        owner_(std::move(owner)),
+        device_(device),
+        superstep_(superstep),
+        fired_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  template <typename View>
+  bool update_vertex(const typename Base::message_t& msg, View& g,
+                     vid_t u) const {
+    if (g.superstep == superstep_ && (*owner_)[g.global_id[u]] == device_ &&
+        !fired_->exchange(true))
+      throw std::runtime_error("synthetic device failure");
+    return Base::update_vertex(msg, g, u);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Device>> owner_;
+  Device device_;
+  int superstep_;
+  std::shared_ptr<std::atomic<bool>> fired_;
+};
+
+std::shared_ptr<const std::vector<Device>> round_robin_owner(vid_t n) {
+  auto owner = std::make_shared<std::vector<Device>>(n);
+  for (vid_t v = 0; v < n; ++v)
+    (*owner)[v] = v % 2 == 0 ? Device::Cpu : Device::Mic;
+  return owner;
+}
+
+EngineConfig cpu_cfg() {
+  EngineConfig c;
+  c.mode = ExecMode::kLocking;
+  c.simd_bytes = simd::kCpuSimdBytes;
+  c.threads = 3;
+  c.sched_chunk = 16;
+  return c;
+}
+
+EngineConfig mic_cfg() {
+  EngineConfig c;
+  c.mode = ExecMode::kPipelining;
+  c.simd_bytes = simd::kMicSimdBytes;
+  c.threads = 3;
+  c.movers = 2;
+  c.sched_chunk = 16;
+  c.queue_capacity = 256;
+  return c;
+}
+
+graph::Csr test_graph() { return gen::pokec_like(3000, 30000, 7); }
+
+TEST(HeteroFailover, ThrowingProgramFailsOverInsteadOfTerminating) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(120));
+  const auto g = test_graph();
+  auto owner = round_robin_owner(g.num_vertices());
+  const ThrowOn<apps::PageRank> prog(apps::PageRank(), owner, Device::Mic,
+                                     /*superstep=*/2);
+  auto cc = cpu_cfg();
+  auto mc = mic_cfg();
+  cc.max_supersteps = mc.max_supersteps = 10;
+  core::HeteroEngine<ThrowOn<apps::PageRank>> he(g, *owner, prog, cc, mc);
+  const auto res = he.run();
+
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  EXPECT_EQ(res.fault.rank, 1);
+  EXPECT_EQ(res.fault.superstep, 2);
+  EXPECT_EQ(res.fault.phase, "update");
+  // No checkpointing: recovery restarted from superstep 0.
+  EXPECT_EQ(res.failover.lost_supersteps, 2u);
+  const auto classic = apps::classic_pagerank(g, 10);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(res.global_values[v], classic[v], 1e-3f * (1.0f + classic[v]))
+        << "vertex " << v;
+}
+
+TEST(HeteroFailover, BfsCheckpointRecoveryIsBitIdenticalToSingleDevice) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(120));
+  const auto g = test_graph();
+  auto owner = round_robin_owner(g.num_vertices());
+  const ThrowOn<apps::Bfs> prog(apps::Bfs(0), owner, Device::Mic,
+                                /*superstep=*/2);
+  auto cc = cpu_cfg();
+  auto mc = mic_cfg();
+  cc.checkpoint.interval = mc.checkpoint.interval = 2;
+  core::HeteroEngine<ThrowOn<apps::Bfs>> he(g, *owner, prog, cc, mc);
+  const auto res = he.run();
+
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  EXPECT_EQ(res.fault.rank, 1);
+  EXPECT_LT(res.failover.lost_supersteps, 2u);
+
+  // BFS levels reduce with min — order-independent — so the recovered values
+  // must be *bit-identical* to a fault-free single-device run.
+  const auto ref = core::run_single(g, apps::Bfs(0), cpu_cfg());
+  ASSERT_EQ(res.global_values.size(), ref.values.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(res.global_values[v], ref.values[v]) << "vertex " << v;
+}
+
+TEST(HeteroFailover, PageRankFromScratchRecoveryIsBitIdentical) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(120));
+  const auto g = graph::paper_example_graph();
+  auto owner = round_robin_owner(g.num_vertices());
+  // Single-threaded locking config: float reduction order is deterministic,
+  // so a from-scratch CPU-only recovery must reproduce the single-device
+  // run bit for bit (the recovery config is the CPU config).
+  EngineConfig det;
+  det.mode = ExecMode::kLocking;
+  det.simd_bytes = simd::kCpuSimdBytes;
+  det.threads = 1;
+  det.max_supersteps = 12;
+  const ThrowOn<apps::PageRank> prog(apps::PageRank(), owner, Device::Mic,
+                                     /*superstep=*/3);
+  core::HeteroEngine<ThrowOn<apps::PageRank>> he(g, *owner, prog, det, det);
+  const auto res = he.run();
+
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  const auto ref = core::run_single(g, apps::PageRank(), det);
+  ASSERT_EQ(res.global_values.size(), ref.values.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(res.global_values[v], ref.values[v]) << "vertex " << v;
+}
+
+TEST(HeteroFailover, LostSuperstepsAreBoundedByTheCheckpointInterval) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(120));
+  const auto g = test_graph();
+  auto owner = round_robin_owner(g.num_vertices());
+  constexpr int kInterval = 3;
+  constexpr int kFaultAt = 7;  // checkpoints at 3, 6 -> resume 6, lose 1
+  const ThrowOn<apps::PageRank> prog(apps::PageRank(), owner, Device::Mic,
+                                     kFaultAt);
+  auto cc = cpu_cfg();
+  auto mc = mic_cfg();
+  cc.max_supersteps = mc.max_supersteps = 10;
+  cc.checkpoint.interval = mc.checkpoint.interval = kInterval;
+  core::HeteroEngine<ThrowOn<apps::PageRank>> he(g, *owner, prog, cc, mc);
+  const auto res = he.run();
+
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  EXPECT_EQ(res.failover.lost_supersteps, 1u);
+  EXPECT_LT(res.failover.lost_supersteps,
+            static_cast<std::uint64_t>(kInterval));
+  EXPECT_GE(res.failover.recovery_ms, 0.0);
+  const auto classic = apps::classic_pagerank(g, 10);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_NEAR(res.global_values[v], classic[v], 1e-3f * (1.0f + classic[v]))
+        << "vertex " << v;
+}
+
+TEST(HeteroFailover, CpuFaultAlsoFailsOver) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(120));
+  const auto g = test_graph();
+  auto owner = round_robin_owner(g.num_vertices());
+  const ThrowOn<apps::Bfs> prog(apps::Bfs(0), owner, Device::Cpu,
+                                /*superstep=*/1);
+  core::HeteroEngine<ThrowOn<apps::Bfs>> he(g, *owner, prog, cpu_cfg(),
+                                            mic_cfg());
+  const auto res = he.run();
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  EXPECT_EQ(res.fault.rank, 0);
+  const auto classic = apps::classic_bfs(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(res.global_values[v], classic[v]) << "vertex " << v;
+}
+
+TEST(SingleDeviceFaults, UserExceptionsStillPropagateToTheCaller) {
+  // run_single keeps its historical contract: no peer to poison, so the
+  // user-program exception surfaces on the calling thread.
+  const auto g = graph::paper_example_graph();
+  auto owner = std::make_shared<std::vector<Device>>(g.num_vertices(),
+                                                     Device::Cpu);
+  const ThrowOn<apps::PageRank> prog(apps::PageRank(), owner, Device::Cpu,
+                                     /*superstep=*/1);
+  EngineConfig cfg = cpu_cfg();
+  cfg.max_supersteps = 5;
+  EXPECT_THROW((void)core::run_single(g, prog, cfg), std::runtime_error);
+}
+
+}  // namespace

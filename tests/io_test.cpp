@@ -97,4 +97,108 @@ TEST_F(IoTest, MissingFileAborts) {
                "failed to open");
 }
 
+// ---- loader hardening: malformed text inputs --------------------------------
+//
+// Each rejection names the file, the 1-based line, and the offending token.
+// Before the hardening, `stream >> id` quietly turned "abc" into vertex 0 —
+// a typo became a silent self-loop instead of a diagnostic.
+
+TEST_F(IoTest, EdgeListRejectsNonNumericToken) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_edges_bad_token.txt"));
+  {
+    std::ofstream out(path);
+    out << "0 1\n2 abc\n";
+  }
+  EXPECT_DEATH((void)graph::load_edge_list(path),
+               ":2: non-numeric target token 'abc'");
+}
+
+TEST_F(IoTest, EdgeListRejectsOutOfRangeVertexId) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_edges_oob.txt"));
+  {
+    std::ofstream out(path);
+    out << "0 1\n3 9\n";
+  }
+  EXPECT_DEATH((void)graph::load_edge_list(path, /*num_vertices=*/5),
+               ":2: target id 9 out of range");
+}
+
+TEST_F(IoTest, EdgeListRejectsWrongTokenCount) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_edges_extra.txt"));
+  {
+    std::ofstream out(path);
+    out << "0 1 2.5 7\n";
+  }
+  EXPECT_DEATH((void)graph::load_edge_list(path), ":1: expected 'u v");
+}
+
+TEST_F(IoTest, EdgeListRejectsMixedWeightedness) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_edges_mixed.txt"));
+  {
+    std::ofstream out(path);
+    out << "0 1 2.5\n1 2\n";
+  }
+  EXPECT_DEATH((void)graph::load_edge_list(path),
+               ":2: unweighted line in a weighted edge list");
+}
+
+TEST_F(IoTest, AdjacencyListRejectsTruncatedFile) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_adj_truncated.txt"));
+  {
+    std::ofstream out(path);
+    out << "3 4 0\n0 2 1 2\n1 1 2\n";  // vertex 2's line is missing
+  }
+  EXPECT_DEATH((void)graph::load_adjacency_list(path),
+               "truncated after line 3: expected a vertex line");
+}
+
+TEST_F(IoTest, AdjacencyListRejectsNonNumericDegree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_adj_bad_degree.txt"));
+  {
+    std::ofstream out(path);
+    out << "2 1 0\n0 x 1\n1 0\n";
+  }
+  EXPECT_DEATH((void)graph::load_adjacency_list(path),
+               ":2: non-numeric degree token 'x'");
+}
+
+TEST_F(IoTest, AdjacencyListRejectsOutOfRangeTarget) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_adj_oob_target.txt"));
+  {
+    std::ofstream out(path);
+    out << "2 2 0\n0 2 1 5\n1 0\n";
+  }
+  EXPECT_DEATH((void)graph::load_adjacency_list(path),
+               ":2: target id 5 out of range");
+}
+
+TEST_F(IoTest, AdjacencyListRejectsDegreeTokenMismatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_adj_degree_mismatch.txt"));
+  {
+    std::ofstream out(path);
+    out << "2 2 0\n0 2 1\n1 0\n";  // declares degree 2, provides one target
+  }
+  EXPECT_DEATH((void)graph::load_adjacency_list(path),
+               "declares degree 2 but the line holds 1 edge token");
+}
+
+TEST_F(IoTest, AdjacencyListRejectsBadHeader) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto path = track(tmp_path("pg_adj_bad_header.txt"));
+  {
+    std::ofstream out(path);
+    out << "2 two 0\n0 0\n1 0\n";
+  }
+  EXPECT_DEATH((void)graph::load_adjacency_list(path),
+               ":1: non-numeric edge-count token 'two'");
+}
+
 }  // namespace

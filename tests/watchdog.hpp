@@ -1,0 +1,52 @@
+// Test watchdog: aborts the process if a scope takes longer than its limit.
+//
+// The fault-tolerance tests assert "no deadlock" as much as they assert
+// values: a regression that leaves a rank blocked on a dead exchange or a
+// mover spinning on a queue would otherwise hang the whole suite (and CI)
+// instead of failing. The watchdog turns a hang into a loud abort.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace phigraph::testing {
+
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::seconds limit)
+      : thread_([this, limit] {
+          std::unique_lock<std::mutex> l(mu_);
+          if (!cv_.wait_for(l, limit, [this] { return disarmed_; })) {
+            std::fprintf(stderr,
+                         "watchdog: test exceeded its %llds limit — "
+                         "deadlocked fault path?\n",
+                         static_cast<long long>(limit.count()));
+            std::fflush(stderr);
+            std::abort();
+          }
+        }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+}  // namespace phigraph::testing

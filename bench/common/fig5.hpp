@@ -24,6 +24,7 @@ void fig5_run(const std::string& figure, const std::string& app,
   const auto scale = get_scale();
   print_header(figure + ": " + app, g, scale);
   JsonEmitter json(figure, app, g, scale);
+  trace_run_begin();
 
   using Mode = core::ExecMode;
   auto cpu = [&](Mode m) { return with_cost(cpu_setup(m), cost); };
@@ -52,16 +53,24 @@ void fig5_run(const std::string& figure, const std::string& app,
   print_row("CPU-MIC", hetero.modeled.execution_seconds,
             hetero.modeled.comm_seconds);
 
-  json.add_version("CPU OMP", cpu_omp.modeled.execution(), 0, cpu_omp.trace);
-  json.add_version("CPU Lock", cpu_lock.modeled.execution(), 0, cpu_lock.trace);
-  json.add_version("CPU Pipe", cpu_pipe.modeled.execution(), 0, cpu_pipe.trace);
-  json.add_version("MIC OMP", mic_omp.modeled.execution(), 0, mic_omp.trace);
-  json.add_version("MIC Lock", mic_lock.modeled.execution(), 0, mic_lock.trace);
-  json.add_version("MIC Pipe", mic_pipe.modeled.execution(), 0, mic_pipe.trace);
+  json.add_version("CPU OMP", cpu_omp.modeled.execution(), 0, cpu_omp.trace,
+                   cpu_omp.phases);
+  json.add_version("CPU Lock", cpu_lock.modeled.execution(), 0, cpu_lock.trace,
+                   cpu_lock.phases);
+  json.add_version("CPU Pipe", cpu_pipe.modeled.execution(), 0, cpu_pipe.trace,
+                   cpu_pipe.phases);
+  json.add_version("MIC OMP", mic_omp.modeled.execution(), 0, mic_omp.trace,
+                   mic_omp.phases);
+  json.add_version("MIC Lock", mic_lock.modeled.execution(), 0, mic_lock.trace,
+                   mic_lock.phases);
+  json.add_version("MIC Pipe", mic_pipe.modeled.execution(), 0, mic_pipe.trace,
+                   mic_pipe.phases);
   json.add_version("CPU-MIC (cpu rank)", hetero.modeled.execution_seconds,
-                   hetero.modeled.comm_seconds, hetero.cpu_trace);
+                   hetero.modeled.comm_seconds, hetero.cpu_trace,
+                   hetero.cpu_phases);
   json.add_version("CPU-MIC (mic rank)", hetero.modeled.execution_seconds,
-                   hetero.modeled.comm_seconds, hetero.mic_trace);
+                   hetero.modeled.comm_seconds, hetero.mic_trace,
+                   hetero.mic_phases);
   json.set_failover(hetero.failover);
 
   const double best_single =
@@ -81,6 +90,7 @@ void fig5_run(const std::string& figure, const std::string& app,
   print_ratio("CPU-MIC speedup over best single device",
               best_single / hetero.modeled.total(), bands.hetero_vs_best);
   print_footer();
+  trace_run_end(figure);
 }
 
 }  // namespace phigraph::bench

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "src/common/expect.hpp"
+#include "src/metrics/chrome_trace.hpp"
+#include "src/metrics/trace.hpp"
 
 namespace phigraph::bench {
 
@@ -119,6 +121,36 @@ void print_ratio(const std::string& label, double ratio,
 
 void print_footer() { std::printf("\n"); }
 
+// ---- span tracing ----------------------------------------------------------------
+
+void trace_run_begin() {
+#if PG_TRACE_ENABLED
+  trace::Collector::instance().clear();
+#endif
+}
+
+void trace_run_end(const std::string& figure) {
+#if PG_TRACE_ENABLED
+  const char* env = std::getenv("PHIGRAPH_TRACE_JSON");
+  if (env == nullptr || *env == '\0' || std::string(env) == "0") return;
+  std::string slug;
+  for (char ch : figure)
+    if (std::isalnum(static_cast<unsigned char>(ch)))
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  const std::string dir = std::string(env) == "1" ? "." : env;
+  const std::string path =
+      dir + "/TRACE_" + (slug.empty() ? "bench" : slug) + ".json";
+  const auto snap = trace::Collector::instance().snapshot();
+  if (trace::write_chrome_trace(path, snap))
+    std::printf("   [trace] wrote %s (%zu threads)\n", path.c_str(),
+                snap.size());
+  else
+    std::fprintf(stderr, "   [trace] could not write %s\n", path.c_str());
+#else
+  (void)figure;
+#endif
+}
+
 // ---- JSON emitter ----------------------------------------------------------------
 
 namespace {
@@ -167,7 +199,8 @@ JsonEmitter::JsonEmitter(const std::string& figure, const std::string& app,
 }
 
 void JsonEmitter::add_version(const std::string& name, double exec_s,
-                              double comm_s, const metrics::RunTrace& trace) {
+                              double comm_s, const metrics::RunTrace& trace,
+                              const metrics::PhaseTrace& phases) {
   if (!enabled_) return;
   if (!first_version_) body_ += ',';
   first_version_ = false;
@@ -203,7 +236,37 @@ void JsonEmitter::add_version(const std::string& name, double exec_s,
     append_kv(body_, "verts_updated", c.verts_updated, /*last=*/true);
     body_ += '}';
   }
-  body_ += "]}";
+  body_ += ']';
+  append_phases(phases);
+  body_ += '}';
+}
+
+/// Per-superstep host phase seconds: a "phases" array (one row per
+/// superstep, phase_sum + wall included so regressions and the sum≈wall
+/// invariant are diffable from the JSON alone) plus a "phase_totals" rollup.
+void JsonEmitter::append_phases(const metrics::PhaseTrace& phases) {
+  if (phases.empty()) return;
+  auto row = [](const metrics::PhaseSeconds& p, std::uint64_t superstep) {
+    char buf[352];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"superstep\": %llu, \"prepare\": %.6f, \"generate\": %.6f, "
+        "\"exchange\": %.6f, \"process\": %.6f, \"update\": %.6f, "
+        "\"terminate\": %.6f, \"checkpoint\": %.6f, \"phase_sum\": %.6f, "
+        "\"wall\": %.6f}",
+        static_cast<unsigned long long>(superstep), p.prepare, p.generate,
+        p.exchange, p.process, p.update, p.terminate, p.checkpoint,
+        p.phase_sum(), p.wall);
+    return std::string(buf);
+  };
+  body_ += ",\n     \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) body_ += ',';
+    body_ += "\n       ";
+    body_ += row(phases[i], i);
+  }
+  body_ += "],\n     \"phase_totals\": ";
+  body_ += row(metrics::phase_totals(phases), phases.size());
 }
 
 void JsonEmitter::set_failover(const metrics::FailoverStats& f) {

@@ -91,6 +91,7 @@ inline DeviceSetup with_cost(DeviceSetup d, const AppCost& cost) {
 template <core::VertexProgram Program>
 struct DeviceRunResult {
   metrics::RunTrace trace;
+  metrics::PhaseTrace phases;  // host phase seconds, parallel to trace
   sim::PhaseTimes modeled;
   double host_seconds = 0;
   int supersteps = 0;
@@ -109,6 +110,7 @@ DeviceRunResult<Program> run_device(const graph::Csr& g, const Program& prog,
   DeviceRunResult<Program> out;
   out.modeled = sim::model_run(run.trace, setup.spec, setup.profile);
   out.trace = std::move(run.trace);
+  out.phases = std::move(run.phases);
   out.host_seconds = run.host_seconds;
   out.supersteps = run.supersteps;
   return out;
@@ -118,6 +120,8 @@ template <core::VertexProgram Program>
 struct HeteroRunResult {
   metrics::RunTrace cpu_trace;
   metrics::RunTrace mic_trace;
+  metrics::PhaseTrace cpu_phases;
+  metrics::PhaseTrace mic_phases;
   sim::HeteroEstimate modeled;
   int supersteps = 0;
   bool completed = true;
@@ -151,12 +155,27 @@ HeteroRunResult<Program> run_hetero(const graph::Csr& g, const Program& prog,
   out.supersteps = res.cpu.supersteps;
   out.cpu_trace = std::move(res.cpu.trace);
   out.mic_trace = std::move(res.mic.trace);
+  out.cpu_phases = std::move(res.cpu.phases);
+  out.mic_phases = std::move(res.mic.phases);
   out.completed = res.completed;
   out.failover = res.failover;
   return out;
 }
 
 // ---- printing --------------------------------------------------------------------
+
+// ---- span tracing (trace builds) -------------------------------------------------
+
+/// Reset the span collector so the coming runs start a fresh timeline.
+/// No-op unless built with PHIGRAPH_TRACE.
+void trace_run_begin();
+
+/// Export the collected spans as Chrome-trace JSON when the
+/// PHIGRAPH_TRACE_JSON environment variable is set ("1" for the working
+/// directory, anything else is an output directory); the file is named
+/// TRACE_<fig_slug>.json and loads in chrome://tracing. No-op unless built
+/// with PHIGRAPH_TRACE.
+void trace_run_end(const std::string& figure);
 
 void print_header(const std::string& title, const graph::Csr& g,
                   const Scale& s);
@@ -183,7 +202,8 @@ class JsonEmitter {
   JsonEmitter& operator=(const JsonEmitter&) = delete;
 
   void add_version(const std::string& name, double exec_s, double comm_s,
-                   const metrics::RunTrace& trace);
+                   const metrics::RunTrace& trace,
+                   const metrics::PhaseTrace& phases = {});
 
   /// Record the heterogeneous run's failover counters (all-zero on a
   /// fault-free run); emitted as a top-level "failover" object.
@@ -192,6 +212,8 @@ class JsonEmitter {
   [[nodiscard]] static bool enabled();
 
  private:
+  void append_phases(const metrics::PhaseTrace& phases);
+
   bool enabled_ = false;
   std::string path_;
   std::string body_;

@@ -22,6 +22,7 @@
 
 #include "src/common/expect.hpp"
 #include "src/fault/fault.hpp"
+#include "src/metrics/trace.hpp"
 
 namespace phigraph::comm {
 
@@ -75,6 +76,10 @@ class Exchange {
   /// either rank returns kPeerFailed immediately.
   Result exchange_for(int rank, T mine, std::chrono::milliseconds deadline) {
     PG_CHECK(rank == 0 || rank == 1);
+    // The whole rendezvous (both waits) is the PCIe-latency stand-in; the
+    // span has no superstep of its own — exchanges also carry control
+    // traffic — so it is excluded from phase-time accounting.
+    PG_TRACE_SCOPE(kExchangeWait, -1, rank);
     const int peer = 1 - rank;
     const auto until = std::chrono::steady_clock::now() + deadline;
     std::unique_lock<std::mutex> l(mu_);

@@ -27,6 +27,7 @@
 // values + frontier + superstep at BSP boundaries for CPU-only failover.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <exception>
@@ -51,6 +52,8 @@
 #include "src/fault/fault.hpp"
 #include "src/fault/fault_injection.hpp"
 #include "src/metrics/counters.hpp"
+#include "src/metrics/histogram.hpp"
+#include "src/metrics/trace.hpp"
 #include "src/pipeline/message_pipeline.hpp"
 #include "src/sched/dynamic_scheduler.hpp"
 #include "src/sched/thread_team.hpp"
@@ -63,6 +66,11 @@ namespace phigraph::core {
 struct RunResult {
   int supersteps = 0;
   metrics::RunTrace trace;
+  /// Host wall seconds per superstep, phase-resolved; parallel to `trace`
+  /// (same length, same superstep order). Always collected — it costs a few
+  /// clock reads per superstep; the span-level tracing is what PHIGRAPH_TRACE
+  /// gates.
+  metrics::PhaseTrace phases;
   double host_seconds = 0;
   double gen_seconds = 0;
   double exchange_seconds = 0;
@@ -119,6 +127,10 @@ class DeviceEngine {
     if (cfg_.mode == ExecMode::kPipelining)
       pipe_.emplace(cfg_.threads, cfg_.movers, cfg_.queue_capacity);
     team_.emplace(cfg_.total_threads());
+#if PG_TRACE_ENABLED
+    sched_.set_chunk_histogram(&hist_chunk_);
+    if (pipe_) pipe_->set_drain_histogram(&hist_drain_);
+#endif
     tstats_.resize(static_cast<std::size_t>(cfg_.total_threads()));
     if constexpr (!Program::kAllActive)
       tl_frontier_.resize(static_cast<std::size_t>(cfg_.total_threads()));
@@ -178,15 +190,15 @@ class DeviceEngine {
   /// the peer's FaultReport). Single-device runs rethrow user-program
   /// exceptions on the calling thread.
   RunResult run() {
+    PG_TRACE_THREAD_NAME(rank() == 1 ? "mic-orchestrator" : "cpu-orchestrator");
     Timer total;
     RunResult res;
-    StopWatch gen_w, exch_w, proc_w, upd_w;
 
     int s = start_superstep_;
     for (; s < cfg_.max_supersteps; ++s) {
       StepOutcome out;
       try {
-        out = superstep(s, res, gen_w, exch_w, proc_w, upd_w);
+        out = superstep(s, res);
       } catch (const std::exception& e) {
         if (!peer_) throw;
         fail_run(res, s, e.what());
@@ -215,56 +227,97 @@ class DeviceEngine {
 #endif
     res.supersteps = s;
     res.host_seconds = total.seconds();
-    res.gen_seconds = gen_w.total_seconds();
-    res.exchange_seconds = exch_w.total_seconds();
-    res.process_seconds = proc_w.total_seconds();
-    res.update_seconds = upd_w.total_seconds();
+    const metrics::PhaseSeconds tot = metrics::phase_totals(res.phases);
+    res.gen_seconds = tot.generate;
+    res.exchange_seconds = tot.exchange;
+    res.process_seconds = tot.process;
+    res.update_seconds = tot.update;
     return res;
   }
+
+#if PG_TRACE_ENABLED
+  /// Shape statistics, trace builds only: dynamic-scheduler chunk sizes,
+  /// mover drain-batch depths, and CSB column message depths. Cumulative
+  /// over the engine's lifetime.
+  [[nodiscard]] metrics::HistogramData chunk_histogram() const noexcept {
+    return hist_chunk_.snapshot();
+  }
+  [[nodiscard]] metrics::HistogramData drain_histogram() const noexcept {
+    return hist_drain_.snapshot();
+  }
+  [[nodiscard]] metrics::HistogramData column_depth_histogram() const noexcept {
+    return hist_col_depth_.snapshot();
+  }
+#endif
 
  private:
   enum class StepOutcome { kContinue, kTerminated, kPeerFailed };
 
-  StepOutcome superstep(int s, RunResult& res, StopWatch& gen_w,
-                        StopWatch& exch_w, StopWatch& proc_w,
-                        StopWatch& upd_w) {
+  StepOutcome superstep(int s, RunResult& res) {
     for (auto& t : tstats_) t = ThreadStats{};
     cur_superstep_ = s;
+    Timer wall;
+    metrics::PhaseSeconds ps;
+    PG_TRACE_SCOPE(kSuperstep, s, rank());
 
-    phase_ = "prepare";
-    PG_AUDIT_PHASE_ENTER(bsp_phase_, kPrepare);
-    prepare();
+    {
+      phase_ = "prepare";
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kPrepare);
+      PG_TRACE_SCOPE(kPrepare, s, rank());
+      Timer t;
+      prepare();
+      ps.prepare = t.seconds();
+    }
 
-    phase_ = "generate";
-    PG_AUDIT_PHASE_ENTER(bsp_phase_, kGenerate);
-    gen_w.start();
-    generate(s);
-    gen_w.stop();
+    {
+      phase_ = "generate";
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kGenerate);
+      PG_TRACE_SCOPE(kGenerate, s, rank());
+      Timer t;
+      generate(s);
+      ps.generate = t.seconds();
+    }
 
     if (peer_) {
       phase_ = "exchange";
       PG_AUDIT_PHASE_ENTER(bsp_phase_, kExchange);
-      exch_w.start();
-      const bool ok = exchange_messages(s, res);
-      exch_w.stop();
+      Timer t;
+      bool ok;
+      {
+        PG_TRACE_SCOPE(kExchange, s, rank());
+        ok = exchange_messages(s, res);
+      }
+      ps.exchange = t.seconds();
       if (!ok) return StepOutcome::kPeerFailed;
     }
 
     if (cfg_.mode != ExecMode::kOmpStyle && Program::kNeedsReduction) {
       phase_ = "process";
       PG_AUDIT_PHASE_ENTER(bsp_phase_, kProcess);
-      proc_w.start();
+      PG_TRACE_SCOPE(kProcess, s, rank());
+      Timer t;
       process(s);
-      proc_w.stop();
+      ps.process = t.seconds();
     }
 
-    phase_ = "update";
-    PG_AUDIT_PHASE_ENTER(bsp_phase_, kUpdate);
-    upd_w.start();
-    update(s);
-    upd_w.stop();
+    {
+      phase_ = "update";
+      PG_AUDIT_PHASE_ENTER(bsp_phase_, kUpdate);
+      PG_TRACE_SCOPE(kUpdate, s, rank());
+      Timer t;
+      update(s);
+      ps.update = t.seconds();
+    }
 
+#if PG_TRACE_ENABLED
+    record_csb_depths();
+#endif
     res.trace.push_back(collect_counters(s));
+    // Terminate / checkpoint seconds are patched into the entry below; the
+    // invariant is phases.size() == trace.size() on every exit path that
+    // pushed a trace entry.
+    ps.wall = wall.seconds();
+    res.phases.push_back(ps);
 
     std::swap(active_, next_active_);
     advance_frontier();
@@ -276,17 +329,53 @@ class DeviceEngine {
     for (const auto& t : tstats_) next += t.next_active;
     if (peer_) {
       phase_ = "terminate";
-      auto r = peer_->control->exchange_for(peer_->rank, next,
-                                            exchange_deadline());
+      Timer t;
+      typename comm::Exchange<std::uint64_t>::Result r;
+      {
+        PG_TRACE_SCOPE(kTerminate, s, rank());
+        r = peer_->control->exchange_for(peer_->rank, next,
+                                         exchange_deadline());
+      }
+      res.phases.back().terminate = t.seconds();
+      res.phases.back().wall = wall.seconds();
       if (r.status != comm::ExchangeStatus::kOk)
         return handle_peer_down(r.status, r.fault, s, res);
       next += r.value;
     }
-    if (!Program::kAllActive && next == 0) return StepOutcome::kTerminated;
+    if (!Program::kAllActive && next == 0) {
+      res.phases.back().wall = wall.seconds();
+      return StepOutcome::kTerminated;
+    }
 
-    maybe_checkpoint(s);
+    {
+      Timer t;
+      maybe_checkpoint(s);
+      res.phases.back().checkpoint = t.seconds();
+    }
+    res.phases.back().wall = wall.seconds();
     return StepOutcome::kContinue;
   }
+
+#if PG_TRACE_ENABLED
+  /// Record this superstep's CSB column message depths (the per-destination
+  /// load distribution) before the counters reset them. Dirty groups only —
+  /// clean groups hold no messages.
+  void record_csb_depths() {
+    if (!csb_) return;
+    const vid_t width = static_cast<vid_t>(csb_->group_width());
+    const vid_t n = lg_.num_local_vertices();
+    const std::size_t dirty = csb_->num_dirty_groups();
+    for (std::size_t i = 0; i < dirty; ++i) {
+      const std::size_t g = csb_->dirty_group(i);
+      const vid_t base = static_cast<vid_t>(g) * width;
+      const vid_t cols = std::min(width, n - base);
+      for (vid_t c = 0; c < cols; ++c) {
+        const std::uint32_t cnt = csb_->column_count(g, c);
+        if (cnt > 0) hist_col_depth_.record(cnt);
+      }
+    }
+  }
+#endif
 
   /// Convert a fault on this rank into a peer poison + failed RunResult.
   void fail_run(RunResult& res, int s, const char* what) {
@@ -335,6 +424,7 @@ class DeviceEngine {
     if (!ckpt_) return;
     if ((s + 1) % cfg_.checkpoint.interval != 0) return;
     phase_ = "checkpoint";
+    PG_TRACE_SCOPE(kCheckpoint, s, rank());
     PG_FAULT_POINT(kCheckpointWrite, rank(), s);
     static_assert(std::is_trivially_copyable_v<Value>,
                   "checkpointing snapshots vertex values bytewise");
@@ -623,6 +713,9 @@ class DeviceEngine {
             pipe_->worker_done();
           } else {
             const int mover = tid - cfg_.threads;
+            // The drain loop runs for the whole generate phase on this team
+            // thread — the worker/mover overlap the pipelining scheme buys.
+            PG_TRACE_SCOPE(kPipelineDrain, cur_superstep_, rank());
             try {
               pipe_->mover_loop(mover, [&](const pipeline::Envelope<Msg>& env) {
                 PG_FAULT_POINT(kPipelineMoverInsert, rank(), cur_superstep_);
@@ -902,6 +995,13 @@ class DeviceEngine {
   // restore(), and bookkeeping for FaultReports — the superstep and BSP
   // phase currently executing, read when an exception or fault-injection
   // point tears the run down.
+#if PG_TRACE_ENABLED
+  // Shape statistics (trace builds only); see the accessors next to run().
+  metrics::Histogram hist_chunk_;
+  metrics::Histogram hist_drain_;
+  metrics::Histogram hist_col_depth_;
+#endif
+
   std::optional<fault::CheckpointStore> ckpt_;
   int start_superstep_ = 0;
   int cur_superstep_ = -1;

@@ -141,6 +141,7 @@ class HeteroEngine {
   /// seed it from the newest checkpoint superstep that validates on both
   /// devices (falling back to superstep 0), and run it to completion.
   void fail_over(Result& res) {
+    PG_TRACE_SCOPE(kRecovery, -1, 0);
     Timer rec;
     res.fault = res.cpu.failed && res.cpu.fault.valid() ? res.cpu.fault
                                                         : res.mic.fault;

@@ -19,6 +19,7 @@
 
 #include "src/common/expect.hpp"
 #include "src/common/types.hpp"
+#include "src/metrics/trace.hpp"
 
 namespace phigraph::fault {
 
@@ -122,6 +123,9 @@ class CheckpointStore {
   /// to `<dir>/phigraph_ckpt_rank<R>_slot<K>.bin`; a write failure throws so
   /// the engine's fault path treats it like any other device fault.
   void write(const CheckpointFrame& frame) {
+    // superstep -1: the engine's own kCheckpoint span (superstep-tagged)
+    // already carries the phase time; this one isolates the store I/O.
+    PG_TRACE_SCOPE(kCheckpoint, -1, rank_);
     const int slot = next_slot_;
     if (cfg_.file_backed) {
       write_file(slot_path(slot), frame);

@@ -1,0 +1,89 @@
+// Chrome-trace exporter: Collector snapshots -> chrome://tracing JSON.
+//
+// Emits the Trace Event Format's JSON object form: complete ("X") events
+// with microsecond timestamps, pid = device rank (0 = CPU, 1 = MIC),
+// tid = collector thread index, plus process/thread metadata events so the
+// timeline reads "rank 0 (CPU) / cpu-orchestrator" instead of bare numbers.
+// The output loads directly in chrome://tracing and in Perfetto's legacy
+// trace viewer.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/trace.hpp"
+
+namespace phigraph::trace {
+
+/// Serialize a snapshot to Trace Event Format JSON. Returns the JSON text.
+inline std::string chrome_trace_json(
+    const std::vector<Collector::ThreadTrace>& threads) {
+  std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  ";
+    out += event;
+  };
+  char buf[256];
+
+  // Metadata: name every (pid, tid) pair that carries events.
+  std::vector<std::pair<int, std::size_t>> named;  // (rank, thread index)
+  std::vector<int> pids;
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    for (const Span& s : threads[t].spans) {
+      const auto pair = std::make_pair(static_cast<int>(s.rank), t);
+      bool seen = false;
+      for (const auto& p : named) seen = seen || p == pair;
+      if (!seen) named.push_back(pair);
+      bool pid_seen = false;
+      for (int p : pids) pid_seen = pid_seen || p == s.rank;
+      if (!pid_seen) pids.push_back(s.rank);
+    }
+  }
+  for (int pid : pids) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+                  "\"args\": {\"name\": \"rank %d (%s)\"}}",
+                  pid, pid, pid == 0 ? "CPU" : "MIC");
+    emit(buf);
+  }
+  for (const auto& [pid, t] : named) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, "
+                  "\"tid\": %zu, \"args\": {\"name\": \"%s\"}}",
+                  pid, t, threads[t].name.c_str());
+    emit(buf);
+  }
+
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    for (const Span& s : threads[t].spans) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": %zu, "
+          "\"ts\": %.3f, \"dur\": %.3f, \"args\": {\"superstep\": %d}}",
+          phase_name(s.phase), static_cast<int>(s.rank), t,
+          static_cast<double>(s.begin_ns) * 1e-3,
+          static_cast<double>(s.end_ns - s.begin_ns) * 1e-3,
+          static_cast<int>(s.superstep));
+      emit(buf);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+/// Write a snapshot to `path`. Returns false on IO failure.
+inline bool write_chrome_trace(const std::string& path,
+                               const std::vector<Collector::ThreadTrace>& threads) {
+  const std::string json = chrome_trace_json(threads);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace phigraph::trace

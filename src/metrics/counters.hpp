@@ -75,6 +75,50 @@ struct FailoverStats {
   double recovery_ms = 0;            // rebuild + re-run wall time
 };
 
+/// Host-measured wall seconds of one superstep's phases, recorded by the
+/// engine in every build (a handful of clock reads per superstep — the
+/// *span-level* tracing is what the PHIGRAPH_TRACE gate controls). The
+/// exclusive phases tile the superstep: their sum must track `wall` minus
+/// loop bookkeeping (frontier swap, counter collection), an invariant the
+/// differential tests check.
+struct PhaseSeconds {
+  double prepare = 0;
+  double generate = 0;
+  double exchange = 0;   // heterogeneous runs only (0 single-device)
+  double process = 0;
+  double update = 0;
+  double terminate = 0;  // termination-control exchange (hetero only)
+  double checkpoint = 0;
+  double wall = 0;       // whole superstep on the orchestrator
+
+  [[nodiscard]] double phase_sum() const noexcept {
+    return prepare + generate + exchange + process + update + terminate +
+           checkpoint;
+  }
+
+  PhaseSeconds& operator+=(const PhaseSeconds& o) noexcept {
+    prepare += o.prepare;
+    generate += o.generate;
+    exchange += o.exchange;
+    process += o.process;
+    update += o.update;
+    terminate += o.terminate;
+    checkpoint += o.checkpoint;
+    wall += o.wall;
+    return *this;
+  }
+};
+
+/// One entry per executed superstep, parallel to RunTrace.
+using PhaseTrace = std::vector<PhaseSeconds>;
+
+/// Sum of a phase trace.
+inline PhaseSeconds phase_totals(const PhaseTrace& phases) noexcept {
+  PhaseSeconds t;
+  for (const auto& p : phases) t += p;
+  return t;
+}
+
 /// Full run trace: one entry per executed superstep.
 using RunTrace = std::vector<SuperstepCounters>;
 

@@ -1,0 +1,132 @@
+// Power-of-two-bucket histograms for runtime shape statistics.
+//
+// The counters (counters.hpp) answer "how much"; the histograms answer "how
+// distributed" — the difference between a pipeline whose queues hover near
+// empty and one that rides the backpressure limit, or a CSB whose columns
+// hold one message each and one funnelling thousands into a hub vertex.
+// Three distributions matter to the paper's performance story and are
+// recorded by the engine in trace builds: SPSC queue drain depth (§IV-C),
+// CSB column message depth (§IV-B), and dynamic-scheduler chunk sizes
+// (§IV-D).
+//
+// record() is a single relaxed atomic increment, safe from any number of
+// threads concurrently; snapshot() is taken at phase barriers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace phigraph::metrics {
+
+/// Bucket b holds values in [lower_bound(b), lower_bound(b+1)):
+/// bucket 0 = {0}, bucket b>=1 = [2^(b-1), 2^b). 64-bit values fit in 65
+/// buckets.
+inline constexpr int kHistogramBuckets = 65;
+
+[[nodiscard]] constexpr int histogram_bucket(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : std::bit_width(v);
+}
+
+[[nodiscard]] constexpr std::uint64_t histogram_lower_bound(int bucket) noexcept {
+  return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+/// Immutable copy of a histogram's state, with the derived statistics tests
+/// and exporters consume.
+struct HistogramData {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;  // total samples
+  std::uint64_t sum = 0;    // sum of sample values
+  std::uint64_t max = 0;    // largest sample seen
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Smallest bucket lower bound below which at least `p` (in [0,1]) of the
+  /// samples fall — a bucket-resolution quantile (exact to the pow2 bucket).
+  [[nodiscard]] std::uint64_t quantile_bound(double p) const noexcept {
+    if (count == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(count));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      seen += buckets[b];
+      if (seen > target) return histogram_lower_bound(b);
+    }
+    return histogram_lower_bound(kHistogramBuckets - 1);
+  }
+
+  /// Index past the last non-empty bucket (0 when empty).
+  [[nodiscard]] int used_buckets() const noexcept {
+    for (int b = kHistogramBuckets - 1; b >= 0; --b)
+      if (buckets[b] != 0) return b + 1;
+    return 0;
+  }
+
+  /// Compact JSON: {"count":N,"sum":S,"max":M,"buckets":[...]} with buckets
+  /// truncated after the last non-empty one.
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\"count\": " + std::to_string(count) +
+                      ", \"sum\": " + std::to_string(sum) +
+                      ", \"max\": " + std::to_string(max) + ", \"buckets\": [";
+    const int used = used_buckets();
+    for (int b = 0; b < used; ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(buckets[b]);
+    }
+    out += "]}";
+    return out;
+  }
+};
+
+/// Concurrent histogram: lock-free recording, barrier-time snapshots.
+/// Not copyable (atomics); owners hand out HistogramData copies instead.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[static_cast<std::size_t>(histogram_bucket(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Monotone max via CAS loop; contention is negligible (the loop runs
+    // only while the max is actually advancing).
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Consistent-enough copy: taken at phase barriers when no thread records.
+  [[nodiscard]] HistogramData snapshot() const noexcept {
+    HistogramData d;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      d.buckets[static_cast<std::size_t>(b)] =
+          buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+      d.count += d.buckets[static_cast<std::size_t>(b)];
+    }
+    d.sum = sum_.load(std::memory_order_relaxed);
+    d.max = max_.load(std::memory_order_relaxed);
+    return d;
+  }
+
+  void clear() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace phigraph::metrics

@@ -17,6 +17,8 @@
 #include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
 #include "src/common/types.hpp"
+#include "src/metrics/histogram.hpp"
+#include "src/metrics/trace.hpp"
 #include "src/pipeline/spsc_queue.hpp"
 
 namespace phigraph::pipeline {
@@ -115,7 +117,14 @@ class MessagePipeline {
       std::size_t got = 0;
       for (int w = 0; w < num_workers_; ++w) {
         auto& q = *queues_[static_cast<std::size_t>(w) * num_movers_ + mover];
-        got += q.drain(consume);
+        const std::size_t n = q.drain(consume);
+        got += n;
+#if PG_TRACE_ENABLED
+        // A drain batch is the queue's occupancy at sweep time (a lower
+        // bound — the worker may append while we pop). Idle sweeps are
+        // skipped so the histogram reads as "depth when there was work".
+        if (n > 0 && drain_hist_ != nullptr) drain_hist_->record(n);
+#endif
       }
       moved += got;
       if (got == 0) {
@@ -138,6 +147,11 @@ class MessagePipeline {
     }
   }
 
+#if PG_TRACE_ENABLED
+  /// Trace builds: record every non-empty drain batch's size into `h`.
+  void set_drain_histogram(metrics::Histogram* h) noexcept { drain_hist_ = h; }
+#endif
+
  private:
   static void cpu_relax() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
@@ -147,6 +161,9 @@ class MessagePipeline {
 
   int num_workers_;
   int num_movers_;
+#if PG_TRACE_ENABLED
+  metrics::Histogram* drain_hist_ = nullptr;
+#endif
   // queues_[worker * num_movers_ + mover]
   std::vector<std::unique_ptr<SpscQueue<Envelope<Msg>>>> queues_;
   std::atomic<int> workers_done_{0};

@@ -93,6 +93,14 @@ class SpscQueue {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Occupancy snapshot. Racy by nature (either end may move concurrently)
+  /// but always in [0, capacity()]; exact when the queue is quiescent.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
   /// Items that fit (slot count minus the full/empty sentinel slot).
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_; }
 

@@ -14,6 +14,8 @@
 #include <optional>
 
 #include "src/common/expect.hpp"
+#include "src/metrics/histogram.hpp"
+#include "src/metrics/trace.hpp"
 
 namespace phigraph::sched {
 
@@ -51,8 +53,19 @@ class DynamicScheduler {
         next_.fetch_add(chunk_, std::memory_order_relaxed);
     if (begin >= total_) return std::nullopt;
     retrievals_.fetch_add(1, std::memory_order_relaxed);
-    return TaskRange{begin, begin + chunk_ < total_ ? begin + chunk_ : total_};
+    const TaskRange r{begin,
+                      begin + chunk_ < total_ ? begin + chunk_ : total_};
+#if PG_TRACE_ENABLED
+    if (chunk_hist_ != nullptr) chunk_hist_->record(r.size());
+#endif
+    return r;
   }
+
+#if PG_TRACE_ENABLED
+  /// Trace builds: record every handed-out chunk's size into `h` (the tail
+  /// chunk of a phase is usually short — the histogram shows how often).
+  void set_chunk_histogram(metrics::Histogram* h) noexcept { chunk_hist_ = h; }
+#endif
 
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
 
@@ -63,6 +76,9 @@ class DynamicScheduler {
   }
 
  private:
+#if PG_TRACE_ENABLED
+  metrics::Histogram* chunk_hist_ = nullptr;
+#endif
   std::size_t total_;
   std::size_t chunk_;
   alignas(64) std::atomic<std::size_t> next_{0};

@@ -1,0 +1,395 @@
+// Randomized differential battery: hundreds of seeded engine runs compared
+// bit-for-bit against the sequential reference across the full configuration
+// matrix {locking, pipelining} x {one-to-one, dynamic columns} x {dense,
+// sparse frontier} x {single-device, heterogeneous} on generated graphs of
+// five shapes (uniform, power-law, disconnected, self-loops/parallel edges,
+// edgeless). The min-combine applications (BFS, SSSP, CC) are
+// order-independent, so every configuration must reproduce the reference
+// exactly; PageRank's float sums are order-dependent and is therefore pinned
+// to a single worker, where the engine's insertion and reduction order
+// matches the reference's and the comparison is still bit-exact.
+//
+// The same battery checks the bookkeeping invariants the metrics layer
+// promises: message-counter conservation (satellite: every generated message
+// is accounted for exactly once) and phase-time coverage (the per-superstep
+// phase table is parallel to the counter trace and its sum tracks the
+// superstep wall clock).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/apps/bfs.hpp"
+#include "src/apps/connected_components.hpp"
+#include "src/apps/pagerank.hpp"
+#include "src/apps/reference.hpp"
+#include "src/apps/sssp.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/hetero_engine.hpp"
+#include "src/gen/generators.hpp"
+#include "src/graph/csr.hpp"
+#include "watchdog.hpp"
+
+// Sanitized builds run the same battery at reduced depth: the instrumentation
+// slows each run by an order of magnitude and the extra rounds only re-roll
+// seeds, they do not reach new code paths.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PG_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PG_TEST_SANITIZED 1
+#endif
+#endif
+#ifndef PG_TEST_SANITIZED
+#define PG_TEST_SANITIZED 0
+#endif
+
+namespace {
+
+using namespace phigraph;
+using buffer::ColumnMode;
+using core::EngineConfig;
+using core::ExecMode;
+
+constexpr int kRounds = PG_TEST_SANITIZED ? 4 : 12;
+
+// ---------------------------------------------------------------------------
+// Graph families.
+// ---------------------------------------------------------------------------
+
+enum class Family {
+  kUniform,       // Erdos-Renyi: flat degree distribution
+  kPowerLaw,      // preferential attachment: heavy-tailed in-degrees
+  kDisconnected,  // two islands + isolated vertices
+  kSelfLoops,     // self-loops and parallel edges mixed into random edges
+  kEmpty,         // vertices, no edges at all
+};
+
+constexpr Family kFamilies[] = {Family::kUniform, Family::kPowerLaw,
+                                Family::kDisconnected, Family::kSelfLoops,
+                                Family::kEmpty};
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kUniform: return "uniform";
+    case Family::kPowerLaw: return "power-law";
+    case Family::kDisconnected: return "disconnected";
+    case Family::kSelfLoops: return "self-loops";
+    case Family::kEmpty: return "empty";
+  }
+  return "?";
+}
+
+graph::Csr make_graph(Family f, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::Csr g;
+  switch (f) {
+    case Family::kUniform: {
+      const vid_t n = 200 + static_cast<vid_t>(rng.below(600));
+      const std::uint64_t m = n * (2 + rng.below(6));
+      g = gen::erdos_renyi(n, m, seed ^ 0x9e3779b9ull);
+      break;
+    }
+    case Family::kPowerLaw: {
+      const vid_t n = 300 + static_cast<vid_t>(rng.below(900));
+      const std::uint64_t m = n * (3 + rng.below(5));
+      g = gen::pokec_like(n, m, seed ^ 0xc2b2ae35ull);
+      break;
+    }
+    case Family::kDisconnected: {
+      // Two random islands and a tail of isolated vertices; exercises
+      // components/frontiers that never touch part of the id space.
+      const vid_t island = 100 + static_cast<vid_t>(rng.below(200));
+      const vid_t isolated = 10 + static_cast<vid_t>(rng.below(40));
+      const vid_t n = 2 * island + isolated;
+      std::vector<std::pair<vid_t, vid_t>> edges;
+      const std::uint64_t per_island = island * 4ull;
+      for (std::uint64_t i = 0; i < per_island; ++i) {
+        edges.emplace_back(static_cast<vid_t>(rng.below(island)),
+                           static_cast<vid_t>(rng.below(island)));
+        edges.emplace_back(island + static_cast<vid_t>(rng.below(island)),
+                           island + static_cast<vid_t>(rng.below(island)));
+      }
+      g = graph::Csr::from_edges(n, edges);
+      break;
+    }
+    case Family::kSelfLoops: {
+      const vid_t n = 150 + static_cast<vid_t>(rng.below(350));
+      std::vector<std::pair<vid_t, vid_t>> edges;
+      const std::uint64_t m = n * 3ull;
+      for (std::uint64_t i = 0; i < m; ++i) {
+        const auto u = static_cast<vid_t>(rng.below(n));
+        if (rng.below(5) == 0) {
+          edges.emplace_back(u, u);  // self-loop
+        } else {
+          const auto v = static_cast<vid_t>(rng.below(n));
+          edges.emplace_back(u, v);
+          if (rng.below(4) == 0) edges.emplace_back(u, v);  // parallel edge
+        }
+      }
+      g = graph::Csr::from_edges(n, edges);
+      break;
+    }
+    case Family::kEmpty: {
+      const vid_t n = 1 + static_cast<vid_t>(rng.below(64));
+      g = graph::Csr::from_edges(n, {});
+      break;
+    }
+  }
+  gen::add_random_weights(g, seed ^ 0x94d049bbull);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration matrix.
+// ---------------------------------------------------------------------------
+
+struct Cell {
+  ExecMode mode;
+  ColumnMode col;
+  double density;  // frontier_density_switch: 0.0 = stay dense, 1.0 = sparse
+  bool hetero;
+};
+
+std::vector<Cell> full_matrix() {
+  std::vector<Cell> cells;
+  for (ExecMode mode : {ExecMode::kLocking, ExecMode::kPipelining})
+    for (ColumnMode col : {ColumnMode::kOneToOne, ColumnMode::kDynamic})
+      for (double density : {0.0, 1.0})
+        for (bool hetero : {false, true})
+          cells.push_back({mode, col, density, hetero});
+  return cells;
+}
+
+std::string cell_name(const Cell& c) {
+  std::string s = core::exec_mode_name(c.mode);
+  s += c.col == ColumnMode::kOneToOne ? "/1to1" : "/dyn";
+  s += c.density == 0.0 ? "/dense" : "/sparse";
+  s += c.hetero ? "/hetero" : "/single";
+  return s;
+}
+
+EngineConfig cell_cfg(const Cell& c, int simd_bytes, std::uint64_t salt) {
+  EngineConfig e;
+  e.mode = c.mode;
+  e.column_mode = c.col;
+  e.frontier_density_switch = c.density;
+  e.simd_bytes = simd_bytes;
+  e.use_simd = true;
+  e.threads = 2 + static_cast<int>(salt % 3);
+  e.movers = 1 + static_cast<int>(salt % 2);
+  e.sched_chunk = 8 + 24 * static_cast<int>((salt >> 2) % 2);
+  e.queue_capacity = 256;
+  e.csb_k = 2 + static_cast<int>((salt >> 3) % 2);
+  return e;
+}
+
+std::vector<Device> round_robin_owner(vid_t n, int a, int b) {
+  std::vector<Device> owner(n);
+  for (vid_t v = 0; v < n; ++v)
+    owner[v] = (static_cast<int>(v % static_cast<vid_t>(a + b)) < a)
+                   ? Device::Cpu
+                   : Device::Mic;
+  return owner;
+}
+
+// Runs `prog` under one matrix cell and compares every vertex value
+// bit-for-bit against the sequential reference.
+template <typename Program>
+void check_cell(const graph::Csr& g, const Program& prog, const Cell& c,
+                std::uint64_t salt, const std::string& what) {
+  const auto ref = apps::reference_run(g, prog);
+  if (c.hetero) {
+    const int a = 1 + static_cast<int>(salt % 3);
+    const int b = 1 + static_cast<int>((salt >> 1) % 3);
+    core::HeteroEngine<Program> he(g, round_robin_owner(g.num_vertices(), a, b),
+                                   prog, cell_cfg(c, simd::kCpuSimdBytes, salt),
+                                   cell_cfg(c, simd::kMicSimdBytes, salt + 1));
+    const auto res = he.run();
+    ASSERT_EQ(res.global_values.size(), ref.size()) << what;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(res.global_values[v], ref[v]) << what << " vertex " << v;
+  } else {
+    const auto res =
+        core::run_single(g, prog, cell_cfg(c, simd::kCpuSimdBytes, salt));
+    ASSERT_EQ(res.values.size(), ref.size()) << what;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(res.values[v], ref[v]) << what << " vertex " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The battery: min-combine apps across the whole matrix.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialBattery, MinCombineAppsBitExactAcrossMatrix) {
+  phigraph::testing::Watchdog wd(std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  const auto matrix = full_matrix();
+  for (int round = 0; round < kRounds; ++round) {
+    const Family fam = kFamilies[round % std::size(kFamilies)];
+    const auto seed = static_cast<std::uint64_t>(0xd1f0 + 0x101 * round);
+    const auto g = make_graph(fam, seed);
+    Rng pick(seed ^ 0x2545f491ull);
+    const auto src = g.num_vertices() == 0
+                         ? 0
+                         : static_cast<vid_t>(pick.below(g.num_vertices()));
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      const Cell& c = matrix[i];
+      const std::uint64_t salt = seed + i;
+      const std::string what = std::string(family_name(fam)) + " round " +
+                               std::to_string(round) + " " + cell_name(c);
+      switch (round % 3) {
+        case 0:
+          check_cell(g, apps::Bfs(src), c, salt, what + " bfs");
+          break;
+        case 1:
+          check_cell(g, apps::Sssp(src), c, salt, what + " sssp");
+          break;
+        default:
+          check_cell(g, apps::ConnectedComponents(), c, salt, what + " cc");
+          break;
+      }
+    }
+  }
+}
+
+// PageRank sums float messages, so its result depends on reduction order.
+// With one worker and one mover the engine inserts messages in ascending
+// source order — exactly the reference's combine order — and the SIMD row
+// reduction degenerates to the same left fold, so the comparison is still
+// bit-exact. Heterogeneous runs interleave local and remote messages and are
+// covered (approximately) by engine_test's EXPECT_NEAR checks instead.
+TEST(DifferentialBattery, PageRankBitExactSingleWorker) {
+  phigraph::testing::Watchdog wd(std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  for (int round = 0; round < kRounds; ++round) {
+    const Family fam = kFamilies[round % std::size(kFamilies)];
+    const auto seed = static_cast<std::uint64_t>(0xabc0 + 0x101 * round);
+    const auto g = make_graph(fam, seed);
+    const apps::PageRank prog;
+    const auto ref = apps::reference_run(g, prog, /*max_supersteps=*/8);
+    for (const Cell& c : full_matrix()) {
+      if (c.hetero) continue;
+      auto cfg = cell_cfg(c, simd::kCpuSimdBytes, seed);
+      cfg.threads = 1;
+      cfg.movers = 1;
+      cfg.max_supersteps = 8;
+      const auto res = core::run_single(g, prog, cfg);
+      for (vid_t v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(res.values[v], ref[v])
+            << family_name(fam) << " round " << round << " " << cell_name(c)
+            << " vertex " << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counter conservation (satellite): every generated message is accounted for
+// exactly once, across both execution schemes and the device boundary.
+// ---------------------------------------------------------------------------
+
+metrics::SuperstepCounters totals_of(const metrics::RunTrace& trace) {
+  metrics::SuperstepCounters t;
+  for (const auto& c : trace) t += c;
+  return t;
+}
+
+TEST(DifferentialConservation, SingleDeviceMessageCounters) {
+  phigraph::testing::Watchdog wd(std::chrono::seconds(120));
+  const auto g = make_graph(Family::kPowerLaw, 0x5eed);
+  for (ExecMode mode : {ExecMode::kLocking, ExecMode::kPipelining}) {
+    Cell c{mode, ColumnMode::kDynamic, 0.0, false};
+    const auto res = core::run_single(g, apps::Bfs(0), cell_cfg(c, 16, 7));
+    const auto t = totals_of(res.run.trace);
+    // No peer: nothing may cross the device boundary.
+    EXPECT_EQ(t.msgs_remote, 0u);
+    EXPECT_EQ(t.msgs_received, 0u);
+    EXPECT_EQ(t.bytes_sent, 0u);
+    EXPECT_EQ(t.bytes_received, 0u);
+    EXPECT_GT(t.msgs_local, 0u);
+    if (mode == ExecMode::kPipelining) {
+      // Pipelining routes every local message through an SPSC queue; each
+      // push is drained and inserted exactly once.
+      EXPECT_EQ(t.queue_pushes, t.msgs_local) << "pipelined conservation";
+    } else {
+      EXPECT_EQ(t.queue_pushes, 0u) << "locking scheme must not touch queues";
+    }
+  }
+
+  // Starve the pipeline with a near-minimal ring: messages are still
+  // conserved and the backpressure counter proves the full-queue path ran.
+  Cell c{ExecMode::kPipelining, ColumnMode::kDynamic, 0.0, false};
+  auto cfg = cell_cfg(c, 16, 9);
+  cfg.queue_capacity = 8;
+  const auto res = core::run_single(g, apps::Bfs(0), cfg);
+  const auto t = totals_of(res.run.trace);
+  EXPECT_EQ(t.queue_pushes, t.msgs_local);
+  EXPECT_GT(t.queue_full_spins, 0u)
+      << "an 8-slot ring under BFS bursts must hit backpressure";
+}
+
+TEST(DifferentialConservation, HeteroExchangeCountersMatchAcrossRanks) {
+  phigraph::testing::Watchdog wd(std::chrono::seconds(120));
+  const auto g = make_graph(Family::kUniform, 0xfeed);
+  Cell c{ExecMode::kPipelining, ColumnMode::kDynamic, 0.0, true};
+  core::HeteroEngine<apps::Bfs> he(g, round_robin_owner(g.num_vertices(), 2, 3),
+                                   apps::Bfs(0), cell_cfg(c, 16, 3),
+                                   cell_cfg(c, 64, 4));
+  const auto res = he.run();
+  const auto cpu = totals_of(res.cpu.trace);
+  const auto mic = totals_of(res.mic.trace);
+  // Conservation across the exchange: what one rank ships, the other drains.
+  EXPECT_EQ(cpu.bytes_sent, mic.bytes_received);
+  EXPECT_EQ(mic.bytes_sent, cpu.bytes_received);
+  EXPECT_GT(cpu.msgs_remote + mic.msgs_remote, 0u)
+      << "partitioned BFS must cross the boundary at least once";
+  // Remote messages are combined per destination before the send, so the
+  // receive-side insert count can only shrink, never grow.
+  EXPECT_LE(mic.msgs_received, cpu.msgs_remote);
+  EXPECT_LE(cpu.msgs_received, mic.msgs_remote);
+}
+
+// ---------------------------------------------------------------------------
+// Phase-table invariants (satellite): the always-on per-superstep phase
+// timing is parallel to the counter trace, non-negative, and its sum tracks
+// the superstep wall clock.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialPhases, PhaseTableParallelToTraceAndBounded) {
+  phigraph::testing::Watchdog wd(std::chrono::seconds(120));
+  const auto g = make_graph(Family::kPowerLaw, 0x9a5e);
+  for (ExecMode mode : {ExecMode::kLocking, ExecMode::kPipelining}) {
+    Cell c{mode, ColumnMode::kDynamic, 0.0, false};
+    const auto res = core::run_single(g, apps::Sssp(0), cell_cfg(c, 16, 5));
+    ASSERT_EQ(res.run.phases.size(), res.run.trace.size());
+    ASSERT_EQ(res.run.phases.size(),
+              static_cast<std::size_t>(res.run.supersteps));
+    double wall_total = 0, sum_total = 0;
+    for (const auto& ps : res.run.phases) {
+      for (double f : {ps.prepare, ps.generate, ps.exchange, ps.process,
+                       ps.update, ps.terminate, ps.checkpoint}) {
+        EXPECT_GE(f, 0.0);
+      }
+      EXPECT_GT(ps.wall, 0.0);
+      // The phases partition the superstep minus a little bookkeeping
+      // (buffer swap, counter collection, frontier advance): their sum can
+      // never exceed the wall clock by more than timer noise.
+      EXPECT_LE(ps.phase_sum(), ps.wall + 1e-3);
+      wall_total += ps.wall;
+      sum_total += ps.phase_sum();
+    }
+    // ...and the bookkeeping between phases is small: the phases must cover
+    // the bulk of the run even at this tiny scale.
+    EXPECT_GE(sum_total, 0.3 * wall_total) << core::exec_mode_name(mode);
+    // The legacy per-phase totals are now derived from the same table.
+    const auto tot = metrics::phase_totals(res.run.phases);
+    EXPECT_DOUBLE_EQ(res.run.gen_seconds, tot.generate);
+    EXPECT_DOUBLE_EQ(res.run.exchange_seconds, tot.exchange);
+    EXPECT_DOUBLE_EQ(res.run.process_seconds, tot.process);
+    EXPECT_DOUBLE_EQ(res.run.update_seconds, tot.update);
+  }
+}
+
+}  // namespace

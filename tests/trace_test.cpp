@@ -1,0 +1,280 @@
+// Unit tests for the observability layer: power-of-two histograms, the span
+// collector, phase-table aggregation and the Chrome-trace exporter. The
+// classes are compiled in every preset (only the PG_TRACE_* call sites are
+// build-gated), so these tests guard the machinery even in builds where the
+// engine records nothing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/metrics/chrome_trace.hpp"
+#include "src/metrics/histogram.hpp"
+#include "src/metrics/trace.hpp"
+
+namespace {
+
+using namespace phigraph;
+using metrics::Histogram;
+using metrics::histogram_bucket;
+using metrics::histogram_lower_bound;
+using trace::Collector;
+using trace::Phase;
+using trace::Span;
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketMathIsPowerOfTwo) {
+  EXPECT_EQ(histogram_bucket(0), 0);
+  EXPECT_EQ(histogram_bucket(1), 1);
+  EXPECT_EQ(histogram_bucket(2), 2);
+  EXPECT_EQ(histogram_bucket(3), 2);
+  EXPECT_EQ(histogram_bucket(4), 3);
+  EXPECT_EQ(histogram_bucket(7), 3);
+  EXPECT_EQ(histogram_bucket(8), 4);
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), 64);
+
+  EXPECT_EQ(histogram_lower_bound(0), 0u);
+  EXPECT_EQ(histogram_lower_bound(1), 1u);
+  EXPECT_EQ(histogram_lower_bound(2), 2u);
+  EXPECT_EQ(histogram_lower_bound(3), 4u);
+  // Round trip: every value lands in a bucket whose bound does not exceed it.
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 100ull, 65535ull, 1ull << 40}) {
+    const int b = histogram_bucket(v);
+    EXPECT_LE(histogram_lower_bound(b), v);
+    EXPECT_GT(histogram_lower_bound(b + 1), v);
+  }
+}
+
+TEST(Histogram, RecordAggregates) {
+  Histogram h;
+  for (std::uint64_t v : {0ull, 1ull, 1ull, 5ull, 100ull}) h.record(v);
+  const auto d = h.snapshot();
+  EXPECT_EQ(d.count, 5u);
+  EXPECT_EQ(d.sum, 107u);
+  EXPECT_EQ(d.max, 100u);
+  EXPECT_DOUBLE_EQ(d.mean(), 107.0 / 5.0);
+  EXPECT_EQ(d.buckets[0], 1u);                      // the zero
+  EXPECT_EQ(d.buckets[1], 2u);                      // the ones
+  EXPECT_EQ(d.buckets[histogram_bucket(5)], 1u);    // 4..7
+  EXPECT_EQ(d.buckets[histogram_bucket(100)], 1u);  // 64..127
+  EXPECT_EQ(d.used_buckets(), histogram_bucket(100) + 1);
+
+  h.clear();
+  const auto e = h.snapshot();
+  EXPECT_EQ(e.count, 0u);
+  EXPECT_EQ(e.max, 0u);
+  EXPECT_EQ(e.used_buckets(), 0);
+  EXPECT_EQ(e.quantile_bound(0.5), 0u);
+}
+
+TEST(Histogram, QuantileBoundsAreBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(1024);
+  const auto d = h.snapshot();
+  EXPECT_EQ(d.quantile_bound(0.5), 1u);
+  EXPECT_EQ(d.quantile_bound(0.89), 1u);
+  EXPECT_EQ(d.quantile_bound(0.95), 1024u);
+}
+
+TEST(Histogram, ToJsonIsCompact) {
+  Histogram h;
+  h.record(3);
+  h.record(3);
+  const std::string j = h.snapshot().to_json();
+  EXPECT_NE(j.find("\"count\": 2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"sum\": 6"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"max\": 3"), std::string::npos) << j;
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+// Concurrent recording is the production mode (worker threads share the
+// scheduler-chunk histogram); under TSan this doubles as a race check.
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i % 17);
+    });
+  for (auto& t : ts) t.join();
+  const auto d = h.snapshot();
+  EXPECT_EQ(d.count, kThreads * kPerThread);
+  EXPECT_EQ(d.max, 16u);
+  std::uint64_t want_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) want_sum += i % 17;
+  EXPECT_EQ(d.sum, kThreads * want_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Span collector and phase-table aggregation.
+// ---------------------------------------------------------------------------
+
+// The Collector is a process-global singleton shared with any
+// PHIGRAPH_TRACE-instrumented engine code in this binary, so every test
+// clears it first and runs on dedicated threads with explicit names.
+TEST(Trace, CollectorGathersSpansAcrossThreads) {
+  auto& c = Collector::instance();
+  c.clear();
+  const std::size_t before = c.total_spans();
+
+  std::thread t1([&c] {
+    c.set_thread_name("unit-a");
+    c.record(Phase::kGenerate, 0, 0, 100, 400);
+    c.record(Phase::kProcess, 0, 0, 400, 600);
+  });
+  t1.join();
+  std::thread t2([&c] {
+    c.set_thread_name("unit-b");
+    c.record(Phase::kPipelineDrain, 0, 0, 120, 380);
+  });
+  t2.join();
+
+  EXPECT_EQ(c.total_spans(), before + 3);
+  bool saw_a = false, saw_b = false;
+  for (const auto& tt : c.snapshot()) {
+    if (tt.name == "unit-a") {
+      saw_a = true;
+      ASSERT_EQ(tt.spans.size(), 2u);
+      EXPECT_EQ(tt.spans[0].phase, Phase::kGenerate);
+      EXPECT_DOUBLE_EQ(tt.spans[0].seconds(), 300e-9);
+    }
+    if (tt.name == "unit-b") saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+
+  c.clear();
+  EXPECT_EQ(c.total_spans(), 0u);
+}
+
+TEST(Trace, ScopedSpanRespectsRuntimeSwitch) {
+  auto& c = Collector::instance();
+  c.clear();
+  std::thread t([&c] {
+    c.set_enabled(false);
+    { trace::ScopedSpan off(Phase::kUpdate, 3, 1); }
+    c.set_enabled(true);
+    { trace::ScopedSpan on(Phase::kUpdate, 3, 1); }
+  });
+  t.join();
+  std::size_t spans = 0;
+  for (const auto& tt : c.snapshot()) spans += tt.spans.size();
+  EXPECT_EQ(spans, 1u);
+  c.clear();
+}
+
+TEST(Trace, PhaseTableAggregatesByRankAndSuperstep) {
+  std::vector<Collector::ThreadTrace> threads(2);
+  // Rank 0, superstep 0: envelope 0..1000 split into generate + process,
+  // with a nested drain span that must NOT count toward the exclusive sum.
+  threads[0].name = "cpu";
+  threads[0].spans = {
+      {Phase::kSuperstep, 0, 0, 0, 1000},
+      {Phase::kGenerate, 0, 0, 0, 700},
+      {Phase::kProcess, 0, 0, 700, 1000},
+      {Phase::kPipelineDrain, 0, 0, 100, 600},
+      {Phase::kSuperstep, 1, 0, 1000, 1400},
+      {Phase::kGenerate, 1, 0, 1000, 1400},
+  };
+  // Rank 1 interleaved from another thread; spans with superstep -1 (store
+  // checkpoints, exchange waits) stay out of the table entirely.
+  threads[1].name = "mic";
+  threads[1].spans = {
+      {Phase::kSuperstep, 0, 1, 0, 900},
+      {Phase::kUpdate, 0, 1, 0, 900},
+      {Phase::kExchangeWait, -1, 1, 0, 500},
+      {Phase::kCheckpoint, -1, 0, 0, 400},
+  };
+
+  const auto rows = trace::phase_table(threads);
+  ASSERT_EQ(rows.size(), 3u);
+  // Sorted by (rank, superstep).
+  EXPECT_EQ(rows[0].rank, 0);
+  EXPECT_EQ(rows[0].superstep, 0);
+  EXPECT_EQ(rows[1].rank, 0);
+  EXPECT_EQ(rows[1].superstep, 1);
+  EXPECT_EQ(rows[2].rank, 1);
+  EXPECT_EQ(rows[2].superstep, 0);
+
+  EXPECT_DOUBLE_EQ(rows[0].superstep_wall, 1000e-9);
+  EXPECT_DOUBLE_EQ(rows[0].seconds[static_cast<int>(Phase::kGenerate)], 700e-9);
+  EXPECT_DOUBLE_EQ(rows[0].exclusive_sum(), 1000e-9);  // drain excluded
+  EXPECT_DOUBLE_EQ(rows[1].exclusive_sum(), 400e-9);
+  EXPECT_DOUBLE_EQ(rows[2].exclusive_sum(), 900e-9);
+}
+
+TEST(Trace, ExclusivePhasePredicateMatchesEnum) {
+  int exclusive = 0;
+  for (int p = 0; p < trace::kNumPhases; ++p)
+    if (trace::is_exclusive_phase(static_cast<Phase>(p))) ++exclusive;
+  EXPECT_EQ(exclusive, 7);
+  EXPECT_FALSE(trace::is_exclusive_phase(Phase::kSuperstep));
+  EXPECT_FALSE(trace::is_exclusive_phase(Phase::kPipelineDrain));
+  EXPECT_FALSE(trace::is_exclusive_phase(Phase::kExchangeWait));
+  EXPECT_FALSE(trace::is_exclusive_phase(Phase::kRecovery));
+  // Every phase has a printable name.
+  for (int p = 0; p < trace::kNumPhases; ++p)
+    EXPECT_STRNE(trace::phase_name(static_cast<Phase>(p)), "?");
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export.
+// ---------------------------------------------------------------------------
+
+// Minimal JSON well-formedness check: balanced braces/brackets outside
+// strings. Catches emitter bugs (trailing commas are caught by the substring
+// assertions; unbalanced nesting by this).
+void expect_balanced(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    else if (ch == '{' || ch == '[') ++depth;
+    else if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Trace, ChromeTraceJsonStructure) {
+  std::vector<Collector::ThreadTrace> threads(1);
+  threads[0].name = "cpu-orchestrator";
+  threads[0].spans = {
+      {Phase::kSuperstep, 0, 0, 0, 5000},
+      {Phase::kGenerate, 0, 0, 0, 3000},
+      {Phase::kExchangeWait, -1, 1, 100, 200},
+  };
+  const std::string json = trace::chrome_trace_json(threads);
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("cpu-orchestrator"), std::string::npos);
+  EXPECT_NE(json.find("\"generate\""), std::string::npos);
+  EXPECT_NE(json.find("\"exchange-wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos) << "trailing comma";
+  EXPECT_EQ(json.find(",}"), std::string::npos) << "trailing comma";
+}
+
+TEST(Trace, ChromeTraceJsonEmptyIsStillValid) {
+  const std::string json = trace::chrome_trace_json({});
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace

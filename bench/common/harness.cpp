@@ -216,6 +216,8 @@ void JsonEmitter::add_version(const std::string& name, double exec_s,
   append_kv(body_, "msgs_local", t.msgs_local);
   append_kv(body_, "msgs_remote", t.msgs_remote);
   append_kv(body_, "msgs_received", t.msgs_received);
+  append_kv(body_, "bytes_sent", t.bytes_sent);
+  append_kv(body_, "bytes_received", t.bytes_received);
   append_kv(body_, "columns_allocated", t.columns_allocated);
   append_kv(body_, "sched_retrievals", t.sched_retrievals);
   append_kv(body_, "frontier_size", t.frontier_size);
@@ -281,9 +283,31 @@ void JsonEmitter::set_failover(const metrics::FailoverStats& f) {
   failover_json_ = buf;
 }
 
+void JsonEmitter::set_ranks(const std::vector<metrics::RankIo>& io) {
+  if (!enabled_) return;
+  std::string out = "\n  \"ranks\": [";
+  for (std::size_t r = 0; r < io.size(); ++r) {
+    if (r > 0) out += ',';
+    out += "\n    {\"rank\": " + std::to_string(r) + ", \"bytes_to\": [";
+    for (std::size_t d = 0; d < io[r].bytes_to.size(); ++d) {
+      if (d > 0) out += ", ";
+      out += std::to_string(io[r].bytes_to[d]);
+    }
+    out += "], \"bytes_from\": [";
+    for (std::size_t s = 0; s < io[r].bytes_from.size(); ++s) {
+      if (s > 0) out += ", ";
+      out += std::to_string(io[r].bytes_from[s]);
+    }
+    out += "]}";
+  }
+  out += "\n  ],";
+  ranks_json_ = std::move(out);
+}
+
 JsonEmitter::~JsonEmitter() {
   if (!enabled_) return;
   body_ += "\n  ],";
+  body_ += ranks_json_;
   body_ += failover_json_.empty()
                ? "\n  \"failover\": {\"failed_over\": 0, "
                  "\"lost_supersteps\": 0, \"recovery_ms\": 0.000},"

@@ -122,6 +122,8 @@ struct HeteroRunResult {
   metrics::RunTrace mic_trace;
   metrics::PhaseTrace cpu_phases;
   metrics::PhaseTrace mic_phases;
+  metrics::RankIo cpu_io;  // per-peer exchange bytes, indexed by rank
+  metrics::RankIo mic_io;
   sim::HeteroEstimate modeled;
   int supersteps = 0;
   bool completed = true;
@@ -157,6 +159,8 @@ HeteroRunResult<Program> run_hetero(const graph::Csr& g, const Program& prog,
   out.mic_trace = std::move(res.mic.trace);
   out.cpu_phases = std::move(res.cpu.phases);
   out.mic_phases = std::move(res.mic.phases);
+  out.cpu_io = std::move(res.cpu.io);
+  out.mic_io = std::move(res.mic.io);
   out.completed = res.completed;
   out.failover = res.failover;
   return out;
@@ -209,6 +213,11 @@ class JsonEmitter {
   /// fault-free run); emitted as a top-level "failover" object.
   void set_failover(const metrics::FailoverStats& f);
 
+  /// Record per-rank exchange traffic (bytes to / from every peer rank) of
+  /// a heterogeneous / cluster run; emitted as a top-level "ranks" array.
+  /// ranks[r] is rank r's RankIo from its RunResult.
+  void set_ranks(const std::vector<metrics::RankIo>& io);
+
   [[nodiscard]] static bool enabled();
 
  private:
@@ -218,6 +227,7 @@ class JsonEmitter {
   std::string path_;
   std::string body_;
   std::string failover_json_;
+  std::string ranks_json_;
   bool first_version_ = true;
 };
 

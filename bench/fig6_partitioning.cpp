@@ -6,6 +6,7 @@
 // headline speedups of hybrid over the other two and the cross-edge ratio
 // (round-robin cut 2.27x more edges than hybrid for PageRank).
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bench/common/harness.hpp"
@@ -29,7 +30,8 @@ struct SchemeResult {
 template <core::VertexProgram Program>
 void run_app(const char* app, const graph::Csr& g, const Program& prog,
              int iters, partition::Ratio ratio, bool mic_pipe,
-             const bench::AppCost& cost, const char* paper_band) {
+             const bench::AppCost& cost, const char* paper_band,
+             bench::JsonEmitter* json, bool emit_uncombined = false) {
   const auto cpu = with_cost(bench::cpu_setup(ExecMode::kLocking), cost);
   const auto mic = with_cost(
       bench::mic_setup(mic_pipe ? ExecMode::kPipelining : ExecMode::kLocking),
@@ -48,6 +50,26 @@ void run_app(const char* app, const graph::Csr& g, const Program& prog,
     const auto run = bench::run_hetero(g, prog, std::move(owner), cpu, mic, iters);
     res[i].exec = run.modeled.execution_seconds;
     res[i].comm = run.modeled.comm_seconds;
+    if (json) {
+      json->add_version(std::string(app) + "/" + names[i], res[i].exec,
+                        res[i].comm, run.cpu_trace, run.cpu_phases);
+      if (i == 2 && emit_uncombined) {
+        // The combiner lever: same hybrid partition, sender-side combining
+        // off. Workload counters stay identical; only the wire bytes grow.
+        auto cpu_raw = cpu;
+        auto mic_raw = mic;
+        cpu_raw.engine.combine_remote = mic_raw.engine.combine_remote = false;
+        std::vector<Device> owner2 = partition::hybrid_partition(bp, ratio);
+        const auto raw = bench::run_hetero(g, prog, std::move(owner2), cpu_raw,
+                                           mic_raw, iters);
+        json->add_version(std::string(app) + "/Hybrid-uncombined",
+                          raw.modeled.execution_seconds,
+                          raw.modeled.comm_seconds, raw.cpu_trace,
+                          raw.cpu_phases);
+        json->set_ranks({run.cpu_io, run.mic_io});
+        json->set_failover(run.failover);
+      }
+    }
   }
 
   std::printf("\n-- %s (ratio %d:%d) --\n", app, ratio.cpu, ratio.mic);
@@ -74,17 +96,23 @@ int main() {
   std::printf("== Fig 6: Impact of Graph Partitioning Methods (scale: %s) ==\n",
               scale.name.c_str());
 
+  // One JSON file for the whole figure; versions are named "<App>/<Scheme>".
+  // The header graph is the pokec stand-in (the figure's headline dataset).
+  std::unique_ptr<bench::JsonEmitter> json;
   {
     const auto g = bench::make_pokec(scale, false);
+    json = std::make_unique<bench::JsonEmitter>("Fig 6", "partitioning", g,
+                                                scale);
     run_app("PageRank", g, apps::PageRank{}, scale.pagerank_iters, {3, 5},
-            true, {}, "1.72x / 1.13x; RR cut 2.27x hybrid's");
+            true, {}, "1.72x / 1.13x; RR cut 2.27x hybrid's", json.get(),
+            /*emit_uncombined=*/true);
     run_app("BFS", g, apps::Bfs{g.num_vertices() / 16}, 1000, {4, 3}, false,
-            {}, "1.31x / 1.09x");
+            {}, "1.31x / 1.09x", json.get());
   }
   {
     const auto g = bench::make_pokec(scale, true);
     run_app("SSSP", g, apps::Sssp{g.num_vertices() / 16}, 1000, {1, 1}, true,
-            {}, "1.50x / 1.10x");
+            {}, "1.50x / 1.10x", json.get());
   }
   {
     const auto g = bench::make_dblp(scale);
@@ -92,14 +120,15 @@ int main() {
             {2, 1}, true,
             bench::AppCost{.combine_weight = 20, .update_weight = 25,
                            .branchy = true},
-            "1.17x / 1.36x");
+            "1.17x / 1.36x", json.get());
   }
   {
     const auto g = bench::make_dag(scale);
     run_app("TopoSort", g, apps::TopoSort{}, 10000, {1, 4}, true, {},
             "continuous much slower; RR ~= hybrid (no id locality in a "
-            "random DAG)");
+            "random DAG)", json.get());
   }
+  json.reset();
   std::printf("\n");
   return 0;
 }

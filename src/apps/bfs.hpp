@@ -22,6 +22,7 @@ class Bfs {
   static constexpr bool kAllActive = false;
   static constexpr bool kNeedsReduction = false;  // any message will do
   static constexpr bool kSimdReduce = false;
+  static constexpr core::CombinerKind kCombiner = core::CombinerKind::kMin;
 
   explicit Bfs(vid_t source) : source_(source) {}
 

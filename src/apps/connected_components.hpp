@@ -24,6 +24,7 @@ class ConnectedComponents {
   static constexpr bool kAllActive = false;
   static constexpr bool kNeedsReduction = true;
   static constexpr bool kSimdReduce = true;
+  static constexpr core::CombinerKind kCombiner = core::CombinerKind::kMin;
 
   [[nodiscard]] std::int32_t identity() const noexcept {
     return std::numeric_limits<std::int32_t>::max();

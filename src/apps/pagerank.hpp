@@ -19,6 +19,7 @@ class PageRank {
   static constexpr bool kAllActive = true;  // every vertex sends, every round
   static constexpr bool kNeedsReduction = true;
   static constexpr bool kSimdReduce = true;
+  static constexpr core::CombinerKind kCombiner = core::CombinerKind::kSum;
 
   explicit PageRank(float damping = 0.85f) : damping_(damping) {}
 

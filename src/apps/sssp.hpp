@@ -21,6 +21,7 @@ class Sssp {
   static constexpr bool kAllActive = false;
   static constexpr bool kNeedsReduction = true;
   static constexpr bool kSimdReduce = true;
+  static constexpr core::CombinerKind kCombiner = core::CombinerKind::kMin;
 
   /// The paper initializes distances to "a large constant".
   static constexpr float kInfinity = std::numeric_limits<float>::max();

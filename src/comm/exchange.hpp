@@ -1,24 +1,27 @@
-// Two-rank rendezvous exchange — the in-process stand-in for the paper's
-// MPI symmetric computing (CPU = rank 0, MIC = rank 1).
+// Rendezvous exchanges — the in-process stand-in for the paper's MPI
+// symmetric computing (CPU = rank 0, MIC = rank 1).
 //
-// Each superstep the devices swap exactly one combined message batch (the
-// paper: "The combination result is sent to the other device as a single MPI
-// message") plus one termination-control word. Exchange<T> implements the
-// blocking pairwise swap both uses need.
+// Each superstep the devices swap exactly one combined message batch per
+// peer (the paper: "The combination result is sent to the other device as a
+// single MPI message") plus one termination-control word. Exchange<T>
+// implements the blocking pairwise swap of the paper's two-rank
+// configuration; AllToAll<T> generalizes it to N ranks with one staging slot
+// per (source, destination) pair — the MPI_Alltoall analogue the cluster
+// engine uses.
 //
 // Fault tolerance (see DESIGN.md §6): the historical exchange() blocks
 // forever, so a peer that dies mid-superstep deadlocks the survivor.
 // exchange_for() bounds every wait by a deadline, and poison() lets a
-// failing rank wake its peer *immediately* with a structured FaultReport.
-// A poisoned exchange never re-arms: every later call from either rank
-// returns kPeerFailed at once, so retries cannot resurrect a half-dead
-// rendezvous.
+// failing rank wake its peers *immediately* with a structured FaultReport.
+// A poisoned exchange never re-arms: every later call from any rank returns
+// kPeerFailed at once, so retries cannot resurrect a half-dead rendezvous.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "src/common/expect.hpp"
 #include "src/fault/fault.hpp"
@@ -144,6 +147,161 @@ class Exchange {
   std::condition_variable cv_;
   T slot_[2];
   bool present_[2] = {false, false};
+  bool poisoned_ = false;
+  fault::FaultReport fault_;
+};
+
+/// N-rank all-to-all rendezvous over an N x N staging-slot matrix. Each round
+/// every rank deposits one value per destination and blocks until every
+/// peer's value for it has arrived. The two-phase protocol mirrors
+/// Exchange<T>: a rank first waits for its *previous* deposits to be
+/// consumed (so rounds cannot overtake each other), then deposits, then
+/// waits for all inbound slots, consumes them, and wakes the depositors.
+///
+/// Fault semantics are identical to Exchange<T>: poison() is first-wins and
+/// permanent; a timeout retracts this rank's unconsumed deposits so the
+/// matrix is not left half-advanced, and reports the first peer that had not
+/// arrived (Result::fault.rank) so the caller can name the suspect.
+template <typename T>
+class AllToAll {
+ public:
+  struct Result {
+    ExchangeStatus status = ExchangeStatus::kOk;
+    std::vector<T> values;      // indexed by source rank (kOk only);
+                                // values[self] is default-constructed
+    fault::FaultReport fault;   // poison reason (kPeerFailed) or, on
+                                // kTimeout, rank = first absent peer
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return status == ExchangeStatus::kOk;
+    }
+  };
+
+  explicit AllToAll(int num_ranks)
+      : n_(num_ranks),
+        slot_(static_cast<std::size_t>(num_ranks) *
+              static_cast<std::size_t>(num_ranks)),
+        present_(slot_.size(), 0) {
+    PG_CHECK_MSG(num_ranks >= 1, "AllToAll needs at least one rank");
+  }
+
+  [[nodiscard]] int num_ranks() const noexcept { return n_; }
+
+  /// Deposit `outgoing[dst]` for every destination rank (outgoing[rank]
+  /// itself is ignored) and block until every peer's contribution for this
+  /// rank is available. `outgoing` must hold exactly num_ranks() entries.
+  Result exchange_for(int rank, std::vector<T> outgoing,
+                      std::chrono::milliseconds deadline) {
+    PG_CHECK(rank >= 0 && rank < n_);
+    PG_CHECK_MSG(static_cast<int>(outgoing.size()) == n_,
+                 "AllToAll: one outgoing value per rank is required");
+    PG_TRACE_SCOPE(kExchangeWait, -1, rank);
+    if (n_ == 1) {
+      Result r;
+      r.values.resize(1);
+      return r;  // degenerate single-rank "cluster": nothing to swap
+    }
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    std::unique_lock<std::mutex> l(mu_);
+    // Phase 1: wait until this rank's previous deposits were all consumed.
+    if (!cv_.wait_until(l, until, [&] {
+          if (poisoned_) return true;
+          for (int dst = 0; dst < n_; ++dst)
+            if (dst != rank && present_[idx(rank, dst)]) return false;
+          return true;
+        }))
+      return timeout_result(rank);
+    if (poisoned_) return poisoned_result();
+    for (int dst = 0; dst < n_; ++dst) {
+      if (dst == rank) continue;
+      slot_[idx(rank, dst)] = std::move(outgoing[dst]);
+      present_[idx(rank, dst)] = 1;
+    }
+    cv_.notify_all();
+    // Phase 2: wait for every inbound slot, then consume them all at once.
+    if (!cv_.wait_until(l, until, [&] {
+          if (poisoned_) return true;
+          for (int src = 0; src < n_; ++src)
+            if (src != rank && !present_[idx(src, rank)]) return false;
+          return true;
+        })) {
+      // Retract whatever nobody consumed yet so the channel stays usable.
+      for (int dst = 0; dst < n_; ++dst) {
+        if (dst == rank) continue;
+        if (present_[idx(rank, dst)]) {
+          slot_[idx(rank, dst)] = T{};
+          present_[idx(rank, dst)] = 0;
+        }
+      }
+      return timeout_result(rank);
+    }
+    if (poisoned_) return poisoned_result();
+    Result r;
+    r.values.resize(static_cast<std::size_t>(n_));
+    for (int src = 0; src < n_; ++src) {
+      if (src == rank) continue;
+      r.values[static_cast<std::size_t>(src)] = std::move(slot_[idx(src, rank)]);
+      present_[idx(src, rank)] = 0;
+    }
+    cv_.notify_all();
+    return r;
+  }
+
+  /// Marks the channel dead on behalf of `rank` and wakes every waiter. The
+  /// first report wins; there is no un-poison.
+  void poison(int rank, fault::FaultReport reason) {
+    PG_CHECK(rank >= 0 && rank < n_);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (!poisoned_) {
+        poisoned_ = true;
+        fault_ = std::move(reason);
+      }
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool poisoned() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return poisoned_;
+  }
+
+  /// The poison reason (default-constructed report if not poisoned).
+  [[nodiscard]] fault::FaultReport fault() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return fault_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int src, int dst) const noexcept {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  Result poisoned_result() const {
+    return Result{ExchangeStatus::kPeerFailed, {}, fault_};
+  }
+
+  /// Caller holds mu_. Names the first peer whose contribution is missing —
+  /// the likeliest dead rank — so handle_peer_down can report a culprit.
+  Result timeout_result(int rank) const {
+    Result r;
+    r.status = ExchangeStatus::kTimeout;
+    for (int src = 0; src < n_; ++src) {
+      if (src == rank) continue;
+      if (!present_[idx(src, rank)]) {
+        r.fault.rank = src;
+        break;
+      }
+    }
+    return r;
+  }
+
+  int n_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> slot_;                 // [src * n + dst]
+  std::vector<std::uint8_t> present_;   // parallel to slot_
   bool poisoned_ = false;
   fault::FaultReport fault_;
 };

@@ -1,16 +1,23 @@
 // Remote message buffer with combine-before-send (paper §IV-A).
 //
-// Messages destined for vertices owned by the other device are not shipped
+// Messages destined for vertices owned by another device are not shipped
 // individually: "To reduce the communication overhead, a combination is
 // conducted to the remote message buffer" using the application's reduction.
 // We keep one dense slot per global vertex; the first deposit records the
 // vertex in a touched list so draining and clearing are proportional to the
 // number of distinct remote destinations, not the graph size.
 //
-// The touched list is sharded by destination hash: deposits from many
-// threads contend only within a shard, and the drain/serialize step of the
-// exchange phase can be parallelized over shards (each shard is drained by
-// exactly one thread).
+// The touched list is sharded by (destination rank, destination hash):
+// deposits from many threads contend only within a shard, the drain /
+// serialize step of the exchange phase parallelizes over shards (each shard
+// is drained by exactly one thread), and because a destination rank owns a
+// contiguous shard range, the per-peer batches of the N-rank all-to-all
+// exchange fall out of the shard order for free.
+//
+// Combining is optional per deposit: programs whose combiner is disabled
+// (CombinerKind::kNone, or a measurement run with combining switched off)
+// use deposit_raw(), which appends the message verbatim to the shard — the
+// drain then yields every individual message, in deposit order per shard.
 #pragma once
 
 #include <cstdint>
@@ -30,28 +37,30 @@ class RemoteBuffer {
   static constexpr std::size_t kDefaultShards = 32;
 
   explicit RemoteBuffer(vid_t num_global_vertices,
-                        std::size_t shards = kDefaultShards)
+                        std::size_t shards = kDefaultShards, int num_ranks = 1)
       : value_(num_global_vertices),
         has_(num_global_vertices, 0),
         locks_(std::make_unique<sched::SpinLock[]>(num_global_vertices)),
         shard_mask_(round_up_pow2(shards) - 1),
-        shards_(shard_mask_ + 1) {}
+        num_ranks_(num_ranks < 1 ? 1 : num_ranks),
+        shards_((shard_mask_ + 1) * static_cast<std::size_t>(num_ranks_)) {}
 
-  /// Deposit a message for global vertex `dst`, combining with any message
-  /// already buffered for it. Thread-safe. Combine is the application's
-  /// scalar reduction (min for SSSP, + for PageRank, ...).
+  /// Deposit a message for global vertex `dst` owned by `dst_rank`,
+  /// combining with any message already buffered for it. Thread-safe.
+  /// Combine is the application's scalar reduction (min for SSSP, + for
+  /// PageRank, ...).
   template <typename Combine>
-  void deposit(vid_t dst, const Msg& m, Combine&& combine) {
+  void deposit(vid_t dst, int dst_rank, const Msg& m, Combine&& combine) {
     PG_DCHECK_FMT(static_cast<std::size_t>(dst) < value_.size(),
                   "RemoteBuffer::deposit: global vertex %u outside the %zu "
                   "vertex id space",
                   dst, value_.size());
-    PG_AUDIT_FMT(!shards_[shard_of(dst)].draining.load(
+    PG_AUDIT_FMT(!shards_[shard_of(dst, dst_rank)].draining.load(
                      std::memory_order_relaxed),
                  "remote-shard-quiescence",
                  "deposit for vertex %u raced with the drain of its shard "
                  "%zu (deposits must stop before the exchange phase drains)",
-                 dst, shard_of(dst));
+                 dst, shard_of(dst, dst_rank));
     locks_[dst].lock();
     if (has_[dst]) {
       value_[dst] = combine(value_[dst], m);
@@ -60,33 +69,68 @@ class RemoteBuffer {
       value_[dst] = m;
       has_[dst] = 1;
       locks_[dst].unlock();
-      Shard& s = shards_[shard_of(dst)];
+      Shard& s = shards_[shard_of(dst, dst_rank)];
       sched::LockGuard<sched::SpinLock> g(s.lock);
       s.touched.push_back(dst);
     }
+  }
+
+  /// Single-destination-rank convenience (the historical two-rank API).
+  template <typename Combine>
+  void deposit(vid_t dst, const Msg& m, Combine&& combine) {
+    deposit(dst, /*dst_rank=*/0, m, std::forward<Combine>(combine));
+  }
+
+  /// Deposit without combining: the message is appended verbatim to its
+  /// shard and drained individually. A given buffer must not mix combined
+  /// and raw deposits within one superstep (the engine picks one mode per
+  /// run).
+  void deposit_raw(vid_t dst, int dst_rank, const Msg& m) {
+    PG_DCHECK_FMT(static_cast<std::size_t>(dst) < value_.size(),
+                  "RemoteBuffer::deposit_raw: global vertex %u outside the "
+                  "%zu vertex id space",
+                  dst, value_.size());
+    Shard& s = shards_[shard_of(dst, dst_rank)];
+    PG_AUDIT_FMT(!s.draining.load(std::memory_order_relaxed),
+                 "remote-shard-quiescence",
+                 "raw deposit for vertex %u raced with the drain of its "
+                 "shard %zu",
+                 dst, shard_of(dst, dst_rank));
+    sched::LockGuard<sched::SpinLock> g(s.lock);
+    s.raw.push_back({dst, m});
   }
 
   [[nodiscard]] std::size_t num_shards() const noexcept {
     return shards_.size();
   }
 
-  /// Distinct destinations buffered in shard `s`. Not synchronized with
-  /// concurrent deposits — call between phases.
-  [[nodiscard]] std::size_t shard_touched_count(std::size_t s) const noexcept {
-    return shards_[s].touched.size();
+  /// Shards per destination rank (a power of two); destination rank r owns
+  /// the contiguous shard range [r * shards_per_rank(), (r+1) * ...).
+  [[nodiscard]] std::size_t shards_per_rank() const noexcept {
+    return shard_mask_ + 1;
   }
 
-  /// Number of distinct destinations currently buffered (all shards).
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+
+  /// Messages buffered in shard `s`: distinct combined destinations plus raw
+  /// appends. Not synchronized with concurrent deposits — call between
+  /// phases.
+  [[nodiscard]] std::size_t shard_touched_count(std::size_t s) const noexcept {
+    return shards_[s].touched.size() + shards_[s].raw.size();
+  }
+
+  /// Number of buffered entries across all shards.
   [[nodiscard]] std::size_t touched_count() const noexcept {
     std::size_t n = 0;
-    for (const Shard& s : shards_) n += s.touched.size();
+    for (const Shard& s : shards_) n += s.touched.size() + s.raw.size();
     return n;
   }
 
-  /// Invoke f(dst, combined_value) for every destination buffered in shard
-  /// `s`, then clear that shard. Safe to run concurrently for *different*
-  /// shards (each destination lives in exactly one shard), but must not race
-  /// with deposits.
+  /// Invoke f(dst, value) for every entry buffered in shard `s` — combined
+  /// destinations first (first-touch order), then raw messages (deposit
+  /// order) — then clear that shard. Safe to run concurrently for
+  /// *different* shards (each destination lives in exactly one shard), but
+  /// must not race with deposits.
   template <typename F>
   void drain_shard(std::size_t s, F&& f) {
     PG_DCHECK_FMT(s < shards_.size(),
@@ -103,6 +147,8 @@ class RemoteBuffer {
       has_[dst] = 0;
     }
     shard.touched.clear();
+    for (const RawEntry& e : shard.raw) f(e.dst, e.msg);
+    shard.raw.clear();
     PG_AUDIT_ONLY(shard.draining.store(false, std::memory_order_release);)
   }
 
@@ -113,9 +159,15 @@ class RemoteBuffer {
   }
 
  private:
+  struct RawEntry {
+    vid_t dst;
+    Msg msg;
+  };
+
   struct alignas(64) Shard {
     sched::SpinLock lock;
     std::vector<vid_t> touched;
+    std::vector<RawEntry> raw;
 #if PG_AUDIT_ENABLED
     // Checked build only: set for the duration of drain_shard so concurrent
     // drains of one shard — and deposits racing a drain — are caught.
@@ -123,10 +175,13 @@ class RemoteBuffer {
 #endif
   };
 
-  [[nodiscard]] std::size_t shard_of(vid_t dst) const noexcept {
+  [[nodiscard]] std::size_t shard_of(vid_t dst, int dst_rank) const noexcept {
     // Multiplicative hash so contiguous destination ranges (continuous
-    // partitions) spread across shards instead of hammering one.
-    return (static_cast<std::size_t>(dst) * 0x9E3779B9u >> 16) & shard_mask_;
+    // partitions) spread across shards instead of hammering one; the
+    // destination rank selects the shard block so one drain order yields
+    // per-peer batches.
+    return static_cast<std::size_t>(dst_rank) * (shard_mask_ + 1) +
+           ((static_cast<std::size_t>(dst) * 0x9E3779B9u >> 16) & shard_mask_);
   }
 
   static std::size_t round_up_pow2(std::size_t v) noexcept {
@@ -139,6 +194,7 @@ class RemoteBuffer {
   std::vector<std::uint8_t> has_;
   std::unique_ptr<sched::SpinLock[]> locks_;
   std::size_t shard_mask_;
+  int num_ranks_;
   std::vector<Shard> shards_;
 };
 

@@ -66,8 +66,17 @@ struct EngineConfig {
 
   /// Shards for the remote buffer's touched lists: deposits contend per
   /// shard and the exchange drain parallelizes over shards. Rounded up to a
-  /// power of two.
+  /// power of two (per destination rank on N-rank runs).
   std::size_t remote_shards = 32;
+
+  /// Send-side message combining (paper §IV-A / Pregel combiners). true =
+  /// remote messages are reduced per destination in the remote buffer before
+  /// the exchange (the paper's behavior, and the default); false = messages
+  /// ship individually and the receiver reduces them on arrival — the
+  /// combiner-off ablation the cross-rank byte counters are measured
+  /// against. Programs declaring CombinerKind::kNone always ship
+  /// individually regardless of this flag.
+  bool combine_remote = true;
 
   /// Deadline for each peer exchange (data and termination control) in
   /// heterogeneous runs. A peer that misses the deadline is declared dead:

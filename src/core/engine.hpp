@@ -5,14 +5,18 @@
 //   2. generate  — user generate_messages() for each active vertex; messages
 //                  are routed to the local CSB (locking or pipelined) or to
 //                  the remote buffer (combined)
-//   3. exchange  — swap combined remote batches with the peer device and
-//                  insert received messages into the local CSB
+//   3. exchange  — all-to-all swap of per-peer remote batches (combined at
+//                  the send side unless the program's combiner is kNone or
+//                  combining is switched off) and insertion of received
+//                  messages into the local CSB
 //   4. process   — SIMD (or scalar) reduction of each vector array
 //   5. update    — user update_vertex() per message-receiving vertex
 //   6. terminate — exchange next-active counts; stop when globally idle
 //
 // The same code runs as the paper's "CPU" and "MIC" instances — only the
-// EngineConfig (thread layout, SIMD profile, execution scheme) differs.
+// EngineConfig (thread layout, SIMD profile, execution scheme) differs —
+// and generalizes to any rank count: the peer wiring is an N-rank AllToAll
+// channel pair, with the paper's two-rank configuration as nranks == 2.
 // Every phase runs under dynamic chunk scheduling (§IV-D) on a persistent
 // thread team, and every phase streams event counters into the run trace
 // consumed by the performance model.
@@ -33,6 +37,7 @@
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -76,6 +81,9 @@ struct RunResult {
   double exchange_seconds = 0;
   double process_seconds = 0;
   double update_seconds = 0;
+  /// Per-peer exchange traffic (bytes to / from each other rank), sized by
+  /// the run's rank count. Single-device runs carry one all-zero entry.
+  metrics::RankIo io;
   /// Heterogeneous runs only: a device fault — this rank's own (converted to
   /// a peer poison) or the peer's (observed through the exchange) — ended
   /// the run early. `fault` names the origin rank either way.
@@ -90,11 +98,14 @@ class DeviceEngine {
   using Value = typename Program::vertex_value_t;
   using Batch = std::vector<pipeline::Envelope<Msg>>;
 
-  /// Wiring to the other device of a heterogeneous run.
+  /// Wiring to the other ranks of a heterogeneous / cluster run: this
+  /// engine's rank plus the run-wide all-to-all channels (data batches and
+  /// termination-control words). The paper's CPU+MIC configuration is the
+  /// num_ranks() == 2 case with rank 0 = CPU, rank 1 = MIC.
   struct PeerLink {
-    int rank = 0;  // 0 = CPU, 1 = MIC (the paper's MPI ranks)
-    comm::Exchange<Batch>* data = nullptr;
-    comm::Exchange<std::uint64_t>* control = nullptr;
+    int rank = 0;
+    comm::AllToAll<Batch>* data = nullptr;
+    comm::AllToAll<std::uint64_t>* control = nullptr;
   };
 
   DeviceEngine(LocalGraph lg, Program prog, EngineConfig cfg,
@@ -103,9 +114,20 @@ class DeviceEngine {
         prog_(std::move(prog)),
         cfg_(cfg),
         peer_(peer),
-        lanes_(simd::lanes_for<Msg>(cfg.simd_bytes)) {
+        lanes_(simd::lanes_for<Msg>(cfg.simd_bytes)),
+        nranks_(peer ? peer->data->num_ranks() : 1),
+        combine_enabled_(cfg.combine_remote &&
+                         combiner_kind<Program>() != CombinerKind::kNone),
+        bytes_to_(static_cast<std::size_t>(nranks_), 0),
+        bytes_from_(static_cast<std::size_t>(nranks_), 0) {
     PG_CHECK_MSG(cfg_.mode != ExecMode::kOmpStyle || !peer_,
                  "the OMP baseline is single-device only (as in the paper)");
+    if (peer_) {
+      PG_CHECK_MSG(peer_->rank >= 0 && peer_->rank < nranks_,
+                   "PeerLink rank outside the channel's rank count");
+      PG_CHECK_MSG(peer_->control->num_ranks() == nranks_,
+                   "data and control channels disagree on the rank count");
+    }
     const vid_t n = lg_.num_local_vertices();
     values_.resize(n);
     active_.assign(n, 0);
@@ -121,7 +143,8 @@ class DeviceEngine {
       bc.mode = cfg_.column_mode;
       csb_.emplace(std::span<const vid_t>(lg_.in_degree), bc);
     }
-    if (peer_) remote_.emplace(lg_.global_num_vertices, cfg_.remote_shards);
+    if (peer_)
+      remote_.emplace(lg_.global_num_vertices, cfg_.remote_shards, nranks_);
     if (cfg_.checkpoint.enabled())
       ckpt_.emplace(cfg_.checkpoint, peer_ ? peer_->rank : 0);
     if (cfg_.mode == ExecMode::kPipelining)
@@ -146,6 +169,15 @@ class DeviceEngine {
 
   /// This device's MPI-style rank (0 when running single-device).
   [[nodiscard]] int rank() const noexcept { return peer_ ? peer_->rank : 0; }
+
+  /// Ranks participating in this run (1 when running single-device).
+  [[nodiscard]] int num_ranks() const noexcept { return nranks_; }
+
+  /// Whether remote messages are combined before the send for this run
+  /// (program combiner kind x EngineConfig::combine_remote).
+  [[nodiscard]] bool combining_remote() const noexcept {
+    return combine_enabled_;
+  }
 
   /// The checkpoint store, or nullptr when checkpointing is disabled.
   [[nodiscard]] const fault::CheckpointStore* checkpoint_store() const noexcept {
@@ -190,7 +222,9 @@ class DeviceEngine {
   /// the peer's FaultReport). Single-device runs rethrow user-program
   /// exceptions on the calling thread.
   RunResult run() {
-    PG_TRACE_THREAD_NAME(rank() == 1 ? "mic-orchestrator" : "cpu-orchestrator");
+    PG_TRACE_THREAD_NAME(rank() == 0   ? "cpu-orchestrator"
+                         : rank() == 1 ? "mic-orchestrator"
+                                       : "rank-orchestrator");
     Timer total;
     RunResult res;
 
@@ -227,6 +261,8 @@ class DeviceEngine {
 #endif
     res.supersteps = s;
     res.host_seconds = total.seconds();
+    res.io.bytes_to = bytes_to_;
+    res.io.bytes_from = bytes_from_;
     const metrics::PhaseSeconds tot = metrics::phase_totals(res.phases);
     res.gen_seconds = tot.generate;
     res.exchange_seconds = tot.exchange;
@@ -330,17 +366,24 @@ class DeviceEngine {
     if (peer_) {
       phase_ = "terminate";
       Timer t;
-      typename comm::Exchange<std::uint64_t>::Result r;
+      typename comm::AllToAll<std::uint64_t>::Result r;
       {
         PG_TRACE_SCOPE(kTerminate, s, rank());
-        r = peer_->control->exchange_for(peer_->rank, next,
-                                         exchange_deadline());
+        // Broadcast this rank's next-active count to every peer; the global
+        // count is the sum over all ranks, so all of them agree on
+        // termination within the same superstep.
+        r = peer_->control->exchange_for(
+            rank(),
+            std::vector<std::uint64_t>(static_cast<std::size_t>(nranks_),
+                                       next),
+            exchange_deadline());
       }
       res.phases.back().terminate = t.seconds();
       res.phases.back().wall = wall.seconds();
       if (r.status != comm::ExchangeStatus::kOk)
         return handle_peer_down(r.status, r.fault, s, res);
-      next += r.value;
+      for (int src = 0; src < nranks_; ++src)
+        if (src != rank()) next += r.values[static_cast<std::size_t>(src)];
     }
     if (!Program::kAllActive && next == 0) {
       res.phases.back().wall = wall.seconds();
@@ -384,15 +427,17 @@ class DeviceEngine {
     rep.superstep = s;
     rep.phase = phase_;
     rep.what = what;
-    peer_->data->poison(peer_->rank, rep);
-    peer_->control->poison(peer_->rank, rep);
+    peer_->data->poison(rank(), rep);
+    peer_->control->poison(rank(), rep);
     res.failed = true;
     res.fault = std::move(rep);
   }
 
-  /// The peer poisoned the channel (we carry its report onward) or missed
-  /// the exchange deadline (we declare it dead and poison on its behalf so a
-  /// merely-wedged peer also wakes to a structured failure).
+  /// A peer poisoned the channel (we carry its report onward) or missed the
+  /// exchange deadline (we declare it dead and poison on its behalf so a
+  /// merely-wedged peer also wakes to a structured failure). On a timeout
+  /// the channel names the first peer whose contribution was missing; the
+  /// two-rank fallback is the only other rank.
   StepOutcome handle_peer_down(comm::ExchangeStatus status,
                                const fault::FaultReport& fault, int s,
                                RunResult& res) {
@@ -400,7 +445,9 @@ class DeviceEngine {
       res.fault = fault;
     } else {
       fault::FaultReport rep;
-      rep.rank = 1 - rank();
+      rep.rank = fault.rank >= 0          ? fault.rank
+                 : nranks_ == 2           ? 1 - rank()
+                                          : -1;
       rep.superstep = s;
       rep.phase = phase_;
       rep.what = "exchange deadline exceeded: peer did not arrive within " +
@@ -536,16 +583,43 @@ class DeviceEngine {
   // ---- helpers -------------------------------------------------------------------
 
   [[nodiscard]] bool is_local(vid_t global) const noexcept {
-    return !peer_ || (*lg_.owner)[global] == lg_.device;
+    return !peer_ || (*lg_.owner_rank)[global] == lg_.rank;
+  }
+  [[nodiscard]] int owner_rank_of(vid_t global) const noexcept {
+    return (*lg_.owner_rank)[global];
   }
   [[nodiscard]] vid_t local_id(vid_t global) const noexcept {
     return (*lg_.local_of)[global];
   }
 
   void deposit_remote(vid_t global_dst, const Msg& m, ThreadStats& ts) {
-    remote_->deposit(global_dst, m, [this](const Msg& a, const Msg& b) {
-      return prog_.combine(a, b);
-    });
+    const int dst_rank = owner_rank_of(global_dst);
+    if (combine_enabled_) {
+      remote_->deposit(global_dst, dst_rank, m,
+                       [this](const Msg& a, const Msg& b) {
+#if PG_AUDIT_ENABLED
+                         // The audit build spot-checks a declared
+                         // commutative combiner on the real message pairs it
+                         // reduces: a lying kSum/kMin declaration would make
+                         // results depend on arrival order.
+                         if constexpr (combiner_claims_commutative<Program>()) {
+                           const Msg ab = prog_.combine(a, b);
+                           const Msg ba = prog_.combine(b, a);
+                           PG_AUDIT_FMT(
+                               std::memcmp(&ab, &ba, sizeof(Msg)) == 0,
+                               "combiner-commutativity",
+                               "program declares a %s combiner but "
+                               "combine(a,b) != combine(b,a) on a real "
+                               "message pair",
+                               combiner_kind_name(combiner_kind<Program>()));
+                           return ab;
+                         }
+#endif
+                         return prog_.combine(a, b);
+                       });
+    } else {
+      remote_->deposit_raw(global_dst, dst_rank, m);
+    }
     ++ts.msgs_remote;
   }
 
@@ -741,40 +815,75 @@ class DeviceEngine {
     tstats_[0].sched_retrievals += sched_.retrievals();
   }
 
-  /// Returns false when the peer is down (RunResult filled via
+  /// Returns false when a peer is down (RunResult filled via
   /// handle_peer_down); true on a completed exchange.
   bool exchange_messages(int superstep, RunResult& res) {
     PG_FAULT_POINT(kExchangeDeposit, rank(), superstep);
-    // Serialize the combined remote messages in parallel: shard sizes are
-    // known up front, so each shard drains into its own slice of the batch.
+    // Serialize the buffered remote messages in parallel: shard sizes are
+    // known up front, so each shard drains into its own slice of its
+    // destination rank's batch. Destination rank r owns the contiguous
+    // shard range [r * spr, (r + 1) * spr), so the per-peer batches fall
+    // out of the global shard order with no extra routing pass.
     const std::size_t nshards = remote_->num_shards();
+    const std::size_t spr = remote_->shards_per_rank();
     std::vector<std::size_t> offset(nshards + 1, 0);
     for (std::size_t s = 0; s < nshards; ++s)
       offset[s + 1] = offset[s] + remote_->shard_touched_count(s);
-    Batch outgoing(offset[nshards]);
+    std::vector<Batch> outgoing(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+      const std::size_t lo = static_cast<std::size_t>(r) * spr;
+      outgoing[static_cast<std::size_t>(r)].resize(offset[lo + spr] -
+                                                   offset[lo]);
+    }
     sched_.reset(nshards, 1);
     team_run_guarded([&](int) {
       while (auto r = sched_.next_chunk()) {
         for (std::size_t s = r->begin; s < r->end; ++s) {
-          std::size_t i = offset[s];
+          const std::size_t dst_rank = s / spr;
+          Batch& out = outgoing[dst_rank];
+          std::size_t i = offset[s] - offset[dst_rank * spr];
           remote_->drain_shard(s, [&](vid_t dst, const Msg& m) {
-            outgoing[i++] = {dst, m};
+            out[i++] = {dst, m};
           });
         }
       }
     });
-    tstats_[0].bytes_sent +=
-        outgoing.size() * sizeof(pipeline::Envelope<Msg>);
+    for (int r = 0; r < nranks_; ++r) {
+      const std::uint64_t b =
+          outgoing[static_cast<std::size_t>(r)].size() *
+          sizeof(pipeline::Envelope<Msg>);
+      tstats_[0].bytes_sent += b;
+      bytes_to_[static_cast<std::size_t>(r)] += b;
+    }
 
-    auto ex = peer_->data->exchange_for(peer_->rank, std::move(outgoing),
+    auto ex = peer_->data->exchange_for(rank(), std::move(outgoing),
                                         exchange_deadline());
     if (ex.status != comm::ExchangeStatus::kOk) {
       handle_peer_down(ex.status, ex.fault, superstep, res);
       return false;
     }
-    Batch incoming = std::move(ex.value);
-    tstats_[0].bytes_received +=
-        incoming.size() * sizeof(pipeline::Envelope<Msg>);
+    for (int src = 0; src < nranks_; ++src) {
+      if (src == rank()) continue;
+      insert_incoming(ex.values[static_cast<std::size_t>(src)], src);
+    }
+    return true;
+  }
+
+  /// Insert one source rank's batch into the local CSB (or the OMP
+  /// accumulators). When send-side combining is off but the program does
+  /// declare a combiner, the batch is first pre-combined per destination —
+  /// sequentially, folding in arrival order, which reproduces the sender's
+  /// combine exactly — so a combined and an uncombined run insert identical
+  /// message sets and differ only in wire bytes / received-message counts.
+  void insert_incoming(Batch& incoming, int src) {
+    const std::uint64_t b =
+        static_cast<std::uint64_t>(incoming.size()) *
+        sizeof(pipeline::Envelope<Msg>);
+    tstats_[0].bytes_received += b;
+    bytes_from_[static_cast<std::size_t>(src)] += b;
+    tstats_[0].msgs_received += incoming.size();
+    if (!combine_enabled_ && combiner_kind<Program>() != CombinerKind::kNone)
+      precombine(incoming);
 
     sched_.reset(incoming.size(), cfg_.sched_chunk);
     team_run_guarded([&](int tid) {
@@ -782,7 +891,6 @@ class DeviceEngine {
       while (auto r = sched_.next_chunk()) {
         for (std::size_t i = r->begin; i < r->end; ++i) {
           const auto& env = incoming[i];
-          ++ts.msgs_received;
           if (cfg_.mode == ExecMode::kOmpStyle) {
             OmpSink sink{this, &ts};
             sink.send(env.dst, env.value);
@@ -797,7 +905,24 @@ class DeviceEngine {
         }
       }
     });
-    return true;
+  }
+
+  /// Reduce a raw (uncombined) batch per destination in place. Destination
+  /// order is first-touch order and each destination folds left in arrival
+  /// order — with a single sending thread this is byte-for-byte the batch
+  /// the sender-side combiner would have produced.
+  void precombine(Batch& b) {
+    std::unordered_map<vid_t, std::size_t> at;
+    at.reserve(b.size());
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      auto [it, fresh] = at.emplace(b[i].dst, n);
+      if (fresh)
+        b[n++] = b[i];
+      else
+        b[it->second].value = prog_.combine(b[it->second].value, b[i].value);
+    }
+    b.resize(n);
   }
 
   void process(int superstep) {
@@ -961,6 +1086,11 @@ class DeviceEngine {
   EngineConfig cfg_;
   std::optional<PeerLink> peer_;
   int lanes_;
+  int nranks_;
+  bool combine_enabled_;
+  // Per-peer exchange traffic, accumulated across the run (see RankIo).
+  std::vector<std::uint64_t> bytes_to_;
+  std::vector<std::uint64_t> bytes_from_;
 
   std::vector<Value> values_;
   std::vector<std::uint8_t> active_;

@@ -1,24 +1,27 @@
-// Heterogeneous CPU+MIC execution (paper §IV-A/E).
+// Multi-rank symmetric execution (paper §IV-A/E, generalized to N ranks).
 //
-// Two symmetric DeviceEngine instances — "Symmetric runtime instances on the
+// Symmetric DeviceEngine instances — "Symmetric runtime instances on the
 // CPU and the Xeon Phi share the same source code and thus the same
 // structure, though parameters such as numbers of threads running on each
-// device are separately configured" — wired by a data exchange and a
-// termination-control exchange, each running on its own host thread.
+// device are separately configured" — wired by an all-to-all data exchange
+// and a termination-control exchange, rank 0 running on the calling thread
+// and every other rank on its own host thread. The paper's CPU+MIC
+// configuration is the two-rank case, exposed unchanged as HeteroEngine.
 //
-// Fault tolerance (DESIGN.md §6): the MIC thread is joined by a scope guard,
-// so an exception on the CPU path can no longer std::terminate the process
-// with a joinable thread in flight. When either device faults, run() falls
-// over to a single-device engine covering BOTH partitions, seeded from the
-// newest superstep checkpoint that CRC-validates in *both* device stores
-// (or restarted from superstep 0 when checkpointing is off / no common frame
-// survives), and finishes the computation CPU-only. The outcome — origin
-// FaultReport, lost supersteps, recovery wall time — is reported in
-// Result::failover.
+// Fault tolerance (DESIGN.md §6): the spawned rank threads are joined by a
+// scope guard, so an exception on the rank-0 path can no longer
+// std::terminate the process with a joinable thread in flight. When any rank
+// faults, run() falls over to a single-device engine covering ALL
+// partitions, seeded from the newest superstep checkpoint that CRC-validates
+// in *every* rank's store (or restarted from superstep 0 when checkpointing
+// is off / no common frame survives), and finishes the computation CPU-only.
+// The outcome — origin FaultReport, lost supersteps, recovery wall time — is
+// reported in Result::failover.
 #pragma once
 
 #include <array>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -35,11 +38,11 @@
 
 namespace phigraph::core {
 
-/// Joins the wrapped thread on scope exit. Keeps HeteroEngine::run()
-/// exception-safe: std::thread's destructor calls std::terminate when the
-/// thread is still joinable, so without the guard any throw between spawn
-/// and join (user-program exception, PG_CHECK in a death test, ...) kills
-/// the whole process instead of unwinding.
+/// Joins the wrapped thread on scope exit. Keeps run() exception-safe:
+/// std::thread's destructor calls std::terminate when the thread is still
+/// joinable, so without the guard any throw between spawn and join
+/// (user-program exception, PG_CHECK in a death test, ...) kills the whole
+/// process instead of unwinding.
 class ThreadJoiner {
  public:
   explicit ThreadJoiner(std::thread& t) noexcept : t_(t) {}
@@ -53,21 +56,41 @@ class ThreadJoiner {
   std::thread& t_;
 };
 
+/// Joins every thread of a group on scope exit (the N-rank ThreadJoiner).
+class ThreadGroupJoiner {
+ public:
+  explicit ThreadGroupJoiner(std::vector<std::thread>& ts) noexcept
+      : ts_(ts) {}
+  ~ThreadGroupJoiner() {
+    for (auto& t : ts_)
+      if (t.joinable()) t.join();
+  }
+  ThreadGroupJoiner(const ThreadGroupJoiner&) = delete;
+  ThreadGroupJoiner& operator=(const ThreadGroupJoiner&) = delete;
+
+ private:
+  std::vector<std::thread>& ts_;
+};
+
+/// N symmetric runtime instances over one graph: rank r owns the vertices
+/// with owner_rank[v] == r and runs under its own EngineConfig (the rank
+/// count is cfgs.size()). nranks == 2 is exactly the paper's CPU+MIC
+/// configuration; nranks == 1 degenerates to a single-device run behind the
+/// same interface.
 template <VertexProgram Program>
-class HeteroEngine {
+class ClusterEngine {
  public:
   using Msg = typename Program::message_t;
   using Value = typename Program::vertex_value_t;
   using Engine = DeviceEngine<Program>;
 
   struct Result {
-    RunResult cpu;
-    RunResult mic;
-    std::vector<Value> global_values;  // gathered over both devices
+    std::vector<RunResult> ranks;      // per-rank traces, indexed by rank
+    std::vector<Value> global_values;  // gathered over every rank
 
     // Fault-tolerance outcome. On a fault-free run: completed == true,
-    // failover all-zero, fault invalid, recovery empty. After a device
-    // fault: `fault` is the origin report, `recovery` the CPU-only rerun's
+    // failover all-zero, fault invalid, recovery empty. After a rank fault:
+    // `fault` is the origin report, `recovery` the CPU-only rerun's
     // RunResult, and global_values holds the recovered values. completed is
     // false only if the recovery run itself failed.
     bool completed = true;
@@ -76,58 +99,81 @@ class HeteroEngine {
     metrics::FailoverStats failover;
   };
 
-  /// owner[v] assigns each global vertex to a device (from src/partition).
-  HeteroEngine(const graph::Csr& g, std::vector<Device> owner, Program prog,
-               EngineConfig cpu_cfg, EngineConfig mic_cfg)
-      : graph_(&g), prog_(prog), recovery_cfg_(cpu_cfg) {
-    PG_CHECK_MSG(cpu_cfg.checkpoint.interval == mic_cfg.checkpoint.interval,
-                 "both devices must checkpoint at the same interval so their "
-                 "frames land on the same superstep boundaries");
-    // The recovery engine runs CPU-only after the fault; it must not trip
-    // armed fault-injection specs at checkpoint.write or overwrite the
+  /// owner_rank[v] in [0, cfgs.size()) assigns each global vertex to a rank
+  /// (from src/partition).
+  ClusterEngine(const graph::Csr& g, std::vector<int> owner_rank, Program prog,
+                std::vector<EngineConfig> cfgs)
+      : graph_(&g),
+        prog_(prog),
+        nranks_(static_cast<int>(cfgs.size())),
+        data_(static_cast<int>(cfgs.size())),
+        control_(static_cast<int>(cfgs.size())),
+        recovery_cfg_(cfgs.empty() ? EngineConfig{} : cfgs.front()) {
+    PG_CHECK_MSG(!cfgs.empty(), "ClusterEngine needs at least one rank");
+    for (const EngineConfig& c : cfgs)
+      PG_CHECK_MSG(c.checkpoint.interval == cfgs.front().checkpoint.interval,
+                   "all ranks must checkpoint at the same interval so their "
+                   "frames land on the same superstep boundaries");
+    // The recovery engine runs single-device after the fault; it must not
+    // trip armed fault-injection specs at checkpoint.write or overwrite the
     // frames being recovered from.
     recovery_cfg_.checkpoint = {};
-    auto parts = LocalGraph::split(g, std::move(owner));
+    auto parts = LocalGraph::split_n(g, std::move(owner_rank), nranks_);
     using PeerLink = typename Engine::PeerLink;
-    cpu_.emplace(std::move(parts[0]), prog, cpu_cfg,
-                 PeerLink{0, &data_, &control_});
-    mic_.emplace(std::move(parts[1]), prog, mic_cfg,
-                 PeerLink{1, &data_, &control_});
+    engines_.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r)
+      engines_.push_back(std::make_unique<Engine>(
+          std::move(parts[static_cast<std::size_t>(r)]), prog,
+          cfgs[static_cast<std::size_t>(r)], PeerLink{r, &data_, &control_}));
   }
 
   Result run() {
     Result res;
+    res.ranks.resize(static_cast<std::size_t>(nranks_));
     {
-      std::thread mic_thread([&] { res.mic = mic_->run(); });
-      ThreadJoiner joiner(mic_thread);
-      res.cpu = cpu_->run();
+      std::vector<std::thread> threads;
+      ThreadGroupJoiner joiner(threads);
+      threads.reserve(static_cast<std::size_t>(nranks_ - 1));
+      for (int r = 1; r < nranks_; ++r)
+        threads.emplace_back([this, r, &res] {
+          res.ranks[static_cast<std::size_t>(r)] =
+              engines_[static_cast<std::size_t>(r)]->run();
+        });
+      res.ranks[0] = engines_[0]->run();
     }
-    if (res.cpu.failed || res.mic.failed) {
+    bool failed = false;
+    for (const RunResult& r : res.ranks) failed = failed || r.failed;
+    if (failed) {
       fail_over(res);
       return res;
     }
-    PG_CHECK_MSG(res.cpu.supersteps == res.mic.supersteps,
-                 "devices must execute the same superstep count");
-    // Both per-device phase machines must have come to rest before the
-    // gather reads their vertex values (a device mid-phase here would mean
-    // the control exchange let one side run ahead).
-    PG_AUDIT_FMT(cpu_->audit_phase() == audit::BspPhase::kIdle &&
-                     mic_->audit_phase() == audit::BspPhase::kIdle,
-                 "hetero-devices-idle",
-                 "gather started while a device is mid-superstep (CPU phase: "
-                 "%s, MIC phase: %s)",
-                 audit::phase_name(cpu_->audit_phase()),
-                 audit::phase_name(mic_->audit_phase()));
+    for (const RunResult& r : res.ranks)
+      PG_CHECK_MSG(r.supersteps == res.ranks[0].supersteps,
+                   "ranks must execute the same superstep count");
+#if PG_AUDIT_ENABLED
+    // Every per-rank phase machine must have come to rest before the gather
+    // reads its vertex values (a rank mid-phase here would mean the control
+    // exchange let one side run ahead).
+    for (int r = 0; r < nranks_; ++r)
+      PG_AUDIT_FMT(engines_[static_cast<std::size_t>(r)]->audit_phase() ==
+                       audit::BspPhase::kIdle,
+                   "hetero-devices-idle",
+                   "gather started while rank %d is mid-superstep (phase: %s)",
+                   r,
+                   audit::phase_name(
+                       engines_[static_cast<std::size_t>(r)]->audit_phase()));
+#endif
 
-    const auto& cg = cpu_->local_graph();
-    res.global_values.resize(cg.global_num_vertices);
-    gather(*cpu_, res.global_values);
-    gather(*mic_, res.global_values);
+    res.global_values.resize(graph_->num_vertices());
+    for (const auto& e : engines_) gather(*e, res.global_values);
     return res;
   }
 
-  [[nodiscard]] const Engine& cpu_engine() const noexcept { return *cpu_; }
-  [[nodiscard]] const Engine& mic_engine() const noexcept { return *mic_; }
+  [[nodiscard]] int num_ranks() const noexcept { return nranks_; }
+  [[nodiscard]] const Engine& engine(int r) const {
+    PG_CHECK(r >= 0 && r < nranks_);
+    return *engines_[static_cast<std::size_t>(r)];
+  }
 
  private:
   static void gather(const Engine& e, std::vector<Value>& out) {
@@ -137,29 +183,46 @@ class HeteroEngine {
       out[lg.global_id[u]] = vals[u];
   }
 
-  /// CPU-only failover: rebuild a single-device engine over BOTH partitions,
-  /// seed it from the newest checkpoint superstep that validates on both
-  /// devices (falling back to superstep 0), and run it to completion.
+  /// Single-device failover: rebuild one engine over ALL partitions, seed it
+  /// from the newest checkpoint superstep that validates on every rank
+  /// (falling back to superstep 0), and run it to completion.
   void fail_over(Result& res) {
     PG_TRACE_SCOPE(kRecovery, -1, 0);
     Timer rec;
-    res.fault = res.cpu.failed && res.cpu.fault.valid() ? res.cpu.fault
-                                                        : res.mic.fault;
+    // The origin report: the first failed rank carrying a valid fault (a
+    // rank that observed a peer failure carries the origin's report, so any
+    // valid one names the true culprit); fall back to the first failure.
+    for (const RunResult& r : res.ranks)
+      if (r.failed && r.fault.valid()) {
+        res.fault = r.fault;
+        break;
+      }
+    if (!res.fault.valid())
+      for (const RunResult& r : res.ranks)
+        if (r.failed) {
+          res.fault = r.fault;
+          break;
+        }
 
-    // Newest resume superstep whose frame CRC-validates in BOTH stores — a
-    // frame corrupted on either side (torn write, injected fault, bit flip)
+    // Newest resume superstep whose frame CRC-validates in EVERY store — a
+    // frame corrupted on any rank (torn write, injected fault, bit flip)
     // drops that superstep and the search falls back to the previous one.
     int resume = 0;
-    std::optional<fault::CheckpointFrame> cpu_frame, mic_frame;
-    const auto* cs = cpu_->checkpoint_store();
-    const auto* ms = mic_->checkpoint_store();
-    if (cs && ms) {
-      for (int s : cs->valid_supersteps()) {
-        auto a = cs->frame_at(s);
-        auto b = ms->frame_at(s);
-        if (a && b) {
-          cpu_frame = std::move(a);
-          mic_frame = std::move(b);
+    std::vector<fault::CheckpointFrame> frames;
+    bool all_stores = true;
+    for (const auto& e : engines_)
+      all_stores = all_stores && e->checkpoint_store() != nullptr;
+    if (all_stores) {
+      for (int s : engines_[0]->checkpoint_store()->valid_supersteps()) {
+        std::vector<fault::CheckpointFrame> cand;
+        cand.reserve(engines_.size());
+        for (const auto& e : engines_) {
+          auto f = e->checkpoint_store()->frame_at(s);
+          if (!f) break;
+          cand.push_back(std::move(*f));
+        }
+        if (cand.size() == engines_.size()) {
+          frames = std::move(cand);
           resume = s;
           break;
         }
@@ -170,16 +233,18 @@ class HeteroEngine {
     // snapshot through its global_id table lands directly on the recovery
     // engine's indices.
     Engine engine(LocalGraph::whole(*graph_), prog_, recovery_cfg_);
-    if (cpu_frame && mic_frame) {
+    if (!frames.empty()) {
       const vid_t n = graph_->num_vertices();
       std::vector<Value> vals(n);
       std::vector<std::uint8_t> act(n, 0);
-      if (!apply_frame(*cpu_frame, cpu_->local_graph(), vals, act) ||
-          !apply_frame(*mic_frame, mic_->local_graph(), vals, act)) {
+      bool ok = true;
+      for (std::size_t r = 0; r < frames.size(); ++r)
+        ok = ok &&
+             apply_frame(frames[r], engines_[r]->local_graph(), vals, act);
+      if (!ok)
         resume = 0;  // frame shape mismatch: restart from scratch
-      } else {
+      else
         engine.restore(vals, act, resume);
-      }
     }
 
     try {
@@ -198,7 +263,7 @@ class HeteroEngine {
     res.failover.recovery_ms = rec.millis();
   }
 
-  /// Scatter one device's checkpointed values/active bits into global-indexed
+  /// Scatter one rank's checkpointed values/active bits into global-indexed
   /// arrays. Returns false if the frame does not match the partition shape
   /// (e.g. a structurally damaged but CRC-lucky file) — callers then restart
   /// from superstep 0 instead of loading garbage.
@@ -219,11 +284,70 @@ class HeteroEngine {
 
   const graph::Csr* graph_;
   Program prog_;
+  int nranks_;
+  comm::AllToAll<typename Engine::Batch> data_;
+  comm::AllToAll<std::uint64_t> control_;
   EngineConfig recovery_cfg_;
-  comm::Exchange<typename Engine::Batch> data_;
-  comm::Exchange<std::uint64_t> control_;
-  std::optional<Engine> cpu_;
-  std::optional<Engine> mic_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+/// The paper's heterogeneous CPU+MIC configuration: a two-rank ClusterEngine
+/// (CPU = rank 0, MIC = rank 1) with the historical Device-keyed interface
+/// and result shape.
+template <VertexProgram Program>
+class HeteroEngine {
+ public:
+  using Msg = typename Program::message_t;
+  using Value = typename Program::vertex_value_t;
+  using Engine = DeviceEngine<Program>;
+
+  struct Result {
+    RunResult cpu;
+    RunResult mic;
+    std::vector<Value> global_values;  // gathered over both devices
+
+    // Fault-tolerance outcome; see ClusterEngine::Result.
+    bool completed = true;
+    fault::FaultReport fault;
+    RunResult recovery;
+    metrics::FailoverStats failover;
+  };
+
+  /// owner[v] assigns each global vertex to a device (from src/partition).
+  HeteroEngine(const graph::Csr& g, std::vector<Device> owner, Program prog,
+               EngineConfig cpu_cfg, EngineConfig mic_cfg)
+      : cluster_(g, to_ranks(owner), std::move(prog),
+                 {std::move(cpu_cfg), std::move(mic_cfg)}) {}
+
+  Result run() {
+    auto cr = cluster_.run();
+    Result res;
+    res.cpu = std::move(cr.ranks[0]);
+    res.mic = std::move(cr.ranks[1]);
+    res.global_values = std::move(cr.global_values);
+    res.completed = cr.completed;
+    res.fault = std::move(cr.fault);
+    res.recovery = std::move(cr.recovery);
+    res.failover = cr.failover;
+    return res;
+  }
+
+  [[nodiscard]] const Engine& cpu_engine() const noexcept {
+    return cluster_.engine(0);
+  }
+  [[nodiscard]] const Engine& mic_engine() const noexcept {
+    return cluster_.engine(1);
+  }
+
+ private:
+  static std::vector<int> to_ranks(const std::vector<Device>& owner) {
+    std::vector<int> ranks(owner.size());
+    for (std::size_t v = 0; v < owner.size(); ++v)
+      ranks[v] = device_index(owner[v]);
+    return ranks;
+  }
+
+  ClusterEngine<Program> cluster_;
 };
 
 /// Convenience: run a program on the whole graph with one device config.

@@ -6,9 +6,19 @@
 
 namespace phigraph::core {
 
+namespace {
+
+Device device_label(int rank) noexcept {
+  return rank >= 1 ? Device::Mic : Device::Cpu;
+}
+
+}  // namespace
+
 LocalGraph LocalGraph::whole(const graph::Csr& g, Device device) {
   LocalGraph lg;
   lg.device = device;
+  lg.rank = device_index(device);
+  lg.nranks = 1;
   lg.global_num_vertices = g.num_vertices();
   lg.local = g;
   lg.global_id.resize(g.num_vertices());
@@ -16,42 +26,51 @@ LocalGraph LocalGraph::whole(const graph::Csr& g, Device device) {
   lg.in_degree = g.in_degrees();
   lg.owner = std::make_shared<const std::vector<Device>>(
       g.num_vertices(), device);
+  lg.owner_rank = std::make_shared<const std::vector<int>>(
+      g.num_vertices(), lg.rank);
   lg.local_of = std::make_shared<const std::vector<vid_t>>(lg.global_id);
   return lg;
 }
 
-std::array<LocalGraph, 2> LocalGraph::split(const graph::Csr& g,
-                                            std::vector<Device> owner) {
+std::vector<LocalGraph> LocalGraph::split_n(const graph::Csr& g,
+                                            std::vector<int> owner_rank,
+                                            int nranks) {
   const vid_t n = g.num_vertices();
-  PG_CHECK_MSG(owner.size() == n, "owner array must cover every vertex");
+  PG_CHECK_MSG(nranks >= 1, "split_n needs at least one rank");
+  PG_CHECK_MSG(owner_rank.size() == n, "owner array must cover every vertex");
+  for (const int r : owner_rank)
+    PG_CHECK_MSG(r >= 0 && r < nranks, "owner rank outside [0, nranks)");
 
   auto local_of = std::vector<vid_t>(n, kInvalidVertex);
-  std::array<std::vector<vid_t>, 2> members;
+  std::vector<std::vector<vid_t>> members(static_cast<std::size_t>(nranks));
   for (vid_t v = 0; v < n; ++v) {
-    auto& m = members[device_index(owner[v])];
+    auto& m = members[static_cast<std::size_t>(owner_rank[v])];
     local_of[v] = static_cast<vid_t>(m.size());
     m.push_back(v);
   }
 
   const auto global_in = g.in_degrees();
-  auto shared_owner = std::make_shared<const std::vector<Device>>(std::move(owner));
+  auto shared_owner =
+      std::make_shared<const std::vector<int>>(std::move(owner_rank));
   auto shared_local_of =
       std::make_shared<const std::vector<vid_t>>(std::move(local_of));
 
-  std::array<LocalGraph, 2> out;
-  for (int d = 0; d < kNumDevices; ++d) {
-    LocalGraph& lg = out[d];
-    lg.device = static_cast<Device>(d);
+  std::vector<LocalGraph> out(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    LocalGraph& lg = out[static_cast<std::size_t>(r)];
+    lg.device = device_label(r);
+    lg.rank = r;
+    lg.nranks = nranks;
     lg.global_num_vertices = n;
-    lg.global_id = members[d];
-    lg.owner = shared_owner;
+    lg.global_id = members[static_cast<std::size_t>(r)];
+    lg.owner_rank = shared_owner;
     lg.local_of = shared_local_of;
 
-    const vid_t n_local = static_cast<vid_t>(members[d].size());
+    const auto& mem = members[static_cast<std::size_t>(r)];
+    const vid_t n_local = static_cast<vid_t>(mem.size());
     std::vector<eid_t> offsets(static_cast<std::size_t>(n_local) + 1, 0);
     eid_t m_local = 0;
-    for (vid_t u = 0; u < n_local; ++u)
-      m_local += g.out_degree(members[d][u]);
+    for (vid_t u = 0; u < n_local; ++u) m_local += g.out_degree(mem[u]);
     std::vector<vid_t> targets;
     targets.reserve(m_local);
     std::vector<float> values;
@@ -59,7 +78,7 @@ std::array<LocalGraph, 2> LocalGraph::split(const graph::Csr& g,
 
     lg.in_degree.resize(n_local);
     for (vid_t u = 0; u < n_local; ++u) {
-      const vid_t gu = members[d][u];
+      const vid_t gu = mem[u];
       lg.in_degree[u] = global_in[gu];
       const auto nbrs = g.out_neighbors(gu);
       targets.insert(targets.end(), nbrs.begin(), nbrs.end());
@@ -75,12 +94,34 @@ std::array<LocalGraph, 2> LocalGraph::split(const graph::Csr& g,
   return out;
 }
 
+std::array<LocalGraph, 2> LocalGraph::split(const graph::Csr& g,
+                                            std::vector<Device> owner) {
+  std::vector<int> ranks(owner.size());
+  for (std::size_t v = 0; v < owner.size(); ++v)
+    ranks[v] = device_index(owner[v]);
+  auto parts = split_n(g, std::move(ranks), kNumDevices);
+  auto shared_owner =
+      std::make_shared<const std::vector<Device>>(std::move(owner));
+  std::array<LocalGraph, 2> out{std::move(parts[0]), std::move(parts[1])};
+  for (LocalGraph& lg : out) lg.owner = shared_owner;
+  return out;
+}
+
 eid_t LocalGraph::count_cross_edges(const graph::Csr& g,
                                     std::span<const Device> owner) {
   eid_t cross = 0;
   for (vid_t u = 0; u < g.num_vertices(); ++u)
     for (vid_t v : g.out_neighbors(u))
       if (owner[u] != owner[v]) ++cross;
+  return cross;
+}
+
+eid_t LocalGraph::count_cross_edges_n(const graph::Csr& g,
+                                      std::span<const int> owner_rank) {
+  eid_t cross = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u))
+      if (owner_rank[u] != owner_rank[v]) ++cross;
   return cross;
 }
 

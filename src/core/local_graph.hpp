@@ -1,11 +1,15 @@
 // Device-local graph partition.
 //
 // The paper loads the graph distributed by a partitioning file "indicating
-// which device each vertex belongs to". A LocalGraph holds one device's
-// share: a CSR over local source vertices whose edge targets remain global
-// ids, the local→global id map, shared global owner / global→local tables,
-// and each local vertex's in-degree in the FULL graph (the CSB is sized by
-// how many messages a vertex can receive from anywhere).
+// which device each vertex belongs to". A LocalGraph holds one rank's share:
+// a CSR over local source vertices whose edge targets remain global ids, the
+// local→global id map, shared global owner / global→local tables, and each
+// local vertex's in-degree in the FULL graph (the CSB is sized by how many
+// messages a vertex can receive from anywhere).
+//
+// Ownership is rank-based: the paper's two-rank configuration (CPU = rank 0,
+// MIC = rank 1) is the nranks == 2 special case of split_n(); the Device
+// enum survives as a convenience label on those two ranks.
 #pragma once
 
 #include <array>
@@ -19,16 +23,22 @@
 namespace phigraph::core {
 
 struct LocalGraph {
-  Device device = Device::Cpu;
+  Device device = Device::Cpu;  // label for ranks 0/1 (rank >= 1 -> Mic)
+  int rank = 0;                 // this partition's rank
+  int nranks = 1;               // ranks in the split this partition came from
   vid_t global_num_vertices = 0;
 
   graph::Csr local;                // local source id -> global targets
   std::vector<vid_t> global_id;    // local -> global
   std::vector<vid_t> in_degree;    // local vertex's in-degree in full graph
 
-  // Shared between the two partitions of a heterogeneous run.
-  std::shared_ptr<const std::vector<Device>> owner;   // global -> device
-  std::shared_ptr<const std::vector<vid_t>> local_of; // global -> local id
+  // Shared between every partition of a cluster run.
+  std::shared_ptr<const std::vector<int>> owner_rank;  // global -> rank
+  std::shared_ptr<const std::vector<vid_t>> local_of;  // global -> local id
+
+  // Two-rank compatibility view of owner_rank (set by whole() and the
+  // Device-based split(); null for N-rank splits).
+  std::shared_ptr<const std::vector<Device>> owner;    // global -> device
 
   [[nodiscard]] vid_t num_local_vertices() const noexcept {
     return local.num_vertices();
@@ -37,14 +47,25 @@ struct LocalGraph {
   /// Whole graph on a single device (single-device executions).
   static LocalGraph whole(const graph::Csr& g, Device device = Device::Cpu);
 
-  /// Split by ownership: owner[v] gives each global vertex's device.
+  /// Split by ownership: owner[v] gives each global vertex's device. The
+  /// paper's two-rank configuration; thin wrapper over split_n.
   static std::array<LocalGraph, 2> split(const graph::Csr& g,
                                          std::vector<Device> owner);
+
+  /// N-rank split: owner_rank[v] in [0, nranks) gives each global vertex's
+  /// rank. Every rank gets a partition (possibly empty).
+  static std::vector<LocalGraph> split_n(const graph::Csr& g,
+                                         std::vector<int> owner_rank,
+                                         int nranks);
 
   /// Edges whose source and destination live on different devices — the
   /// communication-volume metric of §IV-E.
   static eid_t count_cross_edges(const graph::Csr& g,
                                  std::span<const Device> owner);
+
+  /// Same metric over an N-rank assignment.
+  static eid_t count_cross_edges_n(const graph::Csr& g,
+                                   std::span<const int> owner_rank);
 };
 
 }  // namespace phigraph::core

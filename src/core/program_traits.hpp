@@ -51,4 +51,55 @@ concept VertexProgram = requires {
   { P::kSimdReduce } -> std::convertible_to<bool>;
 } && std::is_trivially_copyable_v<typename P::message_t>;
 
+/// Pregel-style message-combiner declaration (iPregel's key traffic lever).
+/// A program may announce what its combine() computes so the runtime can
+/// apply it at the send-side remote buffer before anything crosses a rank
+/// boundary:
+///
+///   * kSum / kMin — combine() is the commutative, associative sum /
+///     minimum; the audit build spot-checks commutativity on real message
+///     pairs and aborts if the declaration lies.
+///   * kCustom — combine() is an arbitrary program-defined reduction the
+///     runtime trusts to be order-insensitive enough to pre-combine (the
+///     historical default: every program's remote messages have always been
+///     combined before the send).
+///   * kNone — messages must be delivered individually; the engine ships
+///     them uncombined.
+///
+/// Declared as `static constexpr CombinerKind kCombiner = ...;` — optional,
+/// programs without it keep the historical kCustom behavior.
+enum class CombinerKind : std::uint8_t { kNone = 0, kSum, kMin, kCustom };
+
+constexpr const char* combiner_kind_name(CombinerKind k) noexcept {
+  switch (k) {
+    case CombinerKind::kNone: return "none";
+    case CombinerKind::kSum: return "sum";
+    case CombinerKind::kMin: return "min";
+    case CombinerKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+template <typename P>
+concept DeclaresCombiner = requires {
+  { P::kCombiner } -> std::convertible_to<CombinerKind>;
+};
+
+/// The program's combiner declaration, defaulting to kCustom (combine-before
+/// -send with the program's combine(), exactly the pre-combiner behavior).
+template <typename P>
+[[nodiscard]] consteval CombinerKind combiner_kind() noexcept {
+  if constexpr (DeclaresCombiner<P>)
+    return P::kCombiner;
+  else
+    return CombinerKind::kCustom;
+}
+
+/// Whether the declared combiner claims commutativity the runtime may check.
+template <typename P>
+[[nodiscard]] consteval bool combiner_claims_commutative() noexcept {
+  return combiner_kind<P>() == CombinerKind::kSum ||
+         combiner_kind<P>() == CombinerKind::kMin;
+}
+
 }  // namespace phigraph::core

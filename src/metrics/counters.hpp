@@ -75,6 +75,19 @@ struct FailoverStats {
   double recovery_ms = 0;            // rebuild + re-run wall time
 };
 
+/// Per-peer exchange traffic of one rank across a whole run, indexed by the
+/// other rank's id (the self entry stays zero — a rank never ships bytes to
+/// itself). Conservation across a fault-free N-rank run:
+///   ranks[a].io.bytes_to[b] == ranks[b].io.bytes_from[a]  for every (a, b),
+/// which the differential battery asserts pairwise.
+struct RankIo {
+  std::vector<std::uint64_t> bytes_to;    // [dst rank] -> bytes this rank sent
+  std::vector<std::uint64_t> bytes_from;  // [src rank] -> bytes received
+
+  explicit RankIo(std::size_t nranks = 0)
+      : bytes_to(nranks, 0), bytes_from(nranks, 0) {}
+};
+
 /// Host-measured wall seconds of one superstep's phases, recorded by the
 /// engine in every build (a handful of clock reads per superstep — the
 /// *span-level* tracing is what the PHIGRAPH_TRACE gate controls). The

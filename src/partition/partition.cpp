@@ -396,6 +396,118 @@ std::vector<Device> hybrid_partition(const graph::Csr& g, Ratio r,
   return hybrid_partition(blocked_min_cut(g, opt), r);
 }
 
+namespace {
+
+int check_weights(const RankWeights& w) {
+  PG_CHECK_MSG(!w.empty(), "k-way partition needs at least one rank weight");
+  int sum = 0;
+  for (int x : w) {
+    PG_CHECK_MSG(x >= 0, "rank weights must be non-negative");
+    sum += x;
+  }
+  PG_CHECK_MSG(sum > 0, "at least one rank weight must be positive");
+  return sum;
+}
+
+}  // namespace
+
+std::vector<int> continuous_partition_k(const graph::Csr& g,
+                                        const RankWeights& w) {
+  const int wsum = check_weights(w);
+  const vid_t n = g.num_vertices();
+  std::vector<int> owner(n);
+  // Rank r owns the contiguous id range [n * prefix(r) / wsum, ...).
+  vid_t begin = 0;
+  int prefix = 0;
+  for (std::size_t r = 0; r < w.size(); ++r) {
+    prefix += w[r];
+    const vid_t end = static_cast<vid_t>(static_cast<std::uint64_t>(n) *
+                                         prefix / wsum);
+    for (vid_t v = begin; v < end; ++v) owner[v] = static_cast<int>(r);
+    begin = end;
+  }
+  return owner;
+}
+
+std::vector<int> round_robin_partition_k(const graph::Csr& g,
+                                         const RankWeights& w) {
+  const int wsum = check_weights(w);
+  const vid_t n = g.num_vertices();
+  // Position p in the period of length sum(w) belongs to the rank whose
+  // weight segment covers p — the two-entry case is exactly
+  // round_robin_partition.
+  std::vector<int> slot(static_cast<std::size_t>(wsum));
+  {
+    std::size_t p = 0;
+    for (std::size_t r = 0; r < w.size(); ++r)
+      for (int i = 0; i < w[r]; ++i) slot[p++] = static_cast<int>(r);
+  }
+  std::vector<int> owner(n);
+  for (vid_t v = 0; v < n; ++v)
+    owner[v] = slot[v % static_cast<vid_t>(wsum)];
+  return owner;
+}
+
+std::vector<int> hybrid_partition_k(const BlockedPartition& bp,
+                                    const RankWeights& w) {
+  const int wsum = check_weights(w);
+  const std::size_t k = w.size();
+  std::vector<int> block_rank(static_cast<std::size_t>(bp.num_blocks), 0);
+  // Deal heaviest blocks first (LPT) to the rank whose normalized load
+  // (assigned edges / weight share) is lowest — the k-way generalization of
+  // the two-device weighted-load greedy above.
+  std::vector<int> order(static_cast<std::size_t>(bp.num_blocks));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b2) {
+    return bp.block_edges[a] > bp.block_edges[b2];
+  });
+  std::vector<double> share(k), assigned(k, 0.0);
+  for (std::size_t r = 0; r < k; ++r)
+    share[r] = static_cast<double>(w[r]) / wsum;
+  for (int b : order) {
+    const double bw = static_cast<double>(bp.block_edges[b]) + 1e-9;
+    std::size_t best = 0;
+    double best_load = 1e300;
+    for (std::size_t r = 0; r < k; ++r) {
+      const double load =
+          share[r] == 0 ? 1e300 : (assigned[r] + bw) / share[r];
+      if (load < best_load) {
+        best_load = load;
+        best = r;
+      }
+    }
+    block_rank[b] = static_cast<int>(best);
+    assigned[best] += bw;
+  }
+  std::vector<int> owner(bp.block_of.size());
+  for (std::size_t v = 0; v < owner.size(); ++v)
+    owner[v] = block_rank[bp.block_of[v]];
+  return owner;
+}
+
+std::vector<int> hybrid_partition_k(const graph::Csr& g, const RankWeights& w,
+                                    const BlockedOptions& opt) {
+  return hybrid_partition_k(blocked_min_cut(g, opt), w);
+}
+
+KwayStats evaluate_partition_k(const graph::Csr& g,
+                               std::span<const int> owner_rank, int nranks) {
+  PG_CHECK(owner_rank.size() == g.num_vertices());
+  PG_CHECK(nranks >= 1);
+  KwayStats s;
+  s.verts.assign(static_cast<std::size_t>(nranks), 0);
+  s.edges.assign(static_cast<std::size_t>(nranks), 0);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const int r = owner_rank[u];
+    PG_CHECK_MSG(r >= 0 && r < nranks, "owner rank outside [0, nranks)");
+    ++s.verts[static_cast<std::size_t>(r)];
+    s.edges[static_cast<std::size_t>(r)] += g.out_degree(u);
+    for (vid_t v : g.out_neighbors(u))
+      if (owner_rank[u] != owner_rank[v]) ++s.cross_edges;
+  }
+  return s;
+}
+
 PartitionStats evaluate_partition(const graph::Csr& g,
                                   std::span<const Device> owner) {
   PG_CHECK(owner.size() == g.num_vertices());

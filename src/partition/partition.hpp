@@ -14,6 +14,7 @@
 //     for any ratio — the property the paper highlights over GPS.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -69,6 +70,58 @@ struct BlockedOptions {
 /// Convenience: blocked_min_cut + hybrid assignment in one call.
 [[nodiscard]] std::vector<Device> hybrid_partition(const graph::Csr& g, Ratio r,
                                                    const BlockedOptions& opt = {});
+
+// ---- k-way (N-rank) schemes ---------------------------------------------------
+//
+// Rank-count-generalized forms of the schemes above: weights[r] is rank r's
+// relative workload share (the two-entry case {cpu, mic} reproduces the
+// Ratio-based schemes exactly, rank 0 = CPU). They return vertex -> rank
+// assignments for ClusterEngine / LocalGraph::split_n.
+
+using RankWeights = std::vector<int>;
+
+[[nodiscard]] std::vector<int> continuous_partition_k(const graph::Csr& g,
+                                                      const RankWeights& w);
+[[nodiscard]] std::vector<int> round_robin_partition_k(const graph::Csr& g,
+                                                       const RankWeights& w);
+
+/// Hybrid scheme over k ranks: deal min-cut blocks heaviest-first to the
+/// rank whose normalized load (assigned edges / weight share) is lowest.
+[[nodiscard]] std::vector<int> hybrid_partition_k(const BlockedPartition& bp,
+                                                  const RankWeights& w);
+
+/// Convenience: blocked_min_cut + k-way hybrid assignment in one call.
+[[nodiscard]] std::vector<int> hybrid_partition_k(
+    const graph::Csr& g, const RankWeights& w, const BlockedOptions& opt = {});
+
+struct KwayStats {
+  std::vector<vid_t> verts;  // per rank
+  std::vector<eid_t> edges;  // cumulative out-degree per rank
+  eid_t cross_edges = 0;     // directed edges crossing rank boundaries
+
+  /// Largest relative error of any rank's achieved edge share vs. its
+  /// requested share: 0 = perfect. Ranks with zero requested share are
+  /// skipped (they should also receive ~nothing, which cross-checks below).
+  [[nodiscard]] double balance_error(const RankWeights& w) const noexcept {
+    double total = 0, wsum = 0;
+    for (eid_t e : edges) total += static_cast<double>(e);
+    for (int x : w) wsum += x;
+    if (total == 0 || wsum == 0) return 0;
+    double worst = 0;
+    for (std::size_t r = 0; r < edges.size() && r < w.size(); ++r) {
+      const double want = static_cast<double>(w[r]) / wsum;
+      if (want == 0) continue;
+      const double got = static_cast<double>(edges[r]) / total;
+      const double err = (got - want) / want;
+      worst = std::max(worst, err < 0 ? -err : err);
+    }
+    return worst;
+  }
+};
+
+[[nodiscard]] KwayStats evaluate_partition_k(const graph::Csr& g,
+                                             std::span<const int> owner_rank,
+                                             int nranks);
 
 // ---- evaluation ---------------------------------------------------------------
 

@@ -222,6 +222,27 @@ PhaseTimes model_run(const metrics::RunTrace& trace, const DeviceSpec& dev,
   return total;
 }
 
+HeteroEstimate model_cluster(const std::vector<RankModelInput>& ranks,
+                             const LinkSpec& link) {
+  PG_CHECK(!ranks.empty());
+  const std::size_t steps = ranks[0].trace->size();
+  for (const auto& r : ranks)
+    PG_CHECK(r.trace != nullptr && r.trace->size() == steps);
+  HeteroEstimate est;
+  for (std::size_t s = 0; s < steps; ++s) {
+    // BSP lockstep: every rank waits on the slowest one each superstep.
+    double exec = 0, comm = 0;
+    for (const auto& r : ranks) {
+      const auto t = model_superstep((*r.trace)[s], r.dev, r.prof, &link);
+      exec = std::max(exec, t.execution());
+      comm = std::max(comm, t.exchange);
+    }
+    est.execution_seconds += exec;
+    est.comm_seconds += comm;
+  }
+  return est;
+}
+
 HeteroEstimate model_hetero(const metrics::RunTrace& cpu_trace,
                             const DeviceSpec& cpu_dev,
                             const ExecProfile& cpu_prof,
@@ -229,16 +250,9 @@ HeteroEstimate model_hetero(const metrics::RunTrace& cpu_trace,
                             const DeviceSpec& mic_dev,
                             const ExecProfile& mic_prof,
                             const LinkSpec& link) {
-  PG_CHECK(cpu_trace.size() == mic_trace.size());
-  HeteroEstimate est;
-  for (std::size_t s = 0; s < cpu_trace.size(); ++s) {
-    const auto tc = model_superstep(cpu_trace[s], cpu_dev, cpu_prof, &link);
-    const auto tm = model_superstep(mic_trace[s], mic_dev, mic_prof, &link);
-    // BSP lockstep: both devices wait on the slower one each superstep.
-    est.execution_seconds += std::max(tc.execution(), tm.execution());
-    est.comm_seconds += std::max(tc.exchange, tm.exchange);
-  }
-  return est;
+  return model_cluster({{&cpu_trace, cpu_dev, cpu_prof},
+                        {&mic_trace, mic_dev, mic_prof}},
+                       link);
 }
 
 double model_sequential(const metrics::RunTrace& trace, const DeviceSpec& dev,

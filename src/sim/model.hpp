@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "src/core/config.hpp"
 #include "src/metrics/counters.hpp"
@@ -85,6 +86,20 @@ struct HeteroEstimate {
     return execution_seconds + comm_seconds;
   }
 };
+
+/// One rank's inputs to the N-rank cluster model: its measured trace plus
+/// the device it is priced for.
+struct RankModelInput {
+  const metrics::RunTrace* trace = nullptr;
+  DeviceSpec dev;
+  ExecProfile prof;
+};
+
+/// Model an N-rank run: all ranks proceed in BSP lockstep, so each superstep
+/// costs the slowest rank's execution time plus the slowest exchange.
+/// model_hetero is the two-entry case.
+[[nodiscard]] HeteroEstimate model_cluster(
+    const std::vector<RankModelInput>& ranks, const LinkSpec& link);
 
 /// Model a heterogeneous run: devices proceed in BSP lockstep, so each
 /// superstep costs the slower device's execution time plus the exchange.

@@ -31,6 +31,7 @@
 #include "src/core/hetero_engine.hpp"
 #include "src/gen/generators.hpp"
 #include "src/graph/csr.hpp"
+#include "src/partition/partition.hpp"
 #include "watchdog.hpp"
 
 // Sanitized builds run the same battery at reduced depth: the instrumentation
@@ -281,6 +282,120 @@ TEST(DifferentialBattery, PageRankBitExactSingleWorker) {
         ASSERT_EQ(res.values[v], ref[v])
             << family_name(fam) << " round " << round << " " << cell_name(c)
             << " vertex " << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rank-matrix battery: the same programs over N-rank clusters. Every rank
+// count must reproduce the sequential reference bit-for-bit (the min-combine
+// apps are order-independent), and the all-to-all exchange must conserve
+// bytes pairwise: what rank a ships to rank b is exactly what rank b drains
+// from rank a, for every ordered (a, b) pair.
+// ---------------------------------------------------------------------------
+
+constexpr int kRankCounts[] = {1, 2, 3, 4};
+
+std::vector<EngineConfig> cluster_cfgs(const Cell& c, int nranks,
+                                       std::uint64_t salt) {
+  std::vector<EngineConfig> cfgs;
+  cfgs.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    cfgs.push_back(cell_cfg(
+        c, r % 2 == 0 ? simd::kCpuSimdBytes : simd::kMicSimdBytes,
+        salt + static_cast<std::uint64_t>(r)));
+  return cfgs;
+}
+
+template <typename Program>
+void check_cluster_cell(const graph::Csr& g, const Program& prog,
+                        const Cell& c, int nranks, std::uint64_t salt,
+                        const std::string& what) {
+  const auto ref = apps::reference_run(g, prog);
+  std::vector<int> owner = partition::round_robin_partition_k(
+      g, partition::RankWeights(static_cast<std::size_t>(nranks), 1));
+  core::ClusterEngine<Program> ce(g, std::move(owner), prog,
+                                  cluster_cfgs(c, nranks, salt));
+  const auto res = ce.run();
+  ASSERT_TRUE(res.completed) << what;
+  ASSERT_FALSE(res.fault.valid()) << what << ": " << res.fault.what;
+  ASSERT_EQ(res.global_values.size(), ref.size()) << what;
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(res.global_values[v], ref[v]) << what << " vertex " << v;
+  for (int a = 0; a < nranks; ++a) {
+    const auto& io = res.ranks[static_cast<std::size_t>(a)].io;
+    ASSERT_EQ(io.bytes_to.size(), static_cast<std::size_t>(nranks)) << what;
+    ASSERT_EQ(io.bytes_from.size(), static_cast<std::size_t>(nranks)) << what;
+    EXPECT_EQ(io.bytes_to[static_cast<std::size_t>(a)], 0u)
+        << what << ": rank " << a << " shipped bytes to itself";
+    for (int b = 0; b < nranks; ++b)
+      EXPECT_EQ(io.bytes_to[static_cast<std::size_t>(b)],
+                res.ranks[static_cast<std::size_t>(b)]
+                    .io.bytes_from[static_cast<std::size_t>(a)])
+          << what << ": bytes " << a << " -> " << b << " not conserved";
+  }
+}
+
+TEST(DifferentialBattery, RankMatrixBitExactAcrossRanks) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  int round = 0;
+  for (Family fam : {Family::kPowerLaw, Family::kDisconnected}) {
+    const auto seed = static_cast<std::uint64_t>(0x7a11 + 0x101 * round);
+    const auto g = make_graph(fam, seed);
+    Rng pick(seed ^ 0x2545f491ull);
+    const auto src = static_cast<vid_t>(pick.below(g.num_vertices()));
+    int cell_idx = 0;
+    for (int nranks : kRankCounts)
+      for (ExecMode mode : {ExecMode::kLocking, ExecMode::kPipelining})
+        for (double density : {0.0, 1.0}) {
+          const Cell c{mode, ColumnMode::kDynamic, density, true};
+          const std::uint64_t salt =
+              seed + static_cast<std::uint64_t>(17 * cell_idx++);
+          const std::string what = std::string(family_name(fam)) + " ranks=" +
+                                   std::to_string(nranks) + " " + cell_name(c);
+          check_cluster_cell(g, apps::Bfs(src), c, nranks, salt,
+                             what + " bfs");
+          check_cluster_cell(g, apps::Sssp(src), c, nranks, salt + 1,
+                             what + " sssp");
+          check_cluster_cell(g, apps::ConnectedComponents(), c, nranks,
+                             salt + 2, what + " cc");
+        }
+    ++round;
+  }
+}
+
+// PageRank's float sums depend on fold order, and a different rank count is
+// a different fold order — bit-equality against the reference only holds for
+// the degenerate 1-rank/1-worker case. What every rank count must still
+// deliver: determinism (the same cluster twice is bit-identical) and
+// closeness to the reference sums.
+TEST(DifferentialBattery, RankMatrixPageRankDeterministicAndNearReference) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  const auto g = make_graph(Family::kPowerLaw, 0x9a9e);
+  const apps::PageRank prog;
+  const auto ref = apps::reference_run(g, prog, /*max_supersteps=*/8);
+  for (int nranks : kRankCounts) {
+    const Cell c{ExecMode::kLocking, ColumnMode::kDynamic, 0.0, true};
+    auto cfgs = cluster_cfgs(c, nranks, 0x51u);
+    for (auto& cfg : cfgs) {
+      cfg.threads = 1;  // one worker per rank: deterministic fold order
+      cfg.movers = 1;
+      cfg.max_supersteps = 8;
+    }
+    const auto owner = partition::round_robin_partition_k(
+        g, partition::RankWeights(static_cast<std::size_t>(nranks), 1));
+    core::ClusterEngine<apps::PageRank> a(g, owner, prog, cfgs);
+    core::ClusterEngine<apps::PageRank> b(g, owner, prog, cfgs);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    ASSERT_TRUE(ra.completed && rb.completed) << "ranks=" << nranks;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(ra.global_values[v], rb.global_values[v])
+          << "ranks=" << nranks << " vertex " << v << ": rerun diverged";
+      EXPECT_NEAR(ra.global_values[v], ref[v], 1e-3f * (1.0f + ref[v]))
+          << "ranks=" << nranks << " vertex " << v;
     }
   }
 }

@@ -216,6 +216,81 @@ TEST(HeteroFailover, CpuFaultAlsoFailsOver) {
     EXPECT_EQ(res.global_values[v], classic[v]) << "vertex " << v;
 }
 
+// ---- N-rank kill matrix -----------------------------------------------------
+
+/// Rank-generalized ThrowOn: kills a specific rank of an N-rank cluster by
+/// throwing once while updating a vertex that rank owns. (fault::FaultPlan
+/// stays device-indexed, so the N-rank matrix injects through the program.)
+template <typename Base>
+class ThrowOnRank : public Base {
+ public:
+  ThrowOnRank(Base base, std::shared_ptr<const std::vector<int>> owner,
+              int rank, int superstep)
+      : Base(std::move(base)),
+        owner_(std::move(owner)),
+        rank_(rank),
+        superstep_(superstep),
+        fired_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  template <typename View>
+  bool update_vertex(const typename Base::message_t& msg, View& g,
+                     vid_t u) const {
+    if (g.superstep == superstep_ && (*owner_)[g.global_id[u]] == rank_ &&
+        !fired_->exchange(true))
+      throw std::runtime_error("synthetic rank failure");
+    return Base::update_vertex(msg, g, u);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<int>> owner_;
+  int rank_;
+  int superstep_;
+  std::shared_ptr<std::atomic<bool>> fired_;
+};
+
+// Kill each rank of a 4-rank cluster exactly once. Whichever rank dies, the
+// survivors' checkpoint stores recombine to the newest superstep present in
+// *all* of them, the recovery run finishes the job, lost work stays under
+// the checkpoint interval, and BFS levels (min-combine, order-independent)
+// are bit-identical to the fault-free answer.
+TEST(ClusterFailover, KillEachRankRecoversBitIdentical) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(300));
+  const auto g = test_graph();
+  constexpr int kRanks = 4;
+  constexpr int kInterval = 2;
+  constexpr int kFaultAt = 3;  // checkpoint at 2 -> resume 2, lose 1
+  auto owner = std::make_shared<std::vector<int>>(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    (*owner)[v] = static_cast<int>(v % kRanks);
+  const auto classic = apps::classic_bfs(g, 0);
+
+  for (int victim = 0; victim < kRanks; ++victim) {
+    const ThrowOnRank<apps::Bfs> prog(apps::Bfs(0), owner, victim, kFaultAt);
+    std::vector<EngineConfig> cfgs;
+    for (int r = 0; r < kRanks; ++r) {
+      auto c = r % 2 == 0 ? cpu_cfg() : mic_cfg();
+      c.checkpoint.interval = kInterval;
+      cfgs.push_back(c);
+    }
+    core::ClusterEngine<ThrowOnRank<apps::Bfs>> ce(g, *owner, prog, cfgs);
+    const auto res = ce.run();
+
+    ASSERT_TRUE(res.completed)
+        << "victim " << victim << ": " << res.fault.to_string();
+    EXPECT_EQ(res.failover.failed_over, 1u) << "victim " << victim;
+    EXPECT_EQ(res.fault.rank, victim) << "origin report names wrong rank";
+    EXPECT_EQ(res.fault.superstep, kFaultAt) << "victim " << victim;
+    EXPECT_EQ(res.fault.phase, "update") << "victim " << victim;
+    EXPECT_LT(res.failover.lost_supersteps,
+              static_cast<std::uint64_t>(kInterval))
+        << "victim " << victim;
+    ASSERT_EQ(res.global_values.size(), classic.size());
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(res.global_values[v], classic[v])
+          << "victim " << victim << " vertex " << v;
+  }
+}
+
 TEST(SingleDeviceFaults, UserExceptionsStillPropagateToTheCaller) {
   // run_single keeps its historical contract: no peer to poison, so the
   // user-program exception surfaces on the calling thread.

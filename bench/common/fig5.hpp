@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <string>
+#include <type_traits>
 
 #include "bench/common/harness.hpp"
 
@@ -16,11 +17,16 @@ struct Fig5Bands {
   std::string hetero_vs_best;     // CPU-MIC / best single-device framework run
 };
 
-template <core::VertexProgram Program>
+/// `extra` (optional) is invoked with the JsonEmitter after the seven
+/// standard versions are recorded and before the figure closes — figure
+/// benches use it to append figure-specific versions (e.g. Fig 5(b)'s
+/// traversal-direction rows) into the same table and JSON file.
+template <core::VertexProgram Program, typename Extra = std::nullptr_t>
 void fig5_run(const std::string& figure, const std::string& app,
               const graph::Csr& g, const Program& prog, int iters,
               partition::Ratio hetero_ratio, bool mic_uses_pipe,
-              const Fig5Bands& bands, const AppCost& cost = {}) {
+              const Fig5Bands& bands, const AppCost& cost = {},
+              Extra&& extra = nullptr) {
   const auto scale = get_scale();
   print_header(figure + ": " + app, g, scale);
   JsonEmitter json(figure, app, g, scale);
@@ -89,6 +95,8 @@ void fig5_run(const std::string& figure, const std::string& app,
               "~1.0 (OMP wins by ~2.5% on average)");
   print_ratio("CPU-MIC speedup over best single device",
               best_single / hetero.modeled.total(), bands.hetero_vs_best);
+  if constexpr (!std::is_same_v<std::decay_t<Extra>, std::nullptr_t>)
+    extra(json);
   print_footer();
   trace_run_end(figure);
 }

@@ -224,7 +224,12 @@ void JsonEmitter::add_version(const std::string& name, double exec_s,
   append_kv(body_, "dense_supersteps", t.dense_supersteps);
   append_kv(body_, "sparse_supersteps", t.sparse_supersteps);
   append_kv(body_, "groups_dirty", t.groups_dirty);
-  append_kv(body_, "groups_skipped", t.groups_skipped, /*last=*/true);
+  append_kv(body_, "groups_skipped", t.groups_skipped);
+  append_kv(body_, "push_supersteps", t.push_supersteps);
+  append_kv(body_, "pull_supersteps", t.pull_supersteps);
+  append_kv(body_, "direction_flips", t.direction_flips);
+  append_kv(body_, "pull_edges_scanned", t.pull_edges_scanned);
+  append_kv(body_, "pull_early_exits", t.pull_early_exits, /*last=*/true);
   body_ += "},\n     \"supersteps_detail\": [";
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const auto& c = trace[i];
@@ -232,6 +237,7 @@ void JsonEmitter::add_version(const std::string& name, double exec_s,
     body_ += "\n       {";
     append_kv(body_, "frontier_size", c.frontier_size);
     append_kv(body_, "sparse", c.sparse_supersteps);
+    append_kv(body_, "pull", c.pull_supersteps);
     append_kv(body_, "groups_dirty", c.groups_dirty);
     append_kv(body_, "groups_skipped", c.groups_skipped);
     append_kv(body_, "active", c.active_vertices);

@@ -85,6 +85,13 @@ inline DeviceSetup with_cost(DeviceSetup d, const AppCost& cost) {
   return d;
 }
 
+/// Same setup with a forced (or auto) traversal direction — used by the
+/// direction benches to measure push vs pull vs hybrid on one config.
+inline DeviceSetup with_direction(DeviceSetup d, core::DirectionMode dir) {
+  d.engine.direction_mode = dir;
+  return d;
+}
+
 
 // ---- runs ----------------------------------------------------------------------
 

@@ -15,10 +15,13 @@
 //   --mode=omp|lock|pipe execution scheme (default lock)
 //   --threads=T          worker threads (default 4); --movers=M (default 2)
 //   --simd=cpu|mic       lane profile: SSE 4-wide or 512-bit 16-wide
-//   --frontier=F         sparse-frontier density switch in [0,1]: supersteps
+//   --frontier=F         sparse-iteration threshold in [0,1]: push supersteps
 //                        whose frontier is below F*n walk the active list
 //                        instead of scanning the bitmap (0 forces the dense
 //                        scan, 1 forces the list; default 0.05)
+//   --direction=D        traversal direction: auto (alpha/beta rule, the
+//                        default), push (always top-down), pull (bottom-up
+//                        whenever the program and topology allow it)
 //   --hetero             run CPU+MIC with hybrid partitioning
 //   --ratio=A:B          CPU:MIC workload ratio (default 1:1)
 //   --partition=FILE     use an existing partitioning file
@@ -59,7 +62,8 @@ struct Options {
   int threads = 4;
   int movers = 2;
   int simd_bytes = simd::kMicSimdBytes;
-  double frontier = core::EngineConfig{}.frontier_density_switch;
+  double frontier = core::EngineConfig{}.sparse_iteration_threshold;
+  core::DirectionMode direction = core::DirectionMode::kAuto;
   bool hetero = false;
   partition::Ratio ratio{1, 1};
 };
@@ -97,6 +101,11 @@ Options parse(int argc, char** argv) {
       o.frontier = std::stod(*vf);
       if (o.frontier < 0.0 || o.frontier > 1.0)
         usage("bad --frontier, expected a density in [0,1]");
+    } else if (auto vd = val("--direction")) {
+      if (*vd == "auto") o.direction = core::DirectionMode::kAuto;
+      else if (*vd == "push") o.direction = core::DirectionMode::kForcePush;
+      else if (*vd == "pull") o.direction = core::DirectionMode::kForcePull;
+      else usage("bad --direction (auto|push|pull)");
     } else if (arg == "--hetero") o.hetero = true;
     else if (auto v10 = val("--ratio")) {
       if (std::sscanf(v10->c_str(), "%d:%d", &o.ratio.cpu, &o.ratio.mic) != 2)
@@ -148,7 +157,8 @@ core::EngineConfig make_cfg(const Options& o, int default_iters) {
   cfg.movers = o.movers;
   cfg.simd_bytes = o.simd_bytes;
   cfg.max_supersteps = o.iters > 0 ? o.iters : default_iters;
-  cfg.frontier_density_switch = o.frontier;
+  cfg.sparse_iteration_threshold = o.frontier;
+  cfg.direction_mode = o.direction;
   return cfg;
 }
 
@@ -183,11 +193,13 @@ int run_app(const Options& o, const graph::Csr& g, const Program& prog,
   }
   std::printf(
       "ran %s on %u vertices / %llu edges: %d supersteps "
-      "(%llu sparse, %llu dense)\n",
+      "(%llu sparse, %llu dense, %llu pull; %llu direction flips)\n",
       o.app.c_str(), g.num_vertices(),
       static_cast<unsigned long long>(g.num_edges()), supersteps,
       static_cast<unsigned long long>(totals.sparse_supersteps),
-      static_cast<unsigned long long>(totals.dense_supersteps));
+      static_cast<unsigned long long>(totals.dense_supersteps),
+      static_cast<unsigned long long>(totals.pull_supersteps),
+      static_cast<unsigned long long>(totals.direction_flips));
   if (!o.out_path.empty()) {
     std::ofstream out(o.out_path);
     for (vid_t v = 0; v < g.num_vertices(); ++v)

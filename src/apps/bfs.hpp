@@ -23,6 +23,11 @@ class Bfs {
   static constexpr bool kNeedsReduction = false;  // any message will do
   static constexpr bool kSimdReduce = false;
   static constexpr core::CombinerKind kCombiner = core::CombinerKind::kMin;
+  // Direction-optimizing pull: an unvisited vertex adopts level + 1 from any
+  // frontier in-neighbor ("using any message that is received") — the pull
+  // kernel may stop at the first hit, and visited vertices are filtered out
+  // before their in-edges are scanned.
+  static constexpr bool kPullable = true;
 
   explicit Bfs(vid_t source) : source_(source) {}
 
@@ -51,6 +56,17 @@ class Bfs {
   template <typename VArr>
   void process_messages(VArr& /*vmsgs*/) const {
     // No reduction sub-step for BFS.
+  }
+
+  // Pull operators: what generate_messages(src) would have sent along the
+  // (unweighted) edge, plus the candidate filter that makes bottom-up scans
+  // skip already-levelled vertices entirely.
+  [[nodiscard]] std::int32_t pull_message(std::int32_t src_level,
+                                          float /*weight*/) const noexcept {
+    return src_level + 1;
+  }
+  [[nodiscard]] bool pull_candidate(std::int32_t value) const noexcept {
+    return value < 0;  // unvisited
   }
 
   template <typename View>

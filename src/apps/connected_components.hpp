@@ -25,6 +25,9 @@ class ConnectedComponents {
   static constexpr bool kNeedsReduction = true;
   static constexpr bool kSimdReduce = true;
   static constexpr core::CombinerKind kCombiner = core::CombinerKind::kMin;
+  // Direction-optimizing pull: adopting the min label over frontier
+  // in-neighbors is the same exact min-reduction the push path computes.
+  static constexpr bool kPullable = true;
 
   [[nodiscard]] std::int32_t identity() const noexcept {
     return std::numeric_limits<std::int32_t>::max();
@@ -52,6 +55,18 @@ class ConnectedComponents {
     auto res = vmsgs[0];
     for (std::size_t i = 1; i < vmsgs.size(); ++i) res = min(res, vmsgs[i]);
     vmsgs[0] = res;
+  }
+
+  // Pull operators: a frontier in-neighbor offers exactly its label,
+  // whatever the edge weight.
+  [[nodiscard]] std::int32_t pull_message(std::int32_t src_label,
+                                          float /*weight*/) const noexcept {
+    return src_label;
+  }
+  template <typename V, typename VF>
+  [[nodiscard]] V pull_message_vec(const V& src_label,
+                                   const VF& /*weight*/) const noexcept {
+    return src_label;
   }
 
   template <typename View>

@@ -22,6 +22,10 @@ class Sssp {
   static constexpr bool kNeedsReduction = true;
   static constexpr bool kSimdReduce = true;
   static constexpr core::CombinerKind kCombiner = core::CombinerKind::kMin;
+  // Direction-optimizing pull: min over (frontier in-neighbor dist + weight)
+  // is exact and order-independent, so pull supersteps are bit-identical to
+  // push supersteps.
+  static constexpr bool kPullable = true;
 
   /// The paper initializes distances to "a large constant".
   static constexpr float kInfinity = std::numeric_limits<float>::max();
@@ -53,6 +57,16 @@ class Sssp {
     auto res = vmsgs[0];
     for (std::size_t i = 1; i < vmsgs.size(); ++i) res = min(res, vmsgs[i]);
     vmsgs[0] = res;
+  }
+
+  // Pull operators: the message generate_messages(src) would have pushed
+  // along an edge of this weight, scalar and lane-parallel.
+  [[nodiscard]] float pull_message(float src_dist, float weight) const noexcept {
+    return src_dist + weight;
+  }
+  template <typename V, typename VF>
+  [[nodiscard]] V pull_message_vec(const V& src_dist, const VF& weight) const noexcept {
+    return src_dist + weight;
   }
 
   // Listing 1, update_vertex: adopt a shorter distance and reactivate.

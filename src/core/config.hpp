@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "src/buffer/csb.hpp"
+#include "src/core/direction.hpp"
 #include "src/fault/checkpoint.hpp"
 #include "src/simd/simd.hpp"
 
@@ -56,13 +57,27 @@ struct EngineConfig {
   /// terminate earlier on their own).
   int max_supersteps = 1000;
 
-  /// Sparse-frontier switch: generation walks the compact active list when
-  /// frontier_size < frontier_density_switch * num_vertices, and falls back
-  /// to the dense bitmap scan above that density (a push-side analogue of
-  /// direction-switching). 0.0 forces the dense path every superstep; 1.0
-  /// forces the sparse path. Ignored by kAllActive programs (PageRank),
-  /// which are always dense.
-  double frontier_density_switch = 0.05;
+  /// Sparse-ITERATION switch (push supersteps only): generation walks the
+  /// compact active list when frontier_size < sparse_iteration_threshold *
+  /// num_vertices, and falls back to the dense bitmap scan above that
+  /// density. This picks the iteration SHAPE of a push superstep — it does
+  /// NOT choose traversal direction (see direction_mode below). 0.0 forces
+  /// the dense path every superstep; 1.0 forces the sparse path. Ignored by
+  /// kAllActive programs (PageRank), which are always dense.
+  double sparse_iteration_threshold = 0.05;
+
+  /// Traversal direction (push vs pull) for programs that declare
+  /// kPullable (BFS/SSSP/CC). kAuto applies the alpha/beta rule per
+  /// superstep; kForcePush reproduces the pre-direction engine exactly;
+  /// kForcePull pulls every superstep. Non-pullable programs and
+  /// multi-device partitions (which lack in-neighbor values locally)
+  /// always push.
+  DirectionMode direction_mode = DirectionMode::kAuto;
+
+  /// Direction-switch thresholds (see core/direction.hpp). Autotunable via
+  /// tune::tune_direction_thresholds.
+  double direction_alpha = 14.0;
+  double direction_beta = 24.0;
 
   /// Shards for the remote buffer's touched lists: deposits contend per
   /// shard and the exchange drain parallelizes over shards. Rounded up to a

@@ -1,0 +1,94 @@
+// Traversal direction selection (top-down push vs bottom-up pull).
+//
+// Mirrors Beamer et al.'s direction-optimizing BFS: a superstep pushes
+// messages from the active frontier (the paper's native scheme) until the
+// frontier touches more edges than remain unexplored, at which point it is
+// cheaper to pull — scan every undiscovered vertex's in-neighbors against a
+// bitmap of the frontier and stop at the first hit. The decision is made
+// per superstep from two signals the engine already tracks: the number of
+// frontier vertices and the number of edges they would push.
+//
+// The rule is the classic alpha/beta hybrid:
+//   push -> pull  when  frontier_edges > unexplored_edges / alpha
+//   pull -> push  when  frontier_vertices < num_vertices / beta
+// with alpha = 14, beta = 24 as the literature defaults; tune/autotune.hpp
+// can learn machine-specific values by replaying a push probe trace through
+// the performance model.
+//
+// This knob is orthogonal to EngineConfig::sparse_iteration_threshold,
+// which only picks the iteration shape (compact list vs bitmap scan) for
+// PUSH supersteps. Pull supersteps always scan the full vertex range.
+#pragma once
+
+#include <cstdint>
+
+namespace phigraph::core {
+
+/// Which way a superstep moves values along edges.
+enum class Direction : std::uint8_t {
+  kPush = 0,  ///< top-down: active vertices push messages along out-edges
+  kPull = 1,  ///< bottom-up: candidate vertices pull from in-neighbors
+};
+
+/// How the engine chooses the direction each superstep.
+enum class DirectionMode : std::uint8_t {
+  kAuto = 0,       ///< alpha/beta rule per superstep (default)
+  kForcePush = 1,  ///< always push (the pre-direction engine behaviour)
+  kForcePull = 2,  ///< always pull when the program/topology allows it
+};
+
+inline const char* direction_name(Direction d) {
+  return d == Direction::kPush ? "push" : "pull";
+}
+
+inline const char* direction_mode_name(DirectionMode m) {
+  switch (m) {
+    case DirectionMode::kAuto:
+      return "auto";
+    case DirectionMode::kForcePush:
+      return "push";
+    case DirectionMode::kForcePull:
+      return "pull";
+  }
+  return "?";
+}
+
+/// Stateful per-run direction chooser. The switch rule is hysteretic (the
+/// push->pull and pull->push conditions differ), so the policy remembers the
+/// current direction; the engine and sim/model replay the same object so
+/// predicted and actual direction mixes agree on matching frontier traces.
+struct DirectionPolicy {
+  double alpha = 14.0;  ///< push->pull when frontier_edges > unexplored/alpha
+  double beta = 24.0;   ///< pull->push when frontier_vertices < n/beta
+  Direction current = Direction::kPush;
+
+  /// Decide the direction for the next superstep.
+  ///
+  /// @param frontier_vertices  active vertices entering the superstep
+  /// @param frontier_edges     sum of out-degrees over the frontier
+  /// @param unexplored_edges   edges not yet touched by any push superstep
+  /// @param num_vertices       |V| of the local graph
+  Direction decide(std::uint64_t frontier_vertices,
+                   std::uint64_t frontier_edges,
+                   std::uint64_t unexplored_edges,
+                   std::uint64_t num_vertices) {
+    if (current == Direction::kPush) {
+      if (alpha > 0.0 &&
+          static_cast<double>(frontier_edges) >
+              static_cast<double>(unexplored_edges) / alpha) {
+        current = Direction::kPull;
+      }
+    } else {
+      if (beta > 0.0 &&
+          static_cast<double>(frontier_vertices) <
+              static_cast<double>(num_vertices) / beta) {
+        current = Direction::kPush;
+      }
+    }
+    return current;
+  }
+
+  void reset() { current = Direction::kPush; }
+};
+
+}  // namespace phigraph::core

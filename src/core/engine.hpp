@@ -50,6 +50,7 @@
 #include "src/common/timer.hpp"
 #include "src/common/types.hpp"
 #include "src/core/config.hpp"
+#include "src/core/direction.hpp"
 #include "src/core/graph_view.hpp"
 #include "src/core/local_graph.hpp"
 #include "src/core/program_traits.hpp"
@@ -62,6 +63,7 @@
 #include "src/pipeline/message_pipeline.hpp"
 #include "src/sched/dynamic_scheduler.hpp"
 #include "src/sched/thread_team.hpp"
+#include "src/simd/bitset.hpp"
 #include "src/simd/simd.hpp"
 
 namespace phigraph::core {
@@ -157,6 +159,21 @@ class DeviceEngine {
     tstats_.resize(static_cast<std::size_t>(cfg_.total_threads()));
     if constexpr (!Program::kAllActive)
       tl_frontier_.resize(static_cast<std::size_t>(cfg_.total_threads()));
+    // Direction-optimizing pull path: engaged only for pullable programs on
+    // a single-device partition (a split partition keeps global edge targets
+    // and lacks in-neighbor values locally, so Csr::reversed() cannot apply).
+    // kForcePull with a peer therefore degrades to push.
+    if constexpr (is_pullable<Program>() && !Program::kAllActive) {
+      if (!peer_ && cfg_.direction_mode != DirectionMode::kForcePush) {
+        in_csr_.emplace(lg_.local.reversed());
+        pull_frontier_.resize(static_cast<std::size_t>(n));
+        pull_acc_.resize(n);
+        pull_has_.assign(n, 0);
+        pull_ready_ = true;
+      }
+    }
+    dir_policy_.alpha = cfg_.direction_alpha;
+    dir_policy_.beta = cfg_.direction_beta;
     init_vertices();
   }
 
@@ -204,6 +221,12 @@ class DeviceEngine {
       for (vid_t u = 0; u < static_cast<vid_t>(active_.size()); ++u)
         if (active_[u]) frontier_.push_back(u);
     }
+    // Direction state restarts conservatively: the policy resumes in push
+    // with a cold unexplored-edge estimate (correctness is direction-
+    // independent; only the first post-resume decisions may differ).
+    dir_policy_.reset();
+    last_direction_ = Direction::kPush;
+    explored_edges_est_ = 0;
     start_superstep_ = superstep;
   }
 
@@ -283,6 +306,10 @@ class DeviceEngine {
   }
   [[nodiscard]] metrics::HistogramData column_depth_histogram() const noexcept {
     return hist_col_depth_.snapshot();
+  }
+  /// Edges probed per pull superstep (empty for push-only runs).
+  [[nodiscard]] metrics::HistogramData pull_scan_histogram() const noexcept {
+    return hist_pull_scan_.snapshot();
   }
 #endif
 
@@ -520,6 +547,8 @@ class DeviceEngine {
     std::uint64_t sched_retrievals = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    std::uint64_t pull_edges = 0;  // in-edges probed by the pull kernel
+    std::uint64_t pull_early = 0;  // pull scans cut short at first hit
   };
 
   // ---- message sinks ---------------------------------------------------------
@@ -702,7 +731,34 @@ class DeviceEngine {
     if constexpr (Program::kAllActive) return false;
     const double n = static_cast<double>(lg_.num_local_vertices());
     return static_cast<double>(frontier_.size()) <
-           cfg_.frontier_density_switch * n;
+           cfg_.sparse_iteration_threshold * n;
+  }
+
+  /// Pick this superstep's traversal direction. Push-only engines (non-
+  /// pullable program, peer present, or kForcePush) always push; kAuto
+  /// feeds the frontier's vertex/edge mass and the unexplored-edge estimate
+  /// into the alpha/beta policy. The explored-edge estimate accumulates the
+  /// frontier's out-edge mass every superstep regardless of the chosen
+  /// direction — exactly what sim::predict_direction_mix replays from a
+  /// forced-push probe trace (where edges_scanned == frontier edge mass).
+  [[nodiscard]] Direction decide_direction() {
+    if (!pull_ready_) return Direction::kPush;
+    if (cfg_.direction_mode == DirectionMode::kForcePull)
+      return Direction::kPull;
+    if constexpr (is_pullable<Program>() && !Program::kAllActive) {
+      std::uint64_t frontier_edges = 0;
+      for (const vid_t u : frontier_)
+        frontier_edges += lg_.local.out_degree(u);
+      const std::uint64_t m = lg_.local.num_edges();
+      const std::uint64_t cap =
+          std::min(m, explored_edges_est_ + frontier_edges);
+      const Direction d = dir_policy_.decide(
+          frontier_.size(), frontier_edges, m - cap,
+          static_cast<std::uint64_t>(lg_.num_local_vertices()));
+      explored_edges_est_ = cap;
+      return d;
+    }
+    return Direction::kPush;
   }
 
   // ---- phases -------------------------------------------------------------------
@@ -732,6 +788,14 @@ class DeviceEngine {
   }
 
   void generate(int superstep) {
+    const Direction dir = decide_direction();
+    direction_flipped_ = dir != last_direction_;
+    last_direction_ = dir;
+    superstep_direction_ = dir;
+    if (dir == Direction::kPull) {
+      generate_pull(superstep);
+      return;
+    }
     const vid_t n = lg_.num_local_vertices();
     const bool sparse = use_sparse_frontier();
     superstep_sparse_ = sparse;
@@ -813,6 +877,166 @@ class DeviceEngine {
         break;
     }
     tstats_[0].sched_retrievals += sched_.retrievals();
+  }
+
+  /// Bottom-up generation (paper-external: Beamer-style direction switch).
+  /// Every vertex still lacking a result scans its in-neighbors against a
+  /// word-packed bitmap of the frontier, feeding pull_message() results into
+  /// a private accumulator slot — the owning thread is the only writer, so
+  /// there are no locks, no CSB traffic and no queue traffic. process()
+  /// naturally no-ops afterwards (no CSB group is dirtied) and update()
+  /// takes its pull branch.
+  void generate_pull(int superstep) {
+    if constexpr (is_pullable<Program>() && !Program::kAllActive) {
+      const vid_t n = lg_.num_local_vertices();
+      superstep_sparse_ = false;
+      superstep_frontier_size_ = static_cast<std::uint64_t>(frontier_.size());
+      pull_frontier_.assign_bytes(active_.data(), active_.size());
+      const bool weighted = in_csr_->has_edge_values();
+      sched_.reset(static_cast<std::size_t>(n), cfg_.sched_chunk);
+      team_run_guarded([&](int tid) {
+        auto& ts = tstats_[static_cast<std::size_t>(tid)];
+        PG_TRACE_SCOPE(kPullScan, superstep, rank());
+        while (auto r = sched_.next_chunk()) {
+          for (std::size_t i = r->begin; i < r->end; ++i)
+            pull_vertex(static_cast<vid_t>(i), weighted, superstep, ts);
+        }
+      });
+      tstats_[0].sched_retrievals += sched_.retrievals();
+#if PG_TRACE_ENABLED
+      std::uint64_t scanned = 0;
+      for (const auto& t : tstats_) scanned += t.pull_edges;
+      hist_pull_scan_.record(scanned);
+#endif
+    } else {
+      (void)superstep;
+      PG_CHECK_MSG(false, "pull superstep on a non-pullable program");
+    }
+  }
+
+  /// One candidate's bottom-up scan. Non-reducing programs (BFS: every
+  /// frontier neighbor offers the same level) stop at the first frontier
+  /// in-neighbor; reducing programs (SSSP/CC: exact min-combine, order-
+  /// independent) fold every frontier in-neighbor, vectorized when the
+  /// program supplies pull_message_vec and the profile enables SIMD.
+  void pull_vertex(vid_t u, bool weighted, int superstep, ThreadStats& ts) {
+    (void)superstep;  // only consumed by the audit/fault macros
+    if constexpr (is_pullable<Program>() && !Program::kAllActive) {
+      if constexpr (HasPullCandidate<Program>) {
+        if (!prog_.pull_candidate(values_[u])) return;
+      }
+      const eid_t lo = in_csr_->offsets()[u];
+      const eid_t hi = in_csr_->offsets()[u + 1];
+      if (lo == hi) return;
+      PG_AUDIT_PHASE_EXPECT(bsp_phase_, kGenerate, "pull_message()");
+      PG_FAULT_POINT(kEngineGenerate, rank(), superstep);
+      if constexpr (Program::kNeedsReduction && Program::kSimdReduce &&
+                    simd::is_simd_basic_v<Msg> &&
+                    std::is_same_v<Msg, Value>) {
+        if constexpr (HasVecPullMessage<Program, simd::Vec<Msg, 8>,
+                                        simd::Vec<float, 8>>) {
+          if (cfg_.use_simd && lanes_ > 1) {
+            switch (lanes_) {
+              case 4:  pull_vertex_vec<4>(u, lo, hi, weighted, ts);  return;
+              case 8:  pull_vertex_vec<8>(u, lo, hi, weighted, ts);  return;
+              case 16: pull_vertex_vec<16>(u, lo, hi, weighted, ts); return;
+              default: break;  // unusual profile: scalar below
+            }
+          }
+        }
+      }
+      pull_vertex_scalar(u, lo, hi, weighted, ts);
+    }
+  }
+
+  void pull_vertex_scalar(vid_t u, eid_t lo, eid_t hi, bool weighted,
+                          ThreadStats& ts) {
+    if constexpr (is_pullable<Program>() && !Program::kAllActive) {
+      const vid_t* srcs = in_csr_->targets().data();
+      const float* wv = weighted ? in_csr_->edge_values().data() : nullptr;
+      Msg acc{};
+      bool found = false;
+      std::uint64_t scanned = 0;
+      for (eid_t e = lo; e < hi; ++e) {
+        ++scanned;
+        const vid_t src = srcs[e];
+        if (!pull_frontier_.test(src)) continue;
+        const Msg m = prog_.pull_message(values_[src], wv ? wv[e] : 0.0f);
+        if (found)
+          acc = prog_.combine(acc, m);
+        else {
+          acc = m;
+          found = true;
+        }
+        if constexpr (!Program::kNeedsReduction) {
+          // Any frontier parent yields the same result — stop scanning.
+          if (e + 1 < hi) ++ts.pull_early;
+          break;
+        }
+      }
+      ts.pull_edges += scanned;
+      if (found) {
+        pull_acc_[u] = acc;
+        pull_has_[u] = 1;
+      }
+    }
+  }
+
+  /// Lane-parallel pull scan: gather W in-neighbor values + edge weights,
+  /// build the frontier mask from the bitmap, evaluate pull_message_vec on
+  /// all lanes and blend non-frontier lanes to the reduction identity
+  /// (neutral by the kSimdReduce contract — the same padding trick the CSB
+  /// process path uses), then fold through the program's own SIMD
+  /// process_messages.
+  template <int W>
+  void pull_vertex_vec(vid_t u, eid_t lo, eid_t hi, bool weighted,
+                       ThreadStats& ts) {
+    if constexpr (is_pullable<Program>() && !Program::kAllActive &&
+                  Program::kNeedsReduction && Program::kSimdReduce &&
+                  simd::is_simd_basic_v<Msg> && std::is_same_v<Msg, Value>) {
+      using V = simd::Vec<Msg, W>;
+      using VF = simd::Vec<float, W>;
+      const vid_t* srcs = in_csr_->targets().data();
+      const float* wv = weighted ? in_csr_->edge_values().data() : nullptr;
+      const Msg ident = prog_.identity();
+      V vacc(ident);
+      bool found = false;
+      eid_t e = lo;
+      for (; e + W <= hi; e += W) {
+        typename simd::Mask<W>::bits_type bits = 0;
+        V vsrc;
+        VF vweights;
+        for (int l = 0; l < W; ++l) {
+          const vid_t src = srcs[e + static_cast<eid_t>(l)];
+          vsrc[l] = values_[src];
+          vweights[l] = wv ? wv[e + static_cast<eid_t>(l)] : 0.0f;
+          if (pull_frontier_.test(src))
+            bits |= typename simd::Mask<W>::bits_type{1} << l;
+        }
+        if (bits == 0) continue;
+        found = true;
+        const V vm = prog_.pull_message_vec(vsrc, vweights);
+        V folded[2] = {vacc, simd::blend(simd::Mask<W>(bits), vm, V(ident))};
+        buffer::VMsgArray<V> varr(folded, 2);
+        prog_.process_messages(varr);
+        vacc = folded[0];
+      }
+      // Horizontal fold + scalar tail.
+      Msg acc = vacc[0];
+      for (int l = 1; l < W; ++l) acc = prog_.combine(acc, vacc[l]);
+      for (; e < hi; ++e) {
+        const vid_t src = srcs[e];
+        if (!pull_frontier_.test(src)) continue;
+        found = true;
+        acc = prog_.combine(acc,
+                            prog_.pull_message(values_[src], wv ? wv[e] : 0.0f));
+      }
+      ts.pull_edges += hi - lo;
+      if (found) {
+        pull_acc_[u] = acc;
+        pull_has_[u] = 1;
+      }
+    }
   }
 
   /// Returns false when a peer is down (RunResult filled via
@@ -1003,6 +1227,29 @@ class DeviceEngine {
 
   void update(int superstep) {
     auto v = view(superstep);
+    if (superstep_direction_ == Direction::kPull) {
+      // Pull results live in the per-vertex accumulator slots, not the CSB
+      // (nor the OMP acc_), whatever the execution scheme. Same shape as the
+      // OMP update: scan all n, skip slots without a result, clear inline.
+      const vid_t n = lg_.num_local_vertices();
+      sched_.reset(n, cfg_.sched_chunk);
+      team_run_guarded([&](int tid) {
+        auto& ts = tstats_[static_cast<std::size_t>(tid)];
+        while (auto r = sched_.next_chunk()) {
+          for (std::size_t i = r->begin; i < r->end; ++i) {
+            const vid_t u = static_cast<vid_t>(i);
+            if (!pull_has_[u]) continue;
+            pull_has_[u] = 0;
+            ++ts.updated;
+            PG_AUDIT_PHASE_EXPECT(bsp_phase_, kUpdate, "update_vertex()");
+            PG_FAULT_POINT(kEngineUpdate, rank(), superstep);
+            if (prog_.update_vertex(pull_acc_[u], v, u)) activate(u, tid, ts);
+          }
+        }
+      });
+      tstats_[0].sched_retrievals += sched_.retrievals();
+      return;
+    }
     if (cfg_.mode == ExecMode::kOmpStyle) {
       const vid_t n = lg_.num_local_vertices();
       sched_.reset(n, cfg_.sched_chunk);
@@ -1070,10 +1317,25 @@ class DeviceEngine {
       c.sched_retrievals += t.sched_retrievals;
       c.bytes_sent += t.bytes_sent;
       c.bytes_received += t.bytes_received;
+      c.pull_edges_scanned += t.pull_edges;
+      c.pull_early_exits += t.pull_early;
     }
     c.frontier_size = superstep_frontier_size_;
-    c.dense_supersteps = superstep_sparse_ ? 0 : 1;
-    c.sparse_supersteps = superstep_sparse_ ? 1 : 0;
+    const bool pulled = superstep_direction_ == Direction::kPull;
+    c.push_supersteps = pulled ? 0 : 1;
+    c.pull_supersteps = pulled ? 1 : 0;
+    c.direction_flips = direction_flipped_ ? 1 : 0;
+    if (pulled) {
+      // No push worker ran, so ts.active stayed zero; the frontier that
+      // drove the pull is the active set. Dense/sparse classify only push
+      // iteration shapes: a pull superstep is neither.
+      c.active_vertices = superstep_frontier_size_;
+      c.dense_supersteps = 0;
+      c.sparse_supersteps = 0;
+    } else {
+      c.dense_supersteps = superstep_sparse_ ? 0 : 1;
+      c.sparse_supersteps = superstep_sparse_ ? 1 : 0;
+    }
     if (csb_) {
       c.groups_dirty = csb_->num_dirty_groups();
       c.groups_skipped = csb_->num_groups() - c.groups_dirty;
@@ -1107,6 +1369,22 @@ class DeviceEngine {
   std::uint64_t superstep_frontier_size_ = 0;
   bool superstep_sparse_ = false;
 
+  // Direction-optimizing pull state (engaged only when pull_ready_): the
+  // transposed local graph, the word-packed frontier bitmap rebuilt from
+  // active_ each pull superstep, and per-vertex result slots written
+  // owner-thread-only by the pull kernel and drained by update()'s pull
+  // branch. The policy/estimate pair drives the kAuto decision.
+  bool pull_ready_ = false;
+  std::optional<graph::Csr> in_csr_;
+  simd::DenseBitset pull_frontier_;
+  std::vector<Msg> pull_acc_;
+  std::vector<std::uint8_t> pull_has_;
+  DirectionPolicy dir_policy_;
+  Direction superstep_direction_ = Direction::kPush;
+  Direction last_direction_ = Direction::kPush;
+  bool direction_flipped_ = false;
+  std::uint64_t explored_edges_est_ = 0;
+
   std::optional<buffer::Csb<Msg>> csb_;
   std::optional<comm::RemoteBuffer<Msg>> remote_;
   std::optional<pipeline::MessagePipeline<Msg>> pipe_;
@@ -1130,6 +1408,7 @@ class DeviceEngine {
   metrics::Histogram hist_chunk_;
   metrics::Histogram hist_drain_;
   metrics::Histogram hist_col_depth_;
+  metrics::Histogram hist_pull_scan_;
 #endif
 
   std::optional<fault::CheckpointStore> ckpt_;

@@ -102,4 +102,47 @@ template <typename P>
          combiner_kind<P>() == CombinerKind::kMin;
 }
 
+/// Pull-direction opt-in (direction-optimizing traversal, core/direction.hpp).
+/// A pullable program declares `static constexpr bool kPullable = true;` and
+/// supplies the bottom-up operator: the message vertex u would receive from
+/// in-neighbor src along an edge of weight w (0 when unweighted), i.e. the
+/// same value generate_messages(src) would have pushed to u. The engine may
+/// then run dense supersteps bottom-up: scan each candidate's in-neighbors
+/// against a bitmap of the frontier and feed pull_message results into the
+/// ordinary update_vertex. Programs whose update depends on message ORDER or
+/// on receiving every message (kNeedsReduction with a non-exact combine)
+/// must not declare this; BFS (first-parent-wins at equal level), SSSP and
+/// CC (exact min-combine) qualify.
+template <typename P>
+concept PullableProgram = VertexProgram<P> && requires(
+    const P p, const typename P::vertex_value_t v, float w) {
+  { P::kPullable } -> std::convertible_to<bool>;
+  { p.pull_message(v, w) } -> std::same_as<typename P::message_t>;
+};
+
+template <typename P>
+[[nodiscard]] consteval bool is_pullable() noexcept {
+  if constexpr (PullableProgram<P>)
+    return P::kPullable;
+  else
+    return false;
+}
+
+/// Optional candidate filter: pull scans skip vertices for which
+/// pull_candidate(value) is false (e.g. BFS vertices already levelled).
+/// Without it every vertex is a candidate each pull superstep (CC/SSSP).
+template <typename P>
+concept HasPullCandidate = requires(const P p,
+                                    const typename P::vertex_value_t v) {
+  { p.pull_candidate(v) } -> std::convertible_to<bool>;
+};
+
+/// Optional SIMD pull operator: lane-parallel pull_message over a vector of
+/// gathered in-neighbor values V and a vector of edge weights VF. Only
+/// consulted when kSimdReduce holds and message_t == vertex_value_t.
+template <typename P, typename V, typename VF>
+concept HasVecPullMessage = requires(const P p, const V v, const VF w) {
+  { p.pull_message_vec(v, w) } -> std::same_as<V>;
+};
+
 }  // namespace phigraph::core

@@ -37,6 +37,16 @@ struct SuperstepCounters {
   std::uint64_t sparse_supersteps = 0; // 1 if generate walked the active list
   std::uint64_t groups_dirty = 0;      // CSB groups that received messages
   std::uint64_t groups_skipped = 0;    // CSB groups process/update never visited
+  // Direction-optimizing traversal (core/direction.hpp). Push counters above
+  // (edges_scanned, msgs_local, dense/sparse_supersteps) stay push-only so
+  // their invariants (e.g. edges_scanned == msgs_local for single-device
+  // SSSP) are unchanged; pull work is counted separately. Per superstep:
+  // push_supersteps + pull_supersteps == 1, and dense + sparse + pull == 1.
+  std::uint64_t push_supersteps = 0;    // 1 if this superstep pushed
+  std::uint64_t pull_supersteps = 0;    // 1 if this superstep pulled
+  std::uint64_t direction_flips = 0;    // 1 if the direction changed here
+  std::uint64_t pull_edges_scanned = 0; // in-edges probed by the pull kernel
+  std::uint64_t pull_early_exits = 0;   // pull scans cut short at first hit
 
   SuperstepCounters& operator+=(const SuperstepCounters& o) noexcept {
     active_vertices += o.active_vertices;
@@ -61,6 +71,11 @@ struct SuperstepCounters {
     sparse_supersteps += o.sparse_supersteps;
     groups_dirty += o.groups_dirty;
     groups_skipped += o.groups_skipped;
+    push_supersteps += o.push_supersteps;
+    pull_supersteps += o.pull_supersteps;
+    direction_flips += o.direction_flips;
+    pull_edges_scanned += o.pull_edges_scanned;
+    pull_early_exits += o.pull_early_exits;
     return *this;
   }
 };

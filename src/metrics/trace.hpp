@@ -54,9 +54,10 @@ enum class Phase : std::uint8_t {
   kPipelineDrain,  // one mover's drain loop (inside generate, team thread)
   kExchangeWait,   // rendezvous wait inside Exchange::exchange_for
   kRecovery,       // CPU-only failover rebuild + rerun
+  kPullScan,       // bottom-up pull kernel (inside generate, team threads)
 };
 
-inline constexpr int kNumPhases = 11;
+inline constexpr int kNumPhases = 12;
 
 constexpr const char* phase_name(Phase p) noexcept {
   switch (p) {
@@ -71,6 +72,7 @@ constexpr const char* phase_name(Phase p) noexcept {
     case Phase::kPipelineDrain: return "pipeline-drain";
     case Phase::kExchangeWait: return "exchange-wait";
     case Phase::kRecovery: return "recovery";
+    case Phase::kPullScan: return "pull-scan";
   }
   return "?";
 }

@@ -82,6 +82,25 @@ PhaseTimes model_superstep(const metrics::SuperstepCounters& c,
        combine_cyc);
 
   // ---- generation -----------------------------------------------------------
+  if (c.pull_supersteps > 0) {
+    // Bottom-up pull superstep: no message insertion of any kind — every
+    // thread folds its own destinations' in-edges locally, so the lock, CSB
+    // and queue terms vanish (and with them the processing sub-step: the
+    // counters carry no rows or scalar messages on a pull superstep). What
+    // remains: the candidate scan over every hosted vertex, the in-edge walk
+    // with an inline combine per probed edge, and streaming the frontier
+    // bitmap build (a byte read per vertex in, a bit written out).
+    const double pull_edges = static_cast<double>(c.pull_edges_scanned);
+    const double cyc = n_local * dev.cyc_vertex_gen +
+                       pull_edges * (dev.cyc_edge_gen + combine_cyc);
+    const double bytes =
+        pull_edges * (sizeof(vid_t) + prof.msg_bytes) +
+        n_local * (1.0 + 1.0 / 8.0);
+    const int threads = prof.total_threads();
+    const double p = dev.effective_parallelism(threads);
+    t.generation = std::max(dev.cycles_to_seconds(cyc / p),
+                            mem_seconds(bytes, dev, threads));
+  } else {
   const double compute_cyc =
       static_cast<double>(c.active_vertices) * dev.cyc_vertex_gen +
       static_cast<double>(c.edges_scanned) * dev.cyc_edge_gen;
@@ -153,6 +172,7 @@ PhaseTimes model_superstep(const metrics::SuperstepCounters& c,
                      dev.pipeline_overhead_us * 1e-6;
       break;
     }
+  }
   }
 
   // ---- exchange --------------------------------------------------------------
@@ -277,6 +297,39 @@ double model_sequential(const metrics::RunTrace& trace, const DeviceSpec& dev,
   }
   const double p = dev.effective_parallelism(1);
   return std::max(dev.cycles_to_seconds(cyc / p), mem_seconds(bytes, dev, 1));
+}
+
+DirectionMix predict_direction_mix(const metrics::RunTrace& push_trace,
+                                   vid_t num_vertices, std::uint64_t num_edges,
+                                   double alpha, double beta) {
+  DirectionMix mix;
+  mix.directions.reserve(push_trace.size());
+  mix.unexplored_edges.reserve(push_trace.size());
+  core::DirectionPolicy policy;
+  policy.alpha = alpha;
+  policy.beta = beta;
+  core::Direction prev = core::Direction::kPush;
+  std::uint64_t explored = 0;
+  for (const auto& c : push_trace) {
+    // Mirror of DeviceEngine::decide_direction: the explored-edge estimate
+    // accumulates the frontier's out-edge mass every superstep (capped at m),
+    // and the policy sees the unexplored remainder *after* this frontier.
+    const std::uint64_t frontier_edges = c.edges_scanned;
+    const std::uint64_t cap = std::min(num_edges, explored + frontier_edges);
+    const std::uint64_t unexplored = num_edges - cap;
+    const core::Direction dir = policy.decide(
+        c.active_vertices, frontier_edges, unexplored, num_vertices);
+    explored = cap;
+    mix.directions.push_back(dir);
+    mix.unexplored_edges.push_back(unexplored);
+    if (dir == core::Direction::kPull)
+      ++mix.pull_supersteps;
+    else
+      ++mix.push_supersteps;
+    if (dir != prev) ++mix.flips;
+    prev = dir;
+  }
+  return mix;
 }
 
 }  // namespace phigraph::sim

@@ -117,4 +117,25 @@ struct RankModelInput {
                                       const DeviceSpec& dev,
                                       const ExecProfile& prof);
 
+/// Per-superstep traversal-direction schedule replayed from a forced-push
+/// probe trace (see core/direction.hpp).
+struct DirectionMix {
+  std::vector<core::Direction> directions;       // one entry per superstep
+  std::vector<std::uint64_t> unexplored_edges;   // estimate fed to the policy
+  std::size_t push_supersteps = 0;
+  std::size_t pull_supersteps = 0;
+  std::size_t flips = 0;
+};
+
+/// Replays the engine's hysteretic DirectionPolicy over a forced-push probe
+/// trace. A push superstep scans exactly the frontier's out-edges, so the
+/// probe's edges_scanned is the frontier edge mass the live engine feeds its
+/// policy and its active_vertices is the frontier size — the replay predicts
+/// the direction schedule an auto run of the same workload will take (the
+/// frontier schedule itself is direction-independent because forced-push,
+/// forced-pull and auto runs are bit-identical).
+[[nodiscard]] DirectionMix predict_direction_mix(
+    const metrics::RunTrace& push_trace, vid_t num_vertices,
+    std::uint64_t num_edges, double alpha = 14.0, double beta = 24.0);
+
 }  // namespace phigraph::sim

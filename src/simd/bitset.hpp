@@ -1,0 +1,96 @@
+// Word-packed frontier bitmap for pull-direction supersteps.
+//
+// The engine's push path keeps the active set as one byte per vertex (fast
+// unconditional stores from many threads). The pull kernel instead probes
+// "is in-neighbor u on the frontier?" once per scanned edge, where a
+// byte-per-vertex map wastes 7/8 of every cache line. DenseBitset packs the
+// byte map into 64-bit words — 8x the frontier per cache line — and converts
+// from the byte map with an AVX2 fast path (32 bytes -> 32 bits per
+// iteration via movemask) when available.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::simd {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Rebuild the bitmap from a byte-per-vertex map (nonzero byte => set bit).
+  /// This is the bridge from the engine's push-side active_ array; it runs
+  /// once per pull superstep over all n bytes, so it is vectorized.
+  void assign_bytes(const std::uint8_t* bytes, std::size_t n) {
+    PG_DCHECK(n == size_);
+    std::size_t i = 0;
+#if defined(__AVX2__)
+    const __m256i zero = _mm256_setzero_si256();
+    for (; i + 32 <= n; i += 32) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bytes + i));
+      // movemask of (v > 0) for unsigned bytes: any nonzero byte compares
+      // unequal to zero; cmpeq + invert keeps bytes >= 0x80 correct too.
+      const std::uint32_t eq0 = static_cast<std::uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+      const std::uint64_t m = ~static_cast<std::uint64_t>(eq0) & 0xffffffffu;
+      // i is a multiple of 32, so the 32-bit block never straddles a word.
+      const std::size_t shift = i % 64;
+      words_[i / 64] = (words_[i / 64] & ~(0xffffffffull << shift)) | (m << shift);
+    }
+#endif
+    for (; i < n; ++i) {
+      if (bytes[i])
+        words_[i / 64] |= 1ull << (i % 64);
+      else
+        words_[i / 64] &= ~(1ull << (i % 64));
+    }
+  }
+
+  bool test(std::size_t i) const {
+    PG_DCHECK(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    PG_DCHECK(i < size_);
+    words_[i / 64] |= 1ull << (i % 64);
+  }
+
+  void clear() { words_.assign(words_.size(), 0); }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Write set bits back into a byte-per-vertex map (round-trip helper for
+  /// tests and the active-list rebuild at the direction boundary).
+  void to_bytes(std::uint8_t* bytes, std::size_t n) const {
+    PG_DCHECK(n == size_);
+    for (std::size_t i = 0; i < n; ++i)
+      bytes[i] = test(i) ? std::uint8_t{1} : std::uint8_t{0};
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace phigraph::simd

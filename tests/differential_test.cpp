@@ -1,13 +1,15 @@
 // Randomized differential battery: hundreds of seeded engine runs compared
 // bit-for-bit against the sequential reference across the full configuration
 // matrix {locking, pipelining} x {one-to-one, dynamic columns} x {dense,
-// sparse frontier} x {single-device, heterogeneous} on generated graphs of
-// five shapes (uniform, power-law, disconnected, self-loops/parallel edges,
-// edgeless). The min-combine applications (BFS, SSSP, CC) are
-// order-independent, so every configuration must reproduce the reference
-// exactly; PageRank's float sums are order-dependent and is therefore pinned
-// to a single worker, where the engine's insertion and reduction order
-// matches the reference's and the comparison is still bit-exact.
+// sparse frontier} x {single-device, heterogeneous} x {auto, forced-push,
+// forced-pull traversal direction; single-device only — split partitions
+// always push} on generated graphs of five shapes (uniform, power-law,
+// disconnected, self-loops/parallel edges, edgeless). The min-combine
+// applications (BFS, SSSP, CC) are order-independent, so every configuration
+// must reproduce the reference exactly; PageRank's float sums are
+// order-dependent and is therefore pinned to a single worker, where the
+// engine's insertion and reduction order matches the reference's and the
+// comparison is still bit-exact.
 //
 // The same battery checks the bookkeeping invariants the metrics layer
 // promises: message-counter conservation (satellite: every generated message
@@ -151,8 +153,9 @@ graph::Csr make_graph(Family f, std::uint64_t seed) {
 struct Cell {
   ExecMode mode;
   ColumnMode col;
-  double density;  // frontier_density_switch: 0.0 = stay dense, 1.0 = sparse
+  double density;  // sparse_iteration_threshold: 0.0 = stay dense, 1.0 = sparse
   bool hetero;
+  core::DirectionMode dir = core::DirectionMode::kAuto;
 };
 
 std::vector<Cell> full_matrix() {
@@ -160,8 +163,15 @@ std::vector<Cell> full_matrix() {
   for (ExecMode mode : {ExecMode::kLocking, ExecMode::kPipelining})
     for (ColumnMode col : {ColumnMode::kOneToOne, ColumnMode::kDynamic})
       for (double density : {0.0, 1.0})
-        for (bool hetero : {false, true})
-          cells.push_back({mode, col, density, hetero});
+        for (core::DirectionMode dir :
+             {core::DirectionMode::kAuto, core::DirectionMode::kForcePush,
+              core::DirectionMode::kForcePull})
+          for (bool hetero : {false, true}) {
+            // Split partitions always push (no local in-neighbor values);
+            // forced directions only distinguish single-device cells.
+            if (hetero && dir != core::DirectionMode::kAuto) continue;
+            cells.push_back({mode, col, density, hetero, dir});
+          }
   return cells;
 }
 
@@ -170,6 +180,8 @@ std::string cell_name(const Cell& c) {
   s += c.col == ColumnMode::kOneToOne ? "/1to1" : "/dyn";
   s += c.density == 0.0 ? "/dense" : "/sparse";
   s += c.hetero ? "/hetero" : "/single";
+  s += "/";
+  s += core::direction_mode_name(c.dir);
   return s;
 }
 
@@ -177,7 +189,8 @@ EngineConfig cell_cfg(const Cell& c, int simd_bytes, std::uint64_t salt) {
   EngineConfig e;
   e.mode = c.mode;
   e.column_mode = c.col;
-  e.frontier_density_switch = c.density;
+  e.sparse_iteration_threshold = c.density;
+  e.direction_mode = c.dir;
   e.simd_bytes = simd_bytes;
   e.use_simd = true;
   e.threads = 2 + static_cast<int>(salt % 3);
@@ -272,7 +285,9 @@ TEST(DifferentialBattery, PageRankBitExactSingleWorker) {
     const apps::PageRank prog;
     const auto ref = apps::reference_run(g, prog, /*max_supersteps=*/8);
     for (const Cell& c : full_matrix()) {
-      if (c.hetero) continue;
+      // PageRank is not pullable (kAllActive), so the forced-direction cells
+      // would only re-run the push path; auto covers it.
+      if (c.hetero || c.dir != core::DirectionMode::kAuto) continue;
       auto cfg = cell_cfg(c, simd::kCpuSimdBytes, seed);
       cfg.threads = 1;
       cfg.movers = 1;
@@ -283,6 +298,40 @@ TEST(DifferentialBattery, PageRankBitExactSingleWorker) {
             << family_name(fam) << " round " << round << " " << cell_name(c)
             << " vertex " << v;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forced-pull battery (satellite): every pull superstep must reproduce the
+// reference bit-for-bit. Kept as its own test so the sanitized CI job can
+// gtest-filter the pull kernel specifically (the full matrix above already
+// covers pull cells at lower per-app depth).
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialDirection, ForcedPullBitExact) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  for (int round = 0; round < kRounds; ++round) {
+    const Family fam = kFamilies[round % std::size(kFamilies)];
+    const auto seed = static_cast<std::uint64_t>(0x9011 + 0x101 * round);
+    const auto g = make_graph(fam, seed);
+    Rng pick(seed ^ 0x2545f491ull);
+    const auto src = g.num_vertices() == 0
+                         ? 0
+                         : static_cast<vid_t>(pick.below(g.num_vertices()));
+    int cell_idx = 0;
+    for (ExecMode mode :
+         {ExecMode::kOmpStyle, ExecMode::kLocking, ExecMode::kPipelining})
+      for (double density : {0.0, 1.0}) {
+        const Cell c{mode, ColumnMode::kDynamic, density, false,
+                     core::DirectionMode::kForcePull};
+        const std::uint64_t salt = seed + static_cast<std::uint64_t>(cell_idx++);
+        const std::string what = std::string(family_name(fam)) + " round " +
+                                 std::to_string(round) + " " + cell_name(c);
+        check_cell(g, apps::Bfs(src), c, salt, what + " bfs");
+        check_cell(g, apps::Sssp(src), c, salt + 1, what + " sssp");
+        check_cell(g, apps::ConnectedComponents(), c, salt + 2, what + " cc");
+      }
   }
 }
 
@@ -435,7 +484,10 @@ TEST(DifferentialConservation, SingleDeviceMessageCounters) {
 
   // Starve the pipeline with a near-minimal ring: messages are still
   // conserved and the backpressure counter proves the full-queue path ran.
-  Cell c{ExecMode::kPipelining, ColumnMode::kDynamic, 0.0, false};
+  // Push pinned — pull supersteps bypass the queues, and auto direction
+  // would take exactly the dense bursts this test needs out of the ring.
+  Cell c{ExecMode::kPipelining, ColumnMode::kDynamic, 0.0, false,
+         core::DirectionMode::kForcePush};
   auto cfg = cell_cfg(c, 16, 9);
   cfg.queue_capacity = 8;
   const auto res = core::run_single(g, apps::Bfs(0), cfg);

@@ -67,8 +67,14 @@ TEST(EngineCounters, StructuralCountersAreModeIndependent) {
 TEST(EngineCounters, LaneWidthChangesRowsNotMessages) {
   const auto g = weighted_graph();
   const apps::Sssp prog(0);
-  const auto cpu = core::run_single(g, prog, cfg(ExecMode::kLocking, 16));
-  const auto mic = core::run_single(g, prog, cfg(ExecMode::kLocking, 64));
+  // Push pinned: lane-width accounting of the CSB reduction is the subject;
+  // pull supersteps would bypass the CSB entirely.
+  auto cpu_cfg = cfg(ExecMode::kLocking, 16);
+  auto mic_cfg = cfg(ExecMode::kLocking, 64);
+  cpu_cfg.direction_mode = core::DirectionMode::kForcePush;
+  mic_cfg.direction_mode = core::DirectionMode::kForcePush;
+  const auto cpu = core::run_single(g, prog, cpu_cfg);
+  const auto mic = core::run_single(g, prog, mic_cfg);
   const auto tc = metrics::totals(cpu.run.trace);
   const auto tm = metrics::totals(mic.run.trace);
   EXPECT_EQ(tc.msgs_local, tm.msgs_local);
@@ -108,8 +114,12 @@ TEST(EngineCounters, TopoSortMessageTotalEqualsEdges) {
 TEST(EngineCounters, HeteroSplitsMessagesByOwnership) {
   const auto g = weighted_graph();
   const apps::Sssp prog(0);
-  // Single-device totals for comparison.
-  const auto solo = core::run_single(g, prog, cfg(ExecMode::kLocking));
+  // Single-device totals for comparison — push pinned, because the split
+  // run below always pushes (pull needs local in-neighbor values) and
+  // msgs_local counts pushed messages only.
+  auto solo_cfg = cfg(ExecMode::kLocking);
+  solo_cfg.direction_mode = core::DirectionMode::kForcePush;
+  const auto solo = core::run_single(g, prog, solo_cfg);
   const auto solo_msgs = metrics::totals(solo.run.trace).msgs_local;
 
   auto owner = partition::round_robin_partition(g, {1, 1});

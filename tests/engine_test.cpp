@@ -240,6 +240,9 @@ TEST(EngineCounters, MessageConservationAndSimdWork) {
   const auto g = test_graph();
   const apps::Sssp prog(0);
   EngineConfig cfg = make_config({ExecMode::kLocking, 64, true});
+  // Push pinned: these are the push path's CSB conservation laws (a pull
+  // superstep updates vertices without allocating columns).
+  cfg.direction_mode = core::DirectionMode::kForcePush;
   core::DeviceEngine<apps::Sssp> engine(core::LocalGraph::whole(g), prog, cfg);
   auto run = engine.run();
 

@@ -11,6 +11,7 @@
 #include "src/core/hetero_engine.hpp"
 #include "src/gen/generators.hpp"
 #include "src/partition/partition.hpp"
+#include "src/simd/bitset.hpp"
 
 namespace {
 
@@ -28,7 +29,17 @@ EngineConfig cfg(ExecMode mode, double frontier_switch, int simd_bytes = 64) {
   c.threads = 3;
   c.movers = 2;
   c.sched_chunk = 16;
-  c.frontier_density_switch = frontier_switch;
+  c.sparse_iteration_threshold = frontier_switch;
+  return c;
+}
+
+/// Same, but with the traversal direction pinned to push — for the tests
+/// that assert on dense/sparse PUSH iteration counters, which a pull
+/// superstep would be excluded from.
+EngineConfig push_cfg(ExecMode mode, double frontier_switch,
+                      int simd_bytes = 64) {
+  EngineConfig c = cfg(mode, frontier_switch, simd_bytes);
+  c.direction_mode = core::DirectionMode::kForcePush;
   return c;
 }
 
@@ -45,8 +56,13 @@ TEST_P(FrontierModes, BfsIdenticalAcrossDenseSparseAndAuto) {
   const auto [mode, simd_bytes] = GetParam();
   const auto g = weighted_graph();
   const apps::Bfs prog(0);
-  const auto dense = core::run_single(g, prog, cfg(mode, kAlwaysDense, simd_bytes));
-  const auto sparse = core::run_single(g, prog, cfg(mode, kAlwaysSparse, simd_bytes));
+  // Direction pinned to push: the iteration SHAPE (list vs bitmap) is the
+  // knob under test, and the forced-path counter checks below require every
+  // superstep to be a push superstep.
+  const auto dense =
+      core::run_single(g, prog, push_cfg(mode, kAlwaysDense, simd_bytes));
+  const auto sparse =
+      core::run_single(g, prog, push_cfg(mode, kAlwaysSparse, simd_bytes));
   EngineConfig auto_cfg = cfg(mode, 0.05, simd_bytes);
   const auto autosw = core::run_single(g, prog, auto_cfg);
 
@@ -73,8 +89,10 @@ TEST_P(FrontierModes, SsspIdenticalAcrossDenseSparseAndAuto) {
   const auto [mode, simd_bytes] = GetParam();
   const auto g = weighted_graph();
   const apps::Sssp prog(0);
-  const auto dense = core::run_single(g, prog, cfg(mode, kAlwaysDense, simd_bytes));
-  const auto sparse = core::run_single(g, prog, cfg(mode, kAlwaysSparse, simd_bytes));
+  const auto dense =
+      core::run_single(g, prog, push_cfg(mode, kAlwaysDense, simd_bytes));
+  const auto sparse =
+      core::run_single(g, prog, push_cfg(mode, kAlwaysSparse, simd_bytes));
   const auto autosw = core::run_single(g, prog, cfg(mode, 0.05, simd_bytes));
 
   EXPECT_EQ(dense.values, sparse.values);
@@ -103,9 +121,14 @@ TEST(Frontier, CountersTrackActiveSetExactly) {
   ASSERT_FALSE(res.run.trace.empty());
   for (const auto& c : res.run.trace) {
     // The compact list mirrors the bitmap: its size is the number of
-    // vertices that ran generate_messages.
+    // vertices that drove generation (push: ran generate_messages; pull:
+    // were scanned against as the frontier bitmap).
     EXPECT_EQ(c.frontier_size, c.active_vertices);
-    EXPECT_EQ(c.dense_supersteps + c.sparse_supersteps, 1u);
+    // Every superstep is exactly one of push/pull, and dense/sparse
+    // classify only the push iteration shapes.
+    EXPECT_EQ(c.push_supersteps + c.pull_supersteps, 1u);
+    EXPECT_EQ(c.dense_supersteps + c.sparse_supersteps + c.pull_supersteps,
+              1u);
   }
   // Superstep 0: a single-source frontier is far below 5% density.
   EXPECT_EQ(res.run.trace[0].frontier_size, 1u);
@@ -146,6 +169,74 @@ TEST(Frontier, ConnectedComponentsIdenticalDenseAndSparse) {
   const auto autosw = core::run_single(g, prog, cfg(ExecMode::kLocking, 0.05));
   EXPECT_EQ(dense.values, sparse.values);
   EXPECT_EQ(dense.values, autosw.values);
+}
+
+TEST(Frontier, BitmapActiveListRoundTripAtDirectionBoundary) {
+  // Direction boundary plumbing: a push superstep produces the next frontier
+  // as per-thread compact lists merged into frontier_ plus the active_ byte
+  // map; a pull superstep consumes the byte map via a word-packed bitmap and
+  // produces the next frontier through the same activate() path. Crossing
+  // push -> pull -> push must therefore preserve the frontier exactly, which
+  // this asserts end-to-end: an auto run that demonstrably switched both
+  // ways computes the same values as a never-switching push run.
+  const auto g = weighted_graph();
+  const apps::Bfs prog(0);
+  const auto pushed =
+      core::run_single(g, prog, push_cfg(ExecMode::kLocking, 0.05));
+  const auto autosw = core::run_single(g, prog, cfg(ExecMode::kLocking, 0.05));
+  EXPECT_EQ(pushed.values, autosw.values);
+
+  const auto ta = metrics::totals(autosw.run.trace);
+  const auto tp = metrics::totals(pushed.run.trace);
+  // The auto run really crossed the boundary (power-law BFS: the dense
+  // middle pulls, the sparse tail pushes again) and the forced run never did.
+  EXPECT_GE(ta.pull_supersteps, 1u);
+  EXPECT_GE(ta.direction_flips, 2u);
+  EXPECT_EQ(tp.pull_supersteps, 0u);
+  EXPECT_EQ(tp.push_supersteps, pushed.run.trace.size());
+  EXPECT_EQ(tp.direction_flips, 0u);
+  // Pull work is accounted on its own counters, never on the push ones.
+  EXPECT_EQ(tp.pull_edges_scanned, 0u);
+  EXPECT_GT(ta.pull_edges_scanned, 0u);
+  for (const auto& c : autosw.run.trace)
+    if (c.pull_supersteps) {
+      EXPECT_EQ(c.edges_scanned, 0u);
+      EXPECT_EQ(c.msgs_local, 0u);
+      EXPECT_EQ(c.active_vertices, c.frontier_size);
+    }
+}
+
+TEST(Frontier, DenseBitsetRoundTripsByteMaps) {
+  // The pull kernel's word-packed bitmap is rebuilt from the engine's
+  // byte-per-vertex active map every pull superstep (AVX2 fast path when
+  // available) — bytes -> bits -> bytes must be the identity for sizes that
+  // exercise the 32-byte vector blocks, the word boundaries and the scalar
+  // tail.
+  for (std::size_t n : {1u, 31u, 32u, 33u, 64u, 100u, 257u, 4096u, 5000u}) {
+    std::vector<std::uint8_t> bytes(n, 0);
+    // Deterministic mixed pattern, including values > 1 and >= 0x80 (any
+    // nonzero byte counts as active).
+    for (std::size_t i = 0; i < n; ++i)
+      bytes[i] = (i % 3 == 0) ? static_cast<std::uint8_t>(1 + (i * 37) % 255)
+                              : 0;
+    simd::DenseBitset bits(n);
+    bits.assign_bytes(bytes.data(), n);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bits.test(i), bytes[i] != 0) << "n=" << n << " i=" << i;
+      if (bytes[i]) ++expected;
+    }
+    EXPECT_EQ(bits.count(), expected);
+    std::vector<std::uint8_t> back(n, 0xee);
+    bits.to_bytes(back.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(back[i], bytes[i] ? 1 : 0) << "n=" << n << " i=" << i;
+    // Re-assigning an inverted pattern fully overwrites stale bits.
+    for (std::size_t i = 0; i < n; ++i) bytes[i] = bytes[i] ? 0 : 0x80;
+    bits.assign_bytes(bytes.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(bits.test(i), bytes[i] != 0) << "inverted n=" << n << " i=" << i;
+  }
 }
 
 TEST(Frontier, ToposortIdenticalDenseAndSparse) {

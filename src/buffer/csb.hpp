@@ -26,7 +26,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <atomic>
 #include <memory>
 #include <numeric>
 #include <span>
@@ -35,6 +34,7 @@
 #include "src/common/aligned.hpp"
 #include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
 #include "src/common/types.hpp"
 #include "src/sched/spinlock.hpp"
 
@@ -95,7 +95,7 @@ class Csb {
   /// Groups that received at least one message since the last clear_dirty()
   /// — the only groups process/update/reset need to visit.
   [[nodiscard]] std::size_t num_dirty_groups() const noexcept {
-    return dirty_count_.load(std::memory_order_acquire);
+    return dirty_count_.load(sync::acquire);
   }
   [[nodiscard]] std::size_t dirty_group(std::size_t i) const noexcept {
     PG_DCHECK(i < num_dirty_groups());
@@ -134,13 +134,13 @@ class Csb {
     const vid_t limit = cols_in_group(g);
     for (vid_t c = 0; c < limit; ++c) {
       counts_[col0 + c] = 0;
-      index_array_[col0 + c].store(-1, std::memory_order_relaxed);
+      index_array_[col0 + c].store(-1, sync::relaxed);
       col_to_slot_[col0 + c] = -1;
       PG_AUDIT_ONLY(
-          col_owner_[col0 + c].store(-1, std::memory_order_relaxed);)
+          col_owner_[col0 + c].store(-1, sync::relaxed);)
     }
     col_offset_[g] = 0;
-    group_dirty_[g].store(0, std::memory_order_relaxed);
+    group_dirty_[g].store(0, sync::relaxed);
   }
 
   void reset_all() noexcept {
@@ -151,7 +151,7 @@ class Csb {
   /// Forget the dirty list. Call after resetting the dirty groups (their
   /// dirty flags are cleared by reset_group); must not race with insertions.
   void clear_dirty() noexcept {
-    dirty_count_.store(0, std::memory_order_release);
+    dirty_count_.store(0, sync::release);
   }
 
   // ---- insertion ---------------------------------------------------------------
@@ -333,22 +333,22 @@ class Csb {
 
     const std::size_t ncols = groups * width;
     counts_.assign(ncols, 0);
-    index_array_ = std::make_unique<std::atomic<std::int32_t>[]>(ncols);
+    index_array_ = std::make_unique<sync::Atomic<std::int32_t>[]>(ncols);
     for (std::size_t i = 0; i < ncols; ++i)
-      index_array_[i].store(-1, std::memory_order_relaxed);
+      index_array_[i].store(-1, sync::relaxed);
     col_to_slot_.assign(ncols, -1);
     col_offset_.assign(groups, 0);
     group_locks_ = std::make_unique<sched::SpinLock[]>(groups);
     column_locks_ = std::make_unique<sched::SpinLock[]>(ncols);
-    group_dirty_ = std::make_unique<std::atomic<std::uint8_t>[]>(groups);
+    group_dirty_ = std::make_unique<sync::Atomic<std::uint8_t>[]>(groups);
     for (std::size_t g = 0; g < groups; ++g)
-      group_dirty_[g].store(0, std::memory_order_relaxed);
+      group_dirty_[g].store(0, sync::relaxed);
     dirty_groups_.assign(groups, 0);
 
 #if PG_AUDIT_ENABLED
-    col_owner_ = std::make_unique<std::atomic<std::int32_t>[]>(ncols);
+    col_owner_ = std::make_unique<sync::Atomic<std::int32_t>[]>(ncols);
     for (std::size_t i = 0; i < ncols; ++i)
-      col_owner_[i].store(-1, std::memory_order_relaxed);
+      col_owner_[i].store(-1, sync::relaxed);
     audit_validate_redirection(in_degrees);
 #endif
   }
@@ -390,8 +390,7 @@ class Csb {
   void claim_column(std::size_t g, vid_t col, std::size_t gcol, vid_t dst) {
     const auto me = static_cast<std::int32_t>(audit::thread_id());
     std::int32_t owner = -1;
-    if (col_owner_[gcol].compare_exchange_strong(owner, me,
-                                                 std::memory_order_acq_rel))
+    if (col_owner_[gcol].compare_exchange_strong(owner, me, sync::acq_rel))
       return;
     if (owner != me)
       audit::fail("csb-column-ownership", __FILE__, __LINE__,
@@ -406,9 +405,9 @@ class Csb {
   /// each group register exactly once. Readers only look at the list after a
   /// phase barrier, so relaxed ordering on the slot stores suffices.
   void mark_dirty(std::size_t g) noexcept {
-    if (group_dirty_[g].load(std::memory_order_relaxed)) return;
-    if (group_dirty_[g].exchange(1, std::memory_order_relaxed) == 0)
-      dirty_groups_[dirty_count_.fetch_add(1, std::memory_order_acq_rel)] = g;
+    if (group_dirty_[g].load(sync::relaxed)) return;
+    if (group_dirty_[g].exchange(1, sync::relaxed) == 0)
+      dirty_groups_[dirty_count_.fetch_add(1, sync::acq_rel)] = g;
   }
 
   /// Columns that exist in group g (the last group may be ragged).
@@ -426,15 +425,24 @@ class Csb {
   vid_t locate_column(std::size_t g, vid_t slot, InsertStats& stats) {
     if (mode_ == ColumnMode::kOneToOne) return slot;
     const std::size_t gslot = g * group_width() + slot;
-    std::int32_t col = index_array_[gslot].load(std::memory_order_acquire);
+    // HB edge "csb-column-publish" (acquire side): pairs with the release
+    // store below, ordering the fast-path reader after the allocating
+    // critical section it observed the column index from.
+    std::int32_t col = index_array_[gslot].load(sync::acquire);
     if (col >= 0) return static_cast<vid_t>(col);
     group_locks_[g].lock();
     ++stats.lock_acquisitions;
     // Double-checked: another thread may have allocated while we waited.
-    col = index_array_[gslot].load(std::memory_order_relaxed);
+    // Relaxed suffices — the group lock's own acquire already orders us
+    // after the allocating critical section.
+    col = index_array_[gslot].load(sync::relaxed);
     if (col < 0) {
       col = static_cast<std::int32_t>(col_offset_[g]++);
-      index_array_[gslot].store(col, std::memory_order_release);
+      // HB edge "csb-column-publish" (release side): publishes the column
+      // allocation to lock-free fast-path readers (lock holders are already
+      // ordered by the group lock). col_to_slot_ is filled in below and only
+      // consumed after a phase barrier, so it needs no ordering here.
+      index_array_[gslot].store(col, sync::release);
       col_to_slot_[g * group_width() + static_cast<std::size_t>(col)] =
           static_cast<std::int32_t>(slot);
       ++stats.columns_allocated;
@@ -470,7 +478,7 @@ class Csb {
   std::vector<std::uint32_t> counts_;
   // slot -> column (-1 = unassigned); atomic because the fast path reads it
   // without the group lock.
-  std::unique_ptr<std::atomic<std::int32_t>[]> index_array_;
+  std::unique_ptr<sync::Atomic<std::int32_t>[]> index_array_;
   std::vector<std::int32_t> col_to_slot_;  // column -> slot (-1 = unoccupied)
   std::vector<std::uint32_t> col_offset_;  // per group: next free column
 
@@ -480,14 +488,14 @@ class Csb {
   // Dirty-group tracking: per-group flag + compact list of groups touched
   // since the last clear_dirty(), so per-superstep work is proportional to
   // the groups that actually received messages.
-  std::unique_ptr<std::atomic<std::uint8_t>[]> group_dirty_;
+  std::unique_ptr<sync::Atomic<std::uint8_t>[]> group_dirty_;
   std::vector<std::size_t> dirty_groups_;  // first dirty_count_ entries valid
-  std::atomic<std::size_t> dirty_count_{0};
+  sync::Atomic<std::size_t> dirty_count_{0};
 
 #if PG_AUDIT_ENABLED
   // Checked build only: per-column mover thread id (-1 = unclaimed), reset
   // with the group each superstep.
-  std::unique_ptr<std::atomic<std::int32_t>[]> col_owner_;
+  std::unique_ptr<sync::Atomic<std::int32_t>[]> col_owner_;
 #endif
 };
 

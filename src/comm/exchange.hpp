@@ -18,12 +18,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
 #include "src/fault/fault.hpp"
 #include "src/metrics/trace.hpp"
 
@@ -85,15 +85,19 @@ class Exchange {
     PG_TRACE_SCOPE(kExchangeWait, -1, rank);
     const int peer = 1 - rank;
     const auto until = std::chrono::steady_clock::now() + deadline;
-    std::unique_lock<std::mutex> l(mu_);
+    std::unique_lock<sync::Mutex> l(mu_);
     if (!cv_.wait_until(l, until, [&] { return poisoned_ || !present_[rank]; }))
       return Result{ExchangeStatus::kTimeout, T{}, {}};
     if (poisoned_) return poisoned_result();
+    // slot_/present_ are plain shared state; every access is under mu_, so
+    // the model race detector sees them ordered through the mutex clocks.
+    sync::plain_write(&slot_[rank], "Exchange staging slot");
     slot_[rank] = std::move(mine);
     present_[rank] = true;
     cv_.notify_all();
     if (!cv_.wait_until(l, until, [&] { return poisoned_ || present_[peer]; })) {
       if (present_[rank]) {  // peer never consumed it: retract
+        sync::plain_write(&slot_[rank], "Exchange staging slot");
         slot_[rank] = T{};
         present_[rank] = false;
       }
@@ -101,7 +105,9 @@ class Exchange {
     }
     if (poisoned_) return poisoned_result();
     Result r;
+    sync::plain_read(&slot_[peer], "Exchange staging slot");
     r.value = std::move(slot_[peer]);
+    sync::plain_write(&slot_[peer], "Exchange staging slot");
     present_[peer] = false;
     cv_.notify_all();
     return r;
@@ -113,7 +119,7 @@ class Exchange {
   void poison(int rank, fault::FaultReport reason) {
     PG_CHECK(rank == 0 || rank == 1);
     {
-      std::lock_guard<std::mutex> l(mu_);
+      sync::LockGuard l(mu_);
       if (!poisoned_) {
         poisoned_ = true;
         fault_ = std::move(reason);
@@ -123,13 +129,13 @@ class Exchange {
   }
 
   [[nodiscard]] bool poisoned() const {
-    std::lock_guard<std::mutex> l(mu_);
+    sync::LockGuard l(mu_);
     return poisoned_;
   }
 
   /// The poison reason (default-constructed report if not poisoned).
   [[nodiscard]] fault::FaultReport fault() const {
-    std::lock_guard<std::mutex> l(mu_);
+    sync::LockGuard l(mu_);
     return fault_;
   }
 
@@ -143,8 +149,8 @@ class Exchange {
     return Result{ExchangeStatus::kPeerFailed, T{}, fault_};
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
   T slot_[2];
   bool present_[2] = {false, false};
   bool poisoned_ = false;
@@ -181,7 +187,8 @@ class AllToAll {
       : n_(num_ranks),
         slot_(static_cast<std::size_t>(num_ranks) *
               static_cast<std::size_t>(num_ranks)),
-        present_(slot_.size(), 0) {
+        present_(slot_.size(), 0),
+        round_(static_cast<std::size_t>(num_ranks), 0) {
     PG_CHECK_MSG(num_ranks >= 1, "AllToAll needs at least one rank");
   }
 
@@ -202,7 +209,7 @@ class AllToAll {
       return r;  // degenerate single-rank "cluster": nothing to swap
     }
     const auto until = std::chrono::steady_clock::now() + deadline;
-    std::unique_lock<std::mutex> l(mu_);
+    std::unique_lock<sync::Mutex> l(mu_);
     // Phase 1: wait until this rank's previous deposits were all consumed.
     if (!cv_.wait_until(l, until, [&] {
           if (poisoned_) return true;
@@ -212,11 +219,20 @@ class AllToAll {
         }))
       return timeout_result(rank);
     if (poisoned_) return poisoned_result();
+    // Slot elements are plain shared state; every touch is under mu_ (the
+    // model AllToAll test drives deposit/drain/retract through the race
+    // detector to prove the monitor discipline is airtight).
     for (int dst = 0; dst < n_; ++dst) {
       if (dst == rank) continue;
+      sync::plain_write(&slot_[idx(rank, dst)], "AllToAll staging slot");
       slot_[idx(rank, dst)] = std::move(outgoing[dst]);
       present_[idx(rank, dst)] = 1;
     }
+    // Round bookkeeping for timeout attribution: a retracted deposit leaves
+    // the slot indistinguishable from "never deposited", but the depositor's
+    // round count proves it showed up — so timeouts blame the peer that is
+    // genuinely behind, not a peer that timed out moments earlier.
+    ++round_[static_cast<std::size_t>(rank)];
     cv_.notify_all();
     // Phase 2: wait for every inbound slot, then consume them all at once.
     if (!cv_.wait_until(l, until, [&] {
@@ -229,6 +245,7 @@ class AllToAll {
       for (int dst = 0; dst < n_; ++dst) {
         if (dst == rank) continue;
         if (present_[idx(rank, dst)]) {
+          sync::plain_write(&slot_[idx(rank, dst)], "AllToAll staging slot");
           slot_[idx(rank, dst)] = T{};
           present_[idx(rank, dst)] = 0;
         }
@@ -240,6 +257,7 @@ class AllToAll {
     r.values.resize(static_cast<std::size_t>(n_));
     for (int src = 0; src < n_; ++src) {
       if (src == rank) continue;
+      sync::plain_read(&slot_[idx(src, rank)], "AllToAll staging slot");
       r.values[static_cast<std::size_t>(src)] = std::move(slot_[idx(src, rank)]);
       present_[idx(src, rank)] = 0;
     }
@@ -252,7 +270,7 @@ class AllToAll {
   void poison(int rank, fault::FaultReport reason) {
     PG_CHECK(rank >= 0 && rank < n_);
     {
-      std::lock_guard<std::mutex> l(mu_);
+      sync::LockGuard l(mu_);
       if (!poisoned_) {
         poisoned_ = true;
         fault_ = std::move(reason);
@@ -262,13 +280,13 @@ class AllToAll {
   }
 
   [[nodiscard]] bool poisoned() const {
-    std::lock_guard<std::mutex> l(mu_);
+    sync::LockGuard l(mu_);
     return poisoned_;
   }
 
   /// The poison reason (default-constructed report if not poisoned).
   [[nodiscard]] fault::FaultReport fault() const {
-    std::lock_guard<std::mutex> l(mu_);
+    sync::LockGuard l(mu_);
     return fault_;
   }
 
@@ -282,26 +300,36 @@ class AllToAll {
     return Result{ExchangeStatus::kPeerFailed, {}, fault_};
   }
 
-  /// Caller holds mu_. Names the first peer whose contribution is missing —
-  /// the likeliest dead rank — so handle_peer_down can report a culprit.
+  /// Caller holds mu_. Names the likeliest dead rank so handle_peer_down can
+  /// report a culprit: prefer a peer that never reached this rank's round (it
+  /// is genuinely behind — probably dead), falling back to the first absent
+  /// slot (a peer whose deposit was retracted after its own timeout looks
+  /// absent but its round count proves it arrived).
   Result timeout_result(int rank) const {
     Result r;
     r.status = ExchangeStatus::kTimeout;
+    const std::uint64_t my_round = round_[static_cast<std::size_t>(rank)];
+    int first_absent = -1;
     for (int src = 0; src < n_; ++src) {
       if (src == rank) continue;
       if (!present_[idx(src, rank)]) {
-        r.fault.rank = src;
-        break;
+        if (first_absent < 0) first_absent = src;
+        if (round_[static_cast<std::size_t>(src)] < my_round) {
+          r.fault.rank = src;
+          return r;
+        }
       }
     }
+    if (first_absent >= 0) r.fault.rank = first_absent;
     return r;
   }
 
   int n_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
   std::vector<T> slot_;                 // [src * n + dst]
   std::vector<std::uint8_t> present_;   // parallel to slot_
+  std::vector<std::uint64_t> round_;    // deposits completed per rank
   bool poisoned_ = false;
   fault::FaultReport fault_;
 };

@@ -26,6 +26,7 @@
 
 #include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
 #include "src/common/types.hpp"
 #include "src/sched/spinlock.hpp"
 
@@ -56,21 +57,30 @@ class RemoteBuffer {
                   "vertex id space",
                   dst, value_.size());
     PG_AUDIT_FMT(!shards_[shard_of(dst, dst_rank)].draining.load(
-                     std::memory_order_relaxed),
+                     sync::relaxed),
                  "remote-shard-quiescence",
                  "deposit for vertex %u raced with the drain of its shard "
                  "%zu (deposits must stop before the exchange phase drains)",
                  dst, shard_of(dst, dst_rank));
     locks_[dst].lock();
+    // value_/has_ slots are plain shared state guarded by the per-vertex
+    // spinlock during deposits and read lock-free by drain_shard, which the
+    // phase contract orders after all deposits (the model RemoteBuffer test
+    // drives exactly that contract through the race detector).
+    sync::plain_read(&has_[dst], "RemoteBuffer has flag");
     if (has_[dst]) {
+      sync::plain_write(&value_[dst], "RemoteBuffer value slot");
       value_[dst] = combine(value_[dst], m);
       locks_[dst].unlock();
     } else {
+      sync::plain_write(&value_[dst], "RemoteBuffer value slot");
       value_[dst] = m;
+      sync::plain_write(&has_[dst], "RemoteBuffer has flag");
       has_[dst] = 1;
       locks_[dst].unlock();
       Shard& s = shards_[shard_of(dst, dst_rank)];
       sched::LockGuard<sched::SpinLock> g(s.lock);
+      sync::plain_write(&s.touched, "RemoteBuffer shard touched list");
       s.touched.push_back(dst);
     }
   }
@@ -91,12 +101,13 @@ class RemoteBuffer {
                   "%zu vertex id space",
                   dst, value_.size());
     Shard& s = shards_[shard_of(dst, dst_rank)];
-    PG_AUDIT_FMT(!s.draining.load(std::memory_order_relaxed),
+    PG_AUDIT_FMT(!s.draining.load(sync::relaxed),
                  "remote-shard-quiescence",
                  "raw deposit for vertex %u raced with the drain of its "
                  "shard %zu",
                  dst, shard_of(dst, dst_rank));
     sched::LockGuard<sched::SpinLock> g(s.lock);
+    sync::plain_write(&s.raw, "RemoteBuffer shard raw list");
     s.raw.push_back({dst, m});
   }
 
@@ -137,19 +148,23 @@ class RemoteBuffer {
                   "RemoteBuffer::drain_shard: shard %zu outside [0, %zu)", s,
                   shards_.size());
     Shard& shard = shards_[s];
-    PG_AUDIT_FMT(!shard.draining.exchange(true, std::memory_order_acq_rel),
+    PG_AUDIT_FMT(!shard.draining.exchange(true, sync::acq_rel),
                  "remote-shard-single-drainer",
                  "shard %zu drained by thread %d while another drain of the "
                  "same shard is in flight",
                  s, audit::thread_id());
+    sync::plain_write(&shard.touched, "RemoteBuffer shard touched list");
     for (vid_t dst : shard.touched) {
+      sync::plain_read(&value_[dst], "RemoteBuffer value slot");
       f(dst, value_[dst]);
+      sync::plain_write(&has_[dst], "RemoteBuffer has flag");
       has_[dst] = 0;
     }
     shard.touched.clear();
+    sync::plain_write(&shard.raw, "RemoteBuffer shard raw list");
     for (const RawEntry& e : shard.raw) f(e.dst, e.msg);
     shard.raw.clear();
-    PG_AUDIT_ONLY(shard.draining.store(false, std::memory_order_release);)
+    PG_AUDIT_ONLY(shard.draining.store(false, sync::release);)
   }
 
   /// Drain every shard on the calling thread (tests / non-parallel callers).
@@ -171,7 +186,7 @@ class RemoteBuffer {
 #if PG_AUDIT_ENABLED
     // Checked build only: set for the duration of drain_shard so concurrent
     // drains of one shard — and deposits racing a drain — are caught.
-    std::atomic<bool> draining{false};
+    sync::Atomic<bool> draining{false};
 #endif
   };
 

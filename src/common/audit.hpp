@@ -19,13 +19,13 @@
 // their exact release-layout and the fig5 numbers are unchanged.
 #pragma once
 
-#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
 
 #if defined(PHIGRAPH_AUDIT)
 #define PG_AUDIT_ENABLED 1
@@ -59,8 +59,8 @@ fail(const char* invariant, const char* file, int line, const char* fmt, ...) {
 /// ids are opaque; audit diagnostics want short numbers that can be matched
 /// against the engine's worker/mover layout.
 inline int thread_id() noexcept {
-  static std::atomic<int> next{0};
-  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  static sync::Atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, sync::relaxed);
   return id;
 }
 
@@ -74,7 +74,7 @@ class ThreadAffinity {
              int line) noexcept {
     const int me = thread_id();
     std::int32_t bound = -1;
-    if (bound_.compare_exchange_strong(bound, me, std::memory_order_acq_rel))
+    if (bound_.compare_exchange_strong(bound, me, sync::acq_rel))
       return;  // first touch: this thread now owns the role
     if (bound != me)
       fail(invariant, file, line,
@@ -83,14 +83,14 @@ class ThreadAffinity {
   }
 
   /// Forget the binding (e.g. when a new phase may legally re-assign roles).
-  void rebind() noexcept { bound_.store(-1, std::memory_order_release); }
+  void rebind() noexcept { bound_.store(-1, sync::release); }
 
   [[nodiscard]] bool is_bound() const noexcept {
-    return bound_.load(std::memory_order_acquire) >= 0;
+    return bound_.load(sync::acquire) >= 0;
   }
 
  private:
-  std::atomic<std::int32_t> bound_{-1};
+  sync::Atomic<std::int32_t> bound_{-1};
 };
 
 // ---- BSP phase state machine -----------------------------------------------
@@ -125,22 +125,20 @@ constexpr const char* phase_name(BspPhase p) noexcept {
 class PhaseMachine {
  public:
   void enter(BspPhase next, const char* file, int line) noexcept {
-    const auto cur = static_cast<BspPhase>(
-        state_.load(std::memory_order_acquire));
+    const auto cur = static_cast<BspPhase>(state_.load(sync::acquire));
     if (!legal(cur, next))
       fail("bsp-phase-order", file, line,
            "illegal superstep transition %s -> %s (required order: prepare -> "
            "generate -> [exchange] -> [process] -> update)",
            phase_name(cur), phase_name(next));
-    state_.store(static_cast<std::uint8_t>(next), std::memory_order_release);
+    state_.store(static_cast<std::uint8_t>(next), sync::release);
   }
 
   /// Guard for a user-callback invocation site: aborts unless the machine is
   /// in `required`. Called from team threads while the phase is stable.
   void expect(BspPhase required, const char* what, const char* file,
               int line) const noexcept {
-    const auto cur = static_cast<BspPhase>(
-        state_.load(std::memory_order_acquire));
+    const auto cur = static_cast<BspPhase>(state_.load(sync::acquire));
     if (cur != required)
       fail("bsp-phase-callback", file, line,
            "%s invoked during the %s phase; it may only run in the %s phase",
@@ -148,7 +146,7 @@ class PhaseMachine {
   }
 
   [[nodiscard]] BspPhase current() const noexcept {
-    return static_cast<BspPhase>(state_.load(std::memory_order_acquire));
+    return static_cast<BspPhase>(state_.load(sync::acquire));
   }
 
   /// Fault path only: a device fault tore the run down mid-superstep, so the
@@ -157,8 +155,7 @@ class PhaseMachine {
   /// inspected. Never call this on a healthy run — it would mask a real
   /// phase-order violation.
   void abort_to_idle() noexcept {
-    state_.store(static_cast<std::uint8_t>(BspPhase::kIdle),
-                 std::memory_order_release);
+    state_.store(static_cast<std::uint8_t>(BspPhase::kIdle), sync::release);
   }
 
  private:
@@ -181,7 +178,7 @@ class PhaseMachine {
     return false;
   }
 
-  std::atomic<std::uint8_t> state_{static_cast<std::uint8_t>(BspPhase::kIdle)};
+  sync::Atomic<std::uint8_t> state_{static_cast<std::uint8_t>(BspPhase::kIdle)};
 };
 
 }  // namespace phigraph::audit

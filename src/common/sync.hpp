@@ -1,0 +1,152 @@
+// phigraph::sync — the one place production code touches atomics, memory
+// orders, mutexes, and spin hints.
+//
+// Normal builds: zero-cost aliases onto the std primitives (sync::Atomic is
+// std::atomic, the plain-access annotations are empty inlines, PG_SYNC_ORDER
+// collapses to its order argument). Model builds (PHIGRAPH_MODEL, the
+// `model` preset): the same names resolve to the instrumented model::
+// versions, so the *production* lock-free code runs under the cooperative
+// model checker without copies or #ifdef forks at call sites.
+//
+// tools/lint.sh bans raw std::atomic / std::memory_order outside src/model/
+// and this header, which is what makes the routing exhaustive: an atomic
+// that bypasses sync:: is invisible to the checker, and the lint gate turns
+// that silent blind spot into a build failure.
+//
+// Tagged orders: PG_SYNC_ORDER("tag", sync::release) names an operation for
+// the mutant registry (model/mutant.hpp). Tag every load/store/RMW whose
+// order carries a verified happens-before edge; the mutant-kill suite weakens
+// tags one at a time and asserts the checker notices.
+//
+// sync::Mutex is capability-annotated for clang -Wthread-safety (see
+// thread_safety.hpp); sync::LockGuard / sync::UniqueLock are the annotated
+// guards. std::unique_lock<sync::Mutex> also works (BasicLockable) where no
+// annotation coverage is needed — e.g. as the lock handed to CondVar.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/common/thread_safety.hpp"
+
+#if defined(PHIGRAPH_MODEL)
+#define PG_MODEL_ENABLED 1
+#include "src/model/model.hpp"
+#else
+#define PG_MODEL_ENABLED 0
+#endif
+
+namespace phigraph::sync {
+
+inline constexpr bool kModelBuild = PG_MODEL_ENABLED != 0;
+
+// Short order names so call sites never spell std::memory_order (banned by
+// lint outside this header and src/model/).
+inline constexpr std::memory_order relaxed = std::memory_order_relaxed;
+inline constexpr std::memory_order acquire = std::memory_order_acquire;
+inline constexpr std::memory_order release = std::memory_order_release;
+inline constexpr std::memory_order acq_rel = std::memory_order_acq_rel;
+inline constexpr std::memory_order seq_cst = std::memory_order_seq_cst;
+
+#if PG_MODEL_ENABLED
+
+template <typename T>
+using Atomic = model::Atomic<T>;
+
+using CondVar = model::CondVar;
+namespace detail {
+using MutexImpl = model::Mutex;
+}
+
+inline void fence(std::memory_order mo) noexcept { model::fence(mo); }
+
+inline void plain_read(const void* addr, const char* what) {
+  model::plain_read(addr, what);
+}
+inline void plain_write(const void* addr, const char* what) {
+  model::plain_write(addr, what);
+}
+inline void plain_read_published(const void* addr, const char* what) {
+  model::plain_read_published(addr, what);
+}
+
+inline void cpu_relax() { model::yield_spin(); }
+inline void thread_yield() { model::yield_spin(); }
+
+#else  // !PG_MODEL_ENABLED
+
+template <typename T>
+using Atomic = std::atomic<T>;
+
+using CondVar = std::condition_variable_any;
+namespace detail {
+using MutexImpl = std::mutex;
+}
+
+inline void fence(std::memory_order mo) noexcept {
+  std::atomic_thread_fence(mo);
+}
+
+// Plain-access annotations for the model race detector; free in real builds.
+inline void plain_read(const void*, const char*) noexcept {}
+inline void plain_write(const void*, const char*) noexcept {}
+inline void plain_read_published(const void*, const char*) noexcept {}
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+inline void thread_yield() { std::this_thread::yield(); }
+
+#endif  // PG_MODEL_ENABLED
+
+/// Compiler-only barrier (non-x86 cpu_relax fallback and similar).
+inline void compiler_fence() noexcept {
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+/// Capability-annotated mutex. std::mutex in normal builds, the cooperative
+/// model::Mutex under PHIGRAPH_MODEL; always annotated so -Wthread-safety
+/// can verify PG_GUARDED_BY members in every configuration clang compiles.
+class PG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PG_ACQUIRE() { m_.lock(); }
+  void unlock() PG_RELEASE() { m_.unlock(); }
+  bool try_lock() PG_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  detail::MutexImpl m_;
+};
+
+/// Annotated scope lock (std::lock_guard shape).
+class PG_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) PG_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() PG_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace phigraph::sync
+
+/// Memory order of a tagged operation: the declared order normally, the
+/// mutant registry's substitution in model builds. The tag doubles as the
+/// operation's name in DESIGN.md's verified-edge table.
+#if PG_MODEL_ENABLED
+#define PG_SYNC_ORDER(tag, order) ::phigraph::model::mutant_order((tag), (order))
+#else
+#define PG_SYNC_ORDER(tag, order) (order)
+#endif

@@ -1,0 +1,59 @@
+// Clang thread-safety-analysis attribute macros (-Wthread-safety).
+//
+// The analysis statically proves that every access to a PG_GUARDED_BY(mu)
+// member happens while `mu` is held, that PG_REQUIRES(mu) functions are only
+// called under the lock, and that scoped guards release what they acquire.
+// It needs a *capability-annotated* mutex type — std::mutex carries no
+// attributes — which is why sync.hpp wraps the platform mutex in
+// phigraph::sync::Mutex and ships annotated guard classes.
+//
+// The macros expand to clang attributes under clang and to nothing under
+// other compilers, so annotated headers build identically everywhere; the
+// analysis itself runs in the `lint` preset (PHIGRAPH_THREAD_SAFETY=ON adds
+// -Wthread-safety when the compiler is clang).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(PG_THREAD_ANNOTATION)
+#define PG_THREAD_ANNOTATION(x)
+#endif
+
+/// Class attribute: instances are lockable capabilities (mutexes).
+#define PG_CAPABILITY(name) PG_THREAD_ANNOTATION(capability(name))
+
+/// Class attribute: RAII objects that hold a capability for their lifetime.
+#define PG_SCOPED_CAPABILITY PG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member attribute: reads/writes require holding `mu`.
+#define PG_GUARDED_BY(mu) PG_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Member attribute: the *pointee* is protected by `mu`.
+#define PG_PT_GUARDED_BY(mu) PG_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Function attribute: caller must hold `mu` (exclusively).
+#define PG_REQUIRES(...) \
+  PG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: acquires `mu` and returns holding it.
+#define PG_ACQUIRE(...) \
+  PG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases `mu`.
+#define PG_RELEASE(...) \
+  PG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires `mu` when returning `ret`.
+#define PG_TRY_ACQUIRE(ret, ...) \
+  PG_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function attribute: caller must NOT hold `mu` (deadlock prevention).
+#define PG_EXCLUDES(...) PG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: opt a function out of the analysis (init/destroy
+/// paths the checker cannot follow).
+#define PG_NO_THREAD_SAFETY_ANALYSIS \
+  PG_THREAD_ANNOTATION(no_thread_safety_analysis)

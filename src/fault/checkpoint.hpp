@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_safety.hpp"
 #include "src/common/types.hpp"
 #include "src/metrics/trace.hpp"
 
@@ -107,6 +109,18 @@ struct CheckpointFrame {
 /// Holds the last two frames for one rank. write() alternates between two
 /// slots so a failure *while writing* (torn file, fault injection) never
 /// destroys the previous good frame.
+///
+/// Concurrency: one writer (the orchestrator, at superstep boundaries);
+/// readers are quiescent in steady state but the failover boundary can
+/// overlap a reader with the writer's last frame. In-memory slots therefore
+/// use a seqlock-style publication word per slot — pub_[slot] holds
+/// superstep+1 once the frame is fully assigned, 0 while it is being
+/// (re)written — so a reader either sees a completely published frame or
+/// skips the slot; supersteps are strictly monotonic, so a pub_ word never
+/// repeats a value (no ABA). The model build drives a concurrent
+/// writer/reader pair through this protocol and the race detector verifies
+/// the publish/validate edges; file bookkeeping and the slot cursor are
+/// guarded by mu_ (annotated for -Wthread-safety).
 class CheckpointStore {
  public:
   CheckpointStore(CheckpointConfig cfg, int rank)
@@ -126,15 +140,32 @@ class CheckpointStore {
     // superstep -1: the engine's own kCheckpoint span (superstep-tagged)
     // already carries the phase time; this one isolates the store I/O.
     PG_TRACE_SCOPE(kCheckpoint, -1, rank_);
-    const int slot = next_slot_;
+    const int slot = [&] {
+      sync::LockGuard g(mu_);
+      return next_slot_;
+    }();
     if (cfg_.file_backed) {
       write_file(slot_path(slot), frame);
+      sync::LockGuard g(mu_);
       file_superstep_[slot] = frame.superstep;
       file_present_[slot] = true;
+      next_slot_ = 1 - slot;  // advance only after a successful write
     } else {
-      mem_[slot] = frame;
+      auto& pub = pub_[static_cast<std::size_t>(slot)];
+      // Invalidate before touching the payload: a concurrent reader that
+      // loads 0 (or mismatched values around its copy) discards the copy.
+      pub.store(0, sync::relaxed);
+      sync::plain_write(&mem_[static_cast<std::size_t>(slot)],
+                        "checkpoint frame slot");
+      mem_[static_cast<std::size_t>(slot)] = frame;
+      // HB edge "checkpoint-frame-publish": pairs with the reader's two
+      // acquire loads (ckpt.read.acquire); the release orders the whole
+      // frame assignment before the publication word readers validate.
+      pub.store(static_cast<std::uint64_t>(frame.superstep) + 1,
+                PG_SYNC_ORDER("ckpt.publish", sync::release));
+      sync::LockGuard g(mu_);
+      next_slot_ = 1 - slot;
     }
-    next_slot_ = 1 - next_slot_;
   }
 
   /// Supersteps of all stored frames whose CRC still validates, newest
@@ -160,14 +191,39 @@ class CheckpointStore {
 
   /// Newest frame that validates; corrupted latest frame falls back to the
   /// previous one.
+  ///
+  /// The in-memory path orders the two slot reads by *freshly loaded*
+  /// publication words instead of scanning slot 0 then slot 1. The naive scan
+  /// is not monotonic for a concurrent reader: it can copy slot 0's old frame,
+  /// lose the CPU while the writer publishes two newer frames and starts
+  /// overwriting slot 1, then find slot 1 mid-write and return the stale copy
+  /// — an interleaving the model checker found (ModelCheckpoint). Reading the
+  /// publication words first and trying the newest slot closes that window:
+  /// if the newest slot's seqlock read fails, the writer is already
+  /// overwriting it, which means the *other* slot holds an even newer frame.
   [[nodiscard]] std::optional<CheckpointFrame> latest_valid() const {
-    std::optional<CheckpointFrame> best;
-    for (int slot = 0; slot < 2; ++slot) {
-      auto f = read_slot(slot);
-      if (f && f->valid() && (!best || f->superstep > best->superstep))
-        best = std::move(f);
+    if (cfg_.file_backed) {
+      std::optional<CheckpointFrame> best;
+      for (int slot = 0; slot < 2; ++slot) {
+        auto f = read_slot(slot);
+        if (f && f->valid() && (!best || f->superstep > best->superstep))
+          best = std::move(f);
+      }
+      return best;
     }
-    return best;
+    for (int attempt = 0; attempt < kMaxSeqlockRetries; ++attempt) {
+      const std::uint64_t p0 = pub_[0].load(sync::acquire);
+      const std::uint64_t p1 = pub_[1].load(sync::acquire);
+      if (p0 == 0 && p1 == 0) return std::nullopt;  // empty store
+      const int newest = p1 > p0 ? 1 : 0;
+      for (int k = 0; k < 2; ++k) {
+        auto f = read_slot(k == 0 ? newest : 1 - newest);
+        if (f && f->valid()) return f;
+      }
+      // Both reads torn or invalidated mid-scan: the writer is ahead of us;
+      // re-snapshot the publication words and try again.
+    }
+    return std::nullopt;
   }
 
   [[nodiscard]] std::string slot_path(int slot) const {
@@ -180,11 +236,35 @@ class CheckpointStore {
 
   [[nodiscard]] std::optional<CheckpointFrame> read_slot(int slot) const {
     if (cfg_.file_backed) {
-      if (!file_present_[slot]) return std::nullopt;
+      {
+        sync::LockGuard g(mu_);
+        if (!file_present_[slot]) return std::nullopt;
+      }
       return read_file(slot_path(slot));
     }
-    if (!mem_[slot]) return std::nullopt;
-    return mem_[slot];
+    // Seqlock read: copy the frame between two acquire loads of the
+    // publication word; equal non-zero values bracket a stable frame.
+    const auto& pub = pub_[static_cast<std::size_t>(slot)];
+    for (int attempt = 0; attempt < kMaxSeqlockRetries; ++attempt) {
+      // HB edge "checkpoint-frame-publish" (reader side): pairs with the
+      // writer's pub_ release store (ckpt.publish); a validated read saw
+      // every byte of the frame the writer published.
+      const std::uint64_t s1 =
+          pub.load(PG_SYNC_ORDER("ckpt.read.acquire", sync::acquire));
+      if (s1 == 0) return std::nullopt;  // empty or mid-write
+      std::optional<CheckpointFrame> copy = mem_[static_cast<std::size_t>(slot)];
+      const std::uint64_t s2 =
+          pub.load(PG_SYNC_ORDER("ckpt.read.acquire", sync::acquire));
+      if (s1 == s2) {
+        // Only a *validated* copy counts as a read for the race detector;
+        // an invalidated copy is discarded, so the writer overwriting it is
+        // the protocol working, not a race.
+        sync::plain_read_published(&mem_[static_cast<std::size_t>(slot)],
+                                   "checkpoint frame slot");
+        return copy;
+      }
+    }
+    return std::nullopt;  // writer kept racing us; treat as not-yet-present
   }
 
   static void write_file(const std::string& path, const CheckpointFrame& f) {
@@ -244,12 +324,18 @@ class CheckpointStore {
     return f;
   }
 
+  static constexpr int kMaxSeqlockRetries = 64;
+
   CheckpointConfig cfg_;
   int rank_;
-  int next_slot_ = 0;
+  mutable sync::Mutex mu_;
+  int next_slot_ PG_GUARDED_BY(mu_) = 0;
+  // In-memory slots: mem_ is published through pub_ (superstep+1 when slot
+  // holds a complete frame, 0 while empty or being rewritten), not by mu_.
   std::array<std::optional<CheckpointFrame>, 2> mem_;
-  std::array<int, 2> file_superstep_ = {-1, -1};
-  std::array<bool, 2> file_present_ = {false, false};
+  std::array<sync::Atomic<std::uint64_t>, 2> pub_{};
+  std::array<int, 2> file_superstep_ PG_GUARDED_BY(mu_) = {-1, -1};
+  std::array<bool, 2> file_present_ PG_GUARDED_BY(mu_) = {false, false};
 };
 
 }  // namespace phigraph::fault

@@ -14,7 +14,6 @@
 // structured FaultReport.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -23,6 +22,8 @@
 
 #include "src/common/expect.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_safety.hpp"
 
 #if defined(PHIGRAPH_FAULTS)
 #define PG_FAULTS_ENABLED 1
@@ -128,8 +129,10 @@ class FaultPlan {
 /// Process-global injector (fault builds only). install() arms a plan and
 /// resets its occurrence counters; check() is called from PG_FAULT_POINT
 /// sites, possibly concurrently from team threads, and throws FaultInjected
-/// when an armed spec's occurrence is reached. Plans must not be installed
-/// while an engine is running.
+/// when an armed spec's occurrence is reached. The armed list is guarded by
+/// mu_ (annotated for -Wthread-safety) so an install racing a straggler
+/// check() from a previous run cannot read a vector mid-mutation; within a
+/// run, occurrence counting stays a relaxed fetch_add on a stable list.
 class Injector {
  public:
   static Injector& instance() {
@@ -138,19 +141,24 @@ class Injector {
   }
 
   void install(const FaultPlan& plan) {
+    sync::LockGuard g(mu_);
     armed_.clear();
     for (const FaultSpec& s : plan.specs())
       armed_.push_back(std::make_unique<Armed>(s));
   }
 
-  void clear() { armed_.clear(); }
+  void clear() {
+    sync::LockGuard g(mu_);
+    armed_.clear();
+  }
 
   void check(Point p, int rank, int superstep) {
+    sync::LockGuard g(mu_);
     for (const auto& a : armed_) {
       if (a->spec.point != p || a->spec.rank != rank ||
           a->spec.superstep != superstep)
         continue;
-      const int hit = a->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+      const int hit = a->hits.fetch_add(1, sync::relaxed) + 1;
       if (hit == a->spec.occurrence) throw FaultInjected(p, rank, superstep);
     }
   }
@@ -159,9 +167,10 @@ class Injector {
   struct Armed {
     explicit Armed(const FaultSpec& s) : spec(s) {}
     FaultSpec spec;
-    std::atomic<int> hits{0};
+    sync::Atomic<int> hits{0};
   };
-  std::vector<std::unique_ptr<Armed>> armed_;
+  mutable sync::Mutex mu_;
+  std::vector<std::unique_ptr<Armed>> armed_ PG_GUARDED_BY(mu_);
 };
 
 /// RAII plan installation for tests: arms on construction, clears on exit.

@@ -14,10 +14,11 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <string>
+
+#include "src/common/sync.hpp"
 
 namespace phigraph::metrics {
 
@@ -94,13 +95,12 @@ class Histogram {
 
   void record(std::uint64_t v) noexcept {
     buckets_[static_cast<std::size_t>(histogram_bucket(v))].fetch_add(
-        1, std::memory_order_relaxed);
-    sum_.fetch_add(v, std::memory_order_relaxed);
+        1, sync::relaxed);
+    sum_.fetch_add(v, sync::relaxed);
     // Monotone max via CAS loop; contention is negligible (the loop runs
     // only while the max is actually advancing).
-    std::uint64_t cur = max_.load(std::memory_order_relaxed);
-    while (v > cur &&
-           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    std::uint64_t cur = max_.load(sync::relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v, sync::relaxed)) {
     }
   }
 
@@ -109,24 +109,24 @@ class Histogram {
     HistogramData d;
     for (int b = 0; b < kHistogramBuckets; ++b) {
       d.buckets[static_cast<std::size_t>(b)] =
-          buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+          buckets_[static_cast<std::size_t>(b)].load(sync::relaxed);
       d.count += d.buckets[static_cast<std::size_t>(b)];
     }
-    d.sum = sum_.load(std::memory_order_relaxed);
-    d.max = max_.load(std::memory_order_relaxed);
+    d.sum = sum_.load(sync::relaxed);
+    d.max = max_.load(sync::relaxed);
     return d;
   }
 
   void clear() noexcept {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
-    max_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, sync::relaxed);
+    sum_.store(0, sync::relaxed);
+    max_.store(0, sync::relaxed);
   }
 
  private:
-  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
-  std::atomic<std::uint64_t> sum_{0};
-  std::atomic<std::uint64_t> max_{0};
+  std::array<sync::Atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  sync::Atomic<std::uint64_t> sum_{0};
+  sync::Atomic<std::uint64_t> max_{0};
 };
 
 }  // namespace phigraph::metrics

@@ -26,10 +26,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/common/sync.hpp"
+#include "src/common/thread_safety.hpp"
 
 #if defined(PHIGRAPH_TRACE)
 #define PG_TRACE_ENABLED 1
@@ -147,7 +149,7 @@ class Collector {
 
   /// Copy of every thread's buffer. Quiescent-only (run boundaries).
   [[nodiscard]] std::vector<ThreadTrace> snapshot() const {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::LockGuard g(mu_);
     std::vector<ThreadTrace> out;
     out.reserve(buffers_.size());
     for (const auto& b : buffers_) out.push_back({b->name, b->spans});
@@ -156,12 +158,12 @@ class Collector {
 
   /// Drop all spans, keeping thread registrations and names. Quiescent-only.
   void clear() {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::LockGuard g(mu_);
     for (const auto& b : buffers_) b->spans.clear();
   }
 
   [[nodiscard]] std::size_t total_spans() const {
-    std::lock_guard<std::mutex> g(mu_);
+    sync::LockGuard g(mu_);
     std::size_t n = 0;
     for (const auto& b : buffers_) n += b->spans.size();
     return n;
@@ -178,7 +180,7 @@ class Collector {
   ThreadBuffer& local_buffer() {
     thread_local ThreadBuffer* tl = nullptr;
     if (tl == nullptr) {
-      std::lock_guard<std::mutex> g(mu_);
+      sync::LockGuard g(mu_);
       buffers_.push_back(std::make_unique<ThreadBuffer>());
       tl = buffers_.back().get();
       tl->name = "thread-" + std::to_string(buffers_.size() - 1);
@@ -187,10 +189,12 @@ class Collector {
   }
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_;
   // Buffers outlive their threads (a finished MIC thread's spans must still
-  // be exportable), so the registry owns them.
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // be exportable), so the registry owns them. Guarded registry (annotated
+  // for -Wthread-safety): each thread's buffer contents are private to it
+  // after registration, but the vector itself is shared.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ PG_GUARDED_BY(mu_);
   bool enabled_ = true;
 };
 

@@ -1,0 +1,117 @@
+// model::Atomic<T> — the instrumented std::atomic drop-in the sync::Atomic
+// alias resolves to under PHIGRAPH_MODEL.
+//
+// On a model thread every operation is a schedule point plus a happens-
+// before clock update under the operation's *declared* memory order (see
+// scheduler.hpp); the value operation itself then runs on the embedded
+// std::atomic — trivially race-free because the scheduler serializes the
+// virtual threads. Off a model thread (engine code running in a model build
+// but outside an exploration) everything falls through to std::atomic
+// directly, so the model build stays fully functional for ordinary tests.
+#pragma once
+
+#include <atomic>
+
+#include "src/model/scheduler.hpp"
+
+namespace phigraph::model {
+
+template <typename T>
+class Atomic {
+ public:
+  constexpr Atomic() noexcept : v_{} {}
+  constexpr Atomic(T desired) noexcept : v_(desired) {}  // NOLINT(google-explicit-constructor): mirrors std::atomic
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const noexcept {
+    if (Scheduler::on_model_thread()) Scheduler::instance().atomic_load(&v_, mo);
+    return v_.load(mo);
+  }
+
+  void store(T desired,
+             std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    if (Scheduler::on_model_thread())
+      Scheduler::instance().atomic_store(&v_, mo);
+    v_.store(desired, mo);
+  }
+
+  T exchange(T desired,
+             std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    if (Scheduler::on_model_thread()) Scheduler::instance().atomic_rmw(&v_, mo);
+    return v_.exchange(desired, mo);
+  }
+
+  T fetch_add(T arg, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    if (Scheduler::on_model_thread()) Scheduler::instance().atomic_rmw(&v_, mo);
+    return v_.fetch_add(arg, mo);
+  }
+
+  T fetch_sub(T arg, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    if (Scheduler::on_model_thread()) Scheduler::instance().atomic_rmw(&v_, mo);
+    return v_.fetch_sub(arg, mo);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    // Instrumented as an RMW under `mo` whether it succeeds or fails; the
+    // failure path then over-approximates an acquire load, which can only
+    // add happens-before edges that the success order already implies.
+    if (Scheduler::on_model_thread()) Scheduler::instance().atomic_rmw(&v_, mo);
+    return v_.compare_exchange_strong(expected, desired, mo,
+                                      failure_order(mo));
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    if (Scheduler::on_model_thread()) Scheduler::instance().atomic_rmw(&v_, mo);
+    return v_.compare_exchange_weak(expected, desired, mo, failure_order(mo));
+  }
+
+ private:
+  static constexpr std::memory_order failure_order(
+      std::memory_order mo) noexcept {
+    return mo == std::memory_order_acq_rel ? std::memory_order_acquire
+           : mo == std::memory_order_release ? std::memory_order_relaxed
+                                             : mo;
+  }
+
+  mutable std::atomic<T> v_;
+};
+
+/// Instrumented stand-alone fence (std::atomic_thread_fence drop-in).
+inline void fence(std::memory_order mo) noexcept {
+  if (Scheduler::on_model_thread()) Scheduler::instance().fence(mo);
+  std::atomic_thread_fence(mo);
+}
+
+/// Annotate a plain (non-atomic) shared access for the race detector.
+/// No-ops off a model thread.
+inline void plain_read(const void* addr, const char* what) {
+  if (Scheduler::on_model_thread())
+    Scheduler::instance().plain_read(addr, what);
+}
+
+inline void plain_write(const void* addr, const char* what) {
+  if (Scheduler::on_model_thread())
+    Scheduler::instance().plain_write(addr, what);
+}
+
+inline void plain_read_published(const void* addr, const char* what) {
+  if (Scheduler::on_model_thread())
+    Scheduler::instance().plain_read_published(addr, what);
+}
+
+/// Spin-loop yield: on a model thread, hand the baton over (a cooperative
+/// spinner would otherwise starve the thread it is waiting for); elsewhere,
+/// yield the OS timeslice.
+inline void yield_spin() {
+  if (Scheduler::on_model_thread())
+    Scheduler::instance().yield_spin();
+  else
+    std::this_thread::yield();
+}
+
+}  // namespace phigraph::model

@@ -1,0 +1,79 @@
+// Schedule exploration driver: run a test case many times under seeded
+// schedules and count distinct interleavings.
+//
+// The factory builds a *fresh* test case per execution (shared state
+// included), so executions are independent; the per-execution seed is
+// derived from the base seed, so a failing schedule is replayable by seed
+// alone. `target_distinct` lets tests demand coverage ("explore at least
+// 10,000 distinct schedules") without hard-coding an iteration count — the
+// loop stops as soon as the distinct-schedule set is large enough.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "src/model/scheduler.hpp"
+
+namespace phigraph::model {
+
+struct Options {
+  std::uint64_t seed = 0xC0FFEEull;
+  /// Max executions (the budget). The explorer stops earlier once
+  /// `target_distinct` schedules were seen or, with `stop_on_failure`, at
+  /// the first failing execution.
+  int iterations = 10000;
+  std::size_t target_distinct = 0;  // 0 = run the full budget
+  int preemption_bound = 3;
+  long max_steps = 200000;
+  bool stop_on_failure = false;  // mutant killing: first kill is enough
+};
+
+struct TestCase {
+  std::vector<std::function<void()>> threads;
+  /// Post-execution invariant check, run after all threads joined; returns
+  /// an empty string when the outcome is correct. Kept out of the virtual
+  /// threads so a violated invariant cannot deadlock the schedule.
+  std::function<std::string()> finally;
+};
+
+struct ExploreStats {
+  int executions = 0;
+  std::size_t distinct_schedules = 0;
+  int failures = 0;
+  std::string first_failure;     // race report or finally() complaint
+  std::uint64_t first_failure_seed = 0;  // replay handle
+};
+
+template <typename Factory>
+ExploreStats explore(const Options& opt, Factory&& make) {
+  Scheduler& sched = Scheduler::instance();
+  std::unordered_set<std::uint64_t> hashes;
+  ExploreStats st;
+  for (int i = 0; i < opt.iterations; ++i) {
+    if (opt.target_distinct != 0 && hashes.size() >= opt.target_distinct)
+      break;
+    const std::uint64_t seed =
+        opt.seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(i);
+    TestCase tc = make();
+    Scheduler::ExecResult r =
+        sched.run(tc.threads, seed, opt.preemption_bound, opt.max_steps);
+    ++st.executions;
+    hashes.insert(r.schedule_hash);
+    std::string fail = std::move(r.failure);
+    if (fail.empty() && tc.finally) fail = tc.finally();
+    if (!fail.empty()) {
+      ++st.failures;
+      if (st.first_failure.empty()) {
+        st.first_failure = std::move(fail);
+        st.first_failure_seed = seed;
+      }
+      if (opt.stop_on_failure) break;
+    }
+  }
+  st.distinct_schedules = hashes.size();
+  return st;
+}
+
+}  // namespace phigraph::model

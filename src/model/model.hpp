@@ -1,0 +1,21 @@
+// Umbrella header for the PHIGRAPH_MODEL concurrency model checker.
+//
+// Subsystem map (see DESIGN.md §11 for the full methodology):
+//   vector_clock.hpp  happens-before clocks for the race detector
+//   scheduler.hpp     cooperative baton scheduler + HB race detection
+//   atomic.hpp        model::Atomic<T>, model::fence, plain-access hooks
+//   mutex.hpp         cooperative model::Mutex / model::CondVar
+//   mutant.hpp        tag-based memory-order mutants (PG_SYNC_ORDER hook)
+//   explore.hpp       seeded, preemption-bounded schedule exploration
+//
+// Production code never includes this directly — it goes through
+// src/common/sync.hpp, whose aliases resolve here only when PHIGRAPH_MODEL
+// is defined.
+#pragma once
+
+#include "src/model/atomic.hpp"
+#include "src/model/explore.hpp"
+#include "src/model/mutant.hpp"
+#include "src/model/mutex.hpp"
+#include "src/model/scheduler.hpp"
+#include "src/model/vector_clock.hpp"

@@ -1,0 +1,68 @@
+// Memory-order mutant registry — the test-only hook that proves the checker
+// can actually catch ordering bugs.
+//
+// Every load/store/RMW in the lock-free core whose memory order carries a
+// verified happens-before edge is written as
+//
+//   head_.store(next, PG_SYNC_ORDER("spsc.head.publish", sync::release));
+//
+// In a normal build PG_SYNC_ORDER collapses to its second argument at
+// compile time. In a model build it consults this registry: a mutant test
+// arms a tag with a weakened order (release -> relaxed, acquire -> relaxed),
+// re-runs the exploration, and asserts the race detector reports the now-
+// missing edge. A mutant that survives the budget means the checker has a
+// blind spot — the mutant suite is CI-gated for exactly that reason.
+//
+// The registry is set from the test's main thread between explorations, so
+// it needs no synchronization of its own (arming while virtual threads run
+// would race with the lookups; ScopedMutant's lifetime makes that misuse
+// hard to write).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+namespace phigraph::model {
+
+namespace detail {
+struct MutantEntry {
+  const char* tag;
+  std::memory_order order;
+};
+
+inline std::vector<MutantEntry>& mutant_table() {
+  static std::vector<MutantEntry> t;
+  return t;
+}
+}  // namespace detail
+
+/// Resolve the effective memory order for a tagged operation. The untagged
+/// fast path (empty table) is a single size check.
+inline std::memory_order mutant_order(const char* tag,
+                                      std::memory_order normal) noexcept {
+  const auto& t = detail::mutant_table();
+  if (t.empty()) return normal;
+  for (const auto& e : t)
+    if (std::strcmp(e.tag, tag) == 0) return e.order;
+  return normal;
+}
+
+inline void set_mutant(const char* tag, std::memory_order weakened) {
+  detail::mutant_table().push_back({tag, weakened});
+}
+
+inline void clear_mutants() { detail::mutant_table().clear(); }
+
+/// RAII mutant for tests: weakens one tag for the enclosing scope.
+class ScopedMutant {
+ public:
+  ScopedMutant(const char* tag, std::memory_order weakened) {
+    set_mutant(tag, weakened);
+  }
+  ~ScopedMutant() { clear_mutants(); }
+  ScopedMutant(const ScopedMutant&) = delete;
+  ScopedMutant& operator=(const ScopedMutant&) = delete;
+};
+
+}  // namespace phigraph::model

@@ -1,0 +1,566 @@
+// Cooperative model-checking scheduler (PHIGRAPH_MODEL build).
+//
+// The checker runs a test case's N virtual threads as real std::threads
+// serialized by a baton: exactly one thread is `active_` at any instant, and
+// control transfers only at *schedule points* — every instrumented atomic
+// operation, mutex operation, condition wait/notify, and explicit spin
+// yield. At each point the scheduler either lets the active thread continue
+// or switches to another runnable thread, chosen by a seeded PRNG under a
+// preemption bound (Musuvathi/Qadeer-style: most concurrency bugs need only
+// a handful of preemptions, so bounding them keeps the search dense where it
+// matters). The sequence of choices is hashed so the explorer can count
+// *distinct* schedules, not just executions.
+//
+// Because execution is serialized, every run is sequentially consistent at
+// the value level; weak-memory bugs are instead caught *relationally*: a
+// vector-clock happens-before race detector checks every annotated plain
+// access (sync::plain_read / plain_write) against the synchronization that
+// the program's atomics actually established under their *declared* memory
+// orders. Weaken a release store to relaxed (see mutant.hpp) and the
+// publication edge disappears from the clocks — the very next dependent
+// plain access on the other thread is reported as a data race, even though
+// the serialized execution still computed the right values. That is the
+// property that makes mutant-kill testing work without simulating stale
+// loads.
+//
+// Blocking semantics: a thread that blocks (mutex, condition wait) leaves
+// the runnable set. If no thread is runnable but some are in *timed*
+// condition waits, model time "advances": all timed waiters wake with a
+// timeout verdict (their predicates re-run, so a correct protocol is
+// unaffected — a spurious-looking timeout surfacing a false predicate is a
+// lost-wakeup bug). If no thread is runnable and none can time out, that is
+// a real deadlock and the checker aborts with a thread-state dump.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/expect.hpp"
+#include "src/model/vector_clock.hpp"
+
+namespace phigraph::model {
+
+/// Cooperative-mutex state, embedded in model::Mutex and mutated only by the
+/// active thread / under the scheduler's baton lock. `release_clock` carries
+/// the unlock→lock happens-before edge.
+struct MutexState {
+  bool locked = false;
+  int owner = -1;
+  VectorClock release_clock;
+};
+
+class Scheduler {
+ public:
+  static Scheduler& instance() {
+    static Scheduler s;
+    return s;
+  }
+
+  /// Result of one serialized execution.
+  struct ExecResult {
+    std::uint64_t schedule_hash = 0;  // FNV over the thread-choice sequence
+    long steps = 0;                   // schedule points taken
+    std::string failure;              // empty = clean run
+  };
+
+  /// True on a thread currently owned by a model run — instrumentation
+  /// routes through the scheduler exactly when this holds; otherwise the
+  /// wrappers fall back to plain std behavior (so ordinary tests still run
+  /// in a model build).
+  [[nodiscard]] static bool on_model_thread() noexcept {
+    return tls_id_ >= 0;
+  }
+
+  /// Run one execution of `bodies` under (seed, preemption_bound,
+  /// max_steps). Not reentrant.
+  ExecResult run(const std::vector<std::function<void()>>& bodies,
+                 std::uint64_t seed, int preemption_bound, long max_steps) {
+    PG_CHECK_MSG(!running_, "model::Scheduler::run is not reentrant");
+    PG_CHECK_FMT(!bodies.empty() &&
+                     bodies.size() <= static_cast<std::size_t>(kMaxModelThreads),
+                 "model test needs 1..%d threads, got %zu", kMaxModelThreads,
+                 bodies.size());
+    running_ = true;
+    n_ = static_cast<int>(bodies.size());
+    preemption_bound_ = preemption_bound;
+    max_steps_ = max_steps;
+    rng_ = seed ^ 0x9E3779B97F4A7C15ull;
+    if (rng_ == 0) rng_ = 0x2545F4914F6CDD1Dull;
+    hash_ = 1469598103934665603ull;  // FNV-1a offset basis
+    steps_ = 0;
+    preemptions_ = 0;
+    failure_.clear();
+    atomic_locs_.clear();
+    plain_locs_.clear();
+    fence_clock_.clear();
+    finished_ = 0;
+    for (int t = 0; t < n_; ++t) {
+      ctxs_[static_cast<std::size_t>(t)] = ThreadCtx{};
+      ctxs_[static_cast<std::size_t>(t)].id = t;
+      // Seed each thread's own clock component so epoch 0 means "never".
+      ctxs_[static_cast<std::size_t>(t)].clock.tick(t);
+    }
+    {
+      std::lock_guard<std::mutex> l(gmu_);
+      active_ = static_cast<int>(rng_below(static_cast<std::uint32_t>(n_)));
+      record_choice(active_);
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n_));
+    for (int t = 0; t < n_; ++t)
+      threads.emplace_back([this, t, &bodies] { thread_main(t, bodies[t]); });
+    {
+      std::unique_lock<std::mutex> l(gmu_);
+      gcv_.wait(l, [&] { return finished_ == n_; });
+    }
+    for (auto& th : threads) th.join();
+    running_ = false;
+    return ExecResult{hash_, steps_, failure_};
+  }
+
+  // ---- instrumentation entry points (model threads only) -------------------
+
+  void atomic_load(const void* addr, std::memory_order mo) {
+    schedule_point(false);
+    AtomicLoc& loc = atomic_locs_[addr];
+    if (mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+        mo == std::memory_order_seq_cst)
+      ctx().clock.join(loc.sync_clock);
+  }
+
+  void atomic_store(const void* addr, std::memory_order mo) {
+    schedule_point(false);
+    AtomicLoc& loc = atomic_locs_[addr];
+    ThreadCtx& me = ctx();
+    me.clock.tick(me.id);
+    if (mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+        mo == std::memory_order_seq_cst) {
+      // A (release) store heads a fresh release sequence: under the
+      // serialized (SC-at-values) execution the next acquire load reads
+      // *this* store, so it synchronizes with exactly this clock.
+      loc.sync_clock = me.clock;
+    } else {
+      // A relaxed store publishes nothing — later acquire loads of this
+      // value establish no happens-before. This is the edge the ordering
+      // mutants sever.
+      loc.sync_clock.clear();
+    }
+  }
+
+  /// Read-modify-write (exchange, fetch_add, successful CAS): the acquire
+  /// side joins the location clock in; the release side joins the thread
+  /// clock out. A relaxed RMW leaves the location clock untouched — it
+  /// continues the previous store's release sequence without contributing.
+  void atomic_rmw(const void* addr, std::memory_order mo) {
+    schedule_point(false);
+    AtomicLoc& loc = atomic_locs_[addr];
+    ThreadCtx& me = ctx();
+    if (mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+        mo == std::memory_order_seq_cst)
+      me.clock.join(loc.sync_clock);
+    me.clock.tick(me.id);
+    if (mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+        mo == std::memory_order_seq_cst)
+      loc.sync_clock.join(me.clock);
+  }
+
+  /// Stand-alone fence, modeled conservatively through one global clock.
+  void fence(std::memory_order mo) {
+    schedule_point(false);
+    ThreadCtx& me = ctx();
+    if (mo != std::memory_order_release) me.clock.join(fence_clock_);
+    me.clock.tick(me.id);
+    if (mo != std::memory_order_acquire) fence_clock_.join(me.clock);
+  }
+
+  void plain_read(const void* addr, const char* what) {
+    ThreadCtx& me = ctx();
+    PlainLoc& loc = plain_locs_[addr];
+    check_read_after_write(loc, me, what);
+    loc.r_clk[static_cast<std::size_t>(me.id)] = me.clock.at(me.id);
+    loc.what = what;
+  }
+
+  /// Validated publication read (seqlock pattern): checks that the last
+  /// write happens-before this read, but records no read epoch — the
+  /// protocol allows the writer to overwrite concurrently with *discarded*
+  /// reads, so a write-after-read report here would be a false positive.
+  void plain_read_published(const void* addr, const char* what) {
+    check_read_after_write(plain_locs_[addr], ctx(), what);
+  }
+
+  void plain_write(const void* addr, const char* what) {
+    ThreadCtx& me = ctx();
+    PlainLoc& loc = plain_locs_[addr];
+    if (loc.w_tid >= 0 && loc.w_tid != me.id &&
+        !me.clock.covers(loc.w_tid, loc.w_clk))
+      report_race("write", me.id, "write", loc.w_tid, what, loc.what);
+    for (int u = 0; u < n_; ++u) {
+      const std::uint32_t r = loc.r_clk[static_cast<std::size_t>(u)];
+      if (u != me.id && r != 0 && !me.clock.covers(u, r))
+        report_race("write", me.id, "read", u, what, loc.what);
+    }
+    me.clock.tick(me.id);
+    loc.w_tid = me.id;
+    loc.w_clk = me.clock.at(me.id);
+    loc.what = what;
+    loc.r_clk.fill(0);
+  }
+
+  /// Voluntary yield from a spin loop: hands the baton to another runnable
+  /// thread if one exists (not charged against the preemption budget —
+  /// without this, a cooperative spinner would starve the thread it waits
+  /// on forever).
+  void yield_spin() { schedule_point(true); }
+
+  // ---- cooperative mutex / condition variable ------------------------------
+
+  void mutex_lock(MutexState& m) {
+    schedule_point(false);
+    ThreadCtx& me = ctx();
+    std::unique_lock<std::mutex> l(gmu_);
+    while (m.locked) {
+      me.state = ThreadState::kBlockedMutex;
+      me.waiting_mutex = &m;
+      switch_to_someone_locked(l, me);
+      me.waiting_mutex = nullptr;
+    }
+    m.locked = true;
+    m.owner = me.id;
+    me.clock.join(m.release_clock);  // unlock -> lock edge
+    me.clock.tick(me.id);
+  }
+
+  bool mutex_try_lock(MutexState& m) {
+    schedule_point(false);
+    ThreadCtx& me = ctx();
+    std::lock_guard<std::mutex> l(gmu_);
+    if (m.locked) return false;
+    m.locked = true;
+    m.owner = me.id;
+    me.clock.join(m.release_clock);
+    me.clock.tick(me.id);
+    return true;
+  }
+
+  void mutex_unlock(MutexState& m) {
+    schedule_point(false);
+    ThreadCtx& me = ctx();
+    std::lock_guard<std::mutex> l(gmu_);
+    PG_CHECK_MSG(m.locked && m.owner == me.id,
+                 "model::Mutex unlocked by a thread that does not hold it");
+    me.clock.tick(me.id);
+    m.release_clock.join(me.clock);  // publish to the next acquirer
+    m.locked = false;
+    m.owner = -1;
+    for (int t = 0; t < n_; ++t) {
+      ThreadCtx& u = ctxs_[static_cast<std::size_t>(t)];
+      if (u.state == ThreadState::kBlockedMutex && u.waiting_mutex == &m)
+        u.state = ThreadState::kRunnable;
+    }
+  }
+
+  /// Declare intent to wait on `cv` *before* releasing the caller-held lock,
+  /// so a notify landing between the unlock and cv_block() is not lost.
+  void cv_arm(const void* cv) {
+    std::lock_guard<std::mutex> l(gmu_);
+    ThreadCtx& me = ctx();
+    me.waiting_cv = cv;
+    me.cv_notified = false;
+  }
+
+  /// Block until notified or (for timed waits) until model time advances
+  /// because nothing else can run. Returns true on timeout.
+  bool cv_block(const void* cv, bool timed) {
+    ThreadCtx& me = ctx();
+    std::unique_lock<std::mutex> l(gmu_);
+    bump_step_locked();
+    record_choice(me.id);
+    if (me.cv_notified) {  // notify raced ahead during the unlock
+      me.cv_notified = false;
+      me.waiting_cv = nullptr;
+      return false;
+    }
+    PG_CHECK(me.waiting_cv == cv);
+    me.state = ThreadState::kBlockedCv;
+    me.cv_timed = timed;
+    me.cv_timed_out = false;
+    switch_to_someone_locked(l, me);
+    me.waiting_cv = nullptr;
+    me.cv_notified = false;
+    const bool timed_out = me.cv_timed_out;
+    me.cv_timed_out = false;
+    return timed_out;
+  }
+
+  void cv_notify(const void* cv, bool all) {
+    schedule_point(false);
+    std::lock_guard<std::mutex> l(gmu_);
+    std::array<int, kMaxModelThreads> cand{};
+    int ncand = 0;
+    for (int t = 0; t < n_; ++t) {
+      ThreadCtx& u = ctxs_[static_cast<std::size_t>(t)];
+      if (u.waiting_cv == cv &&
+          (u.state == ThreadState::kBlockedCv ||
+           u.state == ThreadState::kRunnable))
+        cand[static_cast<std::size_t>(ncand++)] = t;
+    }
+    if (ncand == 0) return;
+    const int first =
+        all ? 0 : static_cast<int>(rng_below(static_cast<std::uint32_t>(ncand)));
+    const int last = all ? ncand - 1 : first;
+    for (int i = first; i <= last; ++i) {
+      ThreadCtx& u = ctxs_[static_cast<std::size_t>(cand[static_cast<std::size_t>(i)])];
+      if (u.state == ThreadState::kBlockedCv) {
+        u.state = ThreadState::kRunnable;
+        u.cv_timed_out = false;
+      }
+      u.cv_notified = true;  // covers the armed-but-not-yet-blocked window
+    }
+  }
+
+ private:
+  enum class ThreadState : std::uint8_t {
+    kRunnable = 0,
+    kBlockedMutex,
+    kBlockedCv,
+    kFinished,
+  };
+
+  struct ThreadCtx {
+    int id = -1;
+    ThreadState state = ThreadState::kRunnable;
+    VectorClock clock;
+    MutexState* waiting_mutex = nullptr;
+    const void* waiting_cv = nullptr;
+    bool cv_timed = false;
+    bool cv_notified = false;
+    bool cv_timed_out = false;
+  };
+
+  struct AtomicLoc {
+    VectorClock sync_clock;
+  };
+
+  struct PlainLoc {
+    int w_tid = -1;
+    std::uint32_t w_clk = 0;
+    const char* what = nullptr;
+    std::array<std::uint32_t, kMaxModelThreads> r_clk{};
+  };
+
+  Scheduler() = default;
+
+  ThreadCtx& ctx() noexcept {
+    return ctxs_[static_cast<std::size_t>(tls_id_)];
+  }
+
+  void thread_main(int tid, const std::function<void()>& body) {
+    tls_id_ = tid;
+    {
+      std::unique_lock<std::mutex> l(gmu_);
+      gcv_.wait(l, [&] { return active_ == tid; });
+    }
+    try {
+      body();
+    } catch (const std::exception& e) {
+      record_failure(std::string("uncaught exception in model thread ") +
+                     std::to_string(tid) + ": " + e.what());
+    } catch (...) {
+      record_failure("uncaught non-std exception in model thread " +
+                     std::to_string(tid));
+    }
+    {
+      std::unique_lock<std::mutex> l(gmu_);
+      ctxs_[static_cast<std::size_t>(tid)].state = ThreadState::kFinished;
+      ++finished_;
+      if (finished_ == n_) {
+        gcv_.notify_all();
+      } else {
+        const int next = pick_next_locked(-1);
+        active_ = next;
+        record_choice(next);
+        gcv_.notify_all();
+      }
+    }
+    tls_id_ = -1;
+  }
+
+  /// The heart: one schedule point. `force_switch` hands the baton over if
+  /// any other thread is runnable (spin yields); otherwise the seeded PRNG
+  /// decides, bounded by the preemption budget.
+  void schedule_point(bool force_switch) {
+    ThreadCtx& me = ctx();
+    std::unique_lock<std::mutex> l(gmu_);
+    bump_step_locked();
+    bool preempt = false;
+    if (!force_switch && preemptions_ < preemption_bound_ &&
+        rng_below(100) < 25)
+      preempt = true;
+    if (force_switch || preempt) {
+      const int next = pick_runnable_other_locked(me.id);
+      if (next >= 0) {
+        if (preempt) ++preemptions_;
+        active_ = next;
+        record_choice(next);
+        gcv_.notify_all();
+        gcv_.wait(l, [&] { return active_ == me.id; });
+        return;
+      }
+    }
+    record_choice(me.id);
+  }
+
+  /// Caller holds gmu_ and has already left the runnable set. Picks the next
+  /// thread (firing condition-wait timeouts / detecting deadlock if nothing
+  /// is runnable), then parks until the baton comes back.
+  void switch_to_someone_locked(std::unique_lock<std::mutex>& l,
+                                ThreadCtx& me) {
+    const int next = pick_next_locked(-1);
+    active_ = next;
+    record_choice(next);
+    gcv_.notify_all();
+    gcv_.wait(l, [&] { return active_ == me.id; });
+  }
+
+  int pick_runnable_other_locked(int exclude) {
+    std::array<int, kMaxModelThreads> r{};
+    int nr = 0;
+    for (int t = 0; t < n_; ++t)
+      if (t != exclude &&
+          ctxs_[static_cast<std::size_t>(t)].state == ThreadState::kRunnable)
+        r[static_cast<std::size_t>(nr++)] = t;
+    if (nr == 0) return -1;
+    return r[rng_below(static_cast<std::uint32_t>(nr))];
+  }
+
+  int pick_next_locked(int exclude) {
+    int next = pick_runnable_other_locked(exclude);
+    if (next >= 0) return next;
+    // Nothing runnable: advance model time — every *timed* condition waiter
+    // wakes with a timeout verdict (predicates re-run on the other side).
+    bool fired = false;
+    for (int t = 0; t < n_; ++t) {
+      ThreadCtx& u = ctxs_[static_cast<std::size_t>(t)];
+      if (u.state == ThreadState::kBlockedCv && u.cv_timed) {
+        u.state = ThreadState::kRunnable;
+        u.cv_timed_out = true;
+        fired = true;
+      }
+    }
+    if (fired) {
+      next = pick_runnable_other_locked(exclude);
+      if (next >= 0) return next;
+    }
+    dump_and_abort("deadlock: no runnable thread and no timed waiter");
+  }
+
+  void bump_step_locked() {
+    if (++steps_ > max_steps_)
+      dump_and_abort("step budget exceeded — livelock in the modeled code?");
+  }
+
+  [[noreturn]] void dump_and_abort(const char* why) {
+    std::fprintf(stderr, "phigraph model checker: %s\n", why);
+    for (int t = 0; t < n_; ++t) {
+      const ThreadCtx& u = ctxs_[static_cast<std::size_t>(t)];
+      const char* s = u.state == ThreadState::kRunnable      ? "runnable"
+                      : u.state == ThreadState::kBlockedMutex ? "blocked-mutex"
+                      : u.state == ThreadState::kBlockedCv    ? "blocked-cv"
+                                                              : "finished";
+      std::fprintf(stderr, "  thread %d: %s%s\n", t, s,
+                   u.cv_timed ? " (timed)" : "");
+    }
+    std::fprintf(stderr, "  steps=%ld hash=%llu\n", steps_,
+                 static_cast<unsigned long long>(hash_));
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  void check_read_after_write(PlainLoc& loc, ThreadCtx& me, const char* what) {
+    if (loc.w_tid >= 0 && loc.w_tid != me.id &&
+        !me.clock.covers(loc.w_tid, loc.w_clk))
+      report_race("read", me.id, "write", loc.w_tid, what, loc.what);
+  }
+
+  void report_race(const char* op, int tid, const char* prior_op,
+                   int prior_tid, const char* what, const char* prior_what) {
+    std::string msg = "data race on '";
+    msg += what != nullptr ? what : "?";
+    msg += "': ";
+    msg += op;
+    msg += " by thread ";
+    msg += std::to_string(tid);
+    msg += " is not ordered after ";
+    msg += prior_op;
+    msg += " by thread ";
+    msg += std::to_string(prior_tid);
+    if (prior_what != nullptr && what != nullptr &&
+        std::string(prior_what) != what) {
+      msg += " (earlier access annotated '";
+      msg += prior_what;
+      msg += "')";
+    }
+    record_failure(std::move(msg));
+  }
+
+  void record_failure(std::string msg) {
+    if (failure_.empty()) failure_ = std::move(msg);
+  }
+
+  std::uint64_t rng_next() noexcept {
+    std::uint64_t x = rng_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rng_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  std::uint32_t rng_below(std::uint32_t n) noexcept {
+    return static_cast<std::uint32_t>(rng_next() % n);
+  }
+
+  void record_choice(int tid) noexcept {
+    hash_ = (hash_ ^ static_cast<std::uint64_t>(tid + 1)) * 1099511628211ull;
+  }
+
+  static thread_local int tls_id_;
+
+  // Baton: gmu_/gcv_ serialize the virtual threads; every piece of scheduler
+  // and race-detector state below is mutated only by the active thread (or
+  // under gmu_ in the switch paths), so the baton hand-off orders it all.
+  std::mutex gmu_;
+  std::condition_variable gcv_;
+  int active_ = -1;
+  int n_ = 0;
+  int finished_ = 0;
+  bool running_ = false;
+  std::array<ThreadCtx, kMaxModelThreads> ctxs_{};
+
+  std::uint64_t rng_ = 1;
+  std::uint64_t hash_ = 0;
+  long steps_ = 0;
+  long max_steps_ = 200000;
+  int preemptions_ = 0;
+  int preemption_bound_ = 3;
+  std::string failure_;
+
+  std::unordered_map<const void*, AtomicLoc> atomic_locs_;
+  std::unordered_map<const void*, PlainLoc> plain_locs_;
+  VectorClock fence_clock_;
+};
+
+inline thread_local int Scheduler::tls_id_ = -1;
+
+}  // namespace phigraph::model

@@ -1,0 +1,51 @@
+// Vector clocks for the model checker's happens-before race detector.
+//
+// Each virtual thread carries a VectorClock; synchronization operations
+// (release stores, acquire loads, mutex hand-offs) join clocks so that
+// clock_a[t] >= clock_b[t] for all t exactly when everything thread b had
+// done at the recorded point happens-before thread a's present. Plain
+// (non-atomic) shared accesses are then checked FastTrack-style: a write
+// must happen-after every prior access, a read must happen-after the last
+// write.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace phigraph::model {
+
+/// Upper bound on virtual threads per explored test case. Model tests drive
+/// 2-4 threads (more threads explode the schedule space far before this
+/// limit constrains anyone).
+inline constexpr int kMaxModelThreads = 8;
+
+class VectorClock {
+ public:
+  constexpr VectorClock() = default;
+
+  void clear() noexcept { c_.fill(0); }
+
+  [[nodiscard]] std::uint32_t at(int tid) const noexcept {
+    return c_[static_cast<std::size_t>(tid)];
+  }
+
+  void tick(int tid) noexcept { ++c_[static_cast<std::size_t>(tid)]; }
+
+  /// Pointwise max: afterwards *this happens-after everything `o` recorded.
+  void join(const VectorClock& o) noexcept {
+    for (int i = 0; i < kMaxModelThreads; ++i)
+      if (o.c_[static_cast<std::size_t>(i)] > c_[static_cast<std::size_t>(i)])
+        c_[static_cast<std::size_t>(i)] = o.c_[static_cast<std::size_t>(i)];
+  }
+
+  /// True when the epoch (tid, clk) happens-before (or equals) this clock's
+  /// view — i.e. this thread has synchronized with that point.
+  [[nodiscard]] bool covers(int tid, std::uint32_t clk) const noexcept {
+    return c_[static_cast<std::size_t>(tid)] >= clk;
+  }
+
+ private:
+  std::array<std::uint32_t, kMaxModelThreads> c_{};
+};
+
+}  // namespace phigraph::model

@@ -8,14 +8,13 @@
 // movers lock only at column-allocation time.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
 #include "src/common/types.hpp"
 #include "src/metrics/histogram.hpp"
 #include "src/metrics/trace.hpp"
@@ -56,7 +55,7 @@ class MessagePipeline {
   /// empty first — an undrained queue means the previous phase is still
   /// running and rebinding would mask a race).
   void reset() noexcept {
-    workers_done_.store(0, std::memory_order_relaxed);
+    workers_done_.store(0, sync::relaxed);
 #ifndef NDEBUG
     for (const auto& q : queues_)
       PG_DCHECK_MSG(q->empty(),
@@ -85,19 +84,28 @@ class MessagePipeline {
     const Envelope<Msg> env{dst, value};
     while (!q.try_push(env)) {
       ++spins;
-      // Back off: on oversubscribed hosts the consumer needs CPU time to
-      // drain; pure pause-spinning would livelock the timeslice away.
-      if ((spins & 63) == 0)
-        std::this_thread::yield();
-      else
-        cpu_relax();
+      if constexpr (sync::kModelBuild) {
+        // Cooperative scheduler: the consumer cannot drain while we hold
+        // the baton — hand it over on every failed push.
+        sync::thread_yield();
+      } else {
+        // Back off: on oversubscribed hosts the consumer needs CPU time to
+        // drain; pure pause-spinning would livelock the timeslice away.
+        if ((spins & 63) == 0)
+          sync::thread_yield();
+        else
+          sync::cpu_relax();
+      }
     }
     return spins;
   }
 
   /// Worker side: signal that this worker generated its last message.
   void worker_done() noexcept {
-    workers_done_.fetch_add(1, std::memory_order_release);
+    // HB edge "pipeline-worker-done": pairs with the mover's acquire load in
+    // mover_loop; orders a worker's final queue pushes before the mover's
+    // conclusion that the queues are permanently empty.
+    workers_done_.fetch_add(1, PG_SYNC_ORDER("pipeline.done.publish", sync::release));
   }
 
   /// Mover side: repeatedly sweep this mover's queues, calling
@@ -128,7 +136,8 @@ class MessagePipeline {
       }
       moved += got;
       if (got == 0) {
-        if (workers_done_.load(std::memory_order_acquire) == num_workers_) {
+        if (workers_done_.load(PG_SYNC_ORDER("pipeline.done.acquire",
+                                              sync::acquire)) == num_workers_) {
           // All workers finished before our sweep started, and the sweep saw
           // nothing: queues are permanently empty.
           bool empty = true;
@@ -137,10 +146,14 @@ class MessagePipeline {
                         ->empty();
           if (empty) return moved;
         }
-        if (++idle_sweeps % 16 == 0)
-          std::this_thread::yield();
-        else
-          cpu_relax();
+        if constexpr (sync::kModelBuild) {
+          sync::thread_yield();
+        } else {
+          if (++idle_sweeps % 16 == 0)
+            sync::thread_yield();
+          else
+            sync::cpu_relax();
+        }
       } else {
         idle_sweeps = 0;
       }
@@ -153,12 +166,6 @@ class MessagePipeline {
 #endif
 
  private:
-  static void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
-#endif
-  }
-
   int num_workers_;
   int num_movers_;
 #if PG_TRACE_ENABLED
@@ -166,7 +173,7 @@ class MessagePipeline {
 #endif
   // queues_[worker * num_movers_ + mover]
   std::vector<std::unique_ptr<SpscQueue<Envelope<Msg>>>> queues_;
-  std::atomic<int> workers_done_{0};
+  sync::Atomic<int> workers_done_{0};
 #if PG_AUDIT_ENABLED
   // Checked build only: each worker/mover slot is bound to one thread per
   // phase (released by reset()).

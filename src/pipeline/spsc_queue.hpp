@@ -12,12 +12,12 @@
 // aborts naming both thread ids.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <vector>
 
 #include "src/common/audit.hpp"
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
 
 namespace phigraph::pipeline {
 
@@ -51,14 +51,20 @@ class SpscQueue {
   bool try_push(const T& item) noexcept {
     PG_AUDIT_AFFINITY(producer_aff_, "spsc-single-producer",
                       "SpscQueue producer end (try_push)");
-    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(sync::relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == tail_cache_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
+      // HB edge "spsc-slot-reuse": pairs with the consumer's tail_ release
+      // store (spsc.tail.free). The acquire orders the consumer's last read
+      // of a slot before this producer's overwrite of it.
+      tail_cache_ = tail_.load(PG_SYNC_ORDER("spsc.tail.acquire", sync::acquire));
       if (next == tail_cache_) return false;
     }
+    sync::plain_write(&buf_[head], "SpscQueue slot");
     buf_[head] = item;
-    head_.store(next, std::memory_order_release);
+    // HB edge "spsc-publish": pairs with the consumer's head_ acquire load
+    // (spsc.head.acquire). The release publishes buf_[head] to the consumer.
+    head_.store(next, PG_SYNC_ORDER("spsc.head.publish", sync::release));
     return true;
   }
 
@@ -66,13 +72,19 @@ class SpscQueue {
   bool try_pop(T& out) noexcept {
     PG_AUDIT_AFFINITY(consumer_aff_, "spsc-single-consumer",
                       "SpscQueue consumer end (try_pop)");
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(sync::relaxed);
     if (tail == head_cache_) {
-      head_cache_ = head_.load(std::memory_order_acquire);
+      // HB edge "spsc-publish" (consumer side): pairs with the producer's
+      // head_ release store (spsc.head.publish); makes buf_[tail] visible.
+      head_cache_ = head_.load(PG_SYNC_ORDER("spsc.head.acquire", sync::acquire));
       if (tail == head_cache_) return false;
     }
+    sync::plain_read(&buf_[tail], "SpscQueue slot");
     out = buf_[tail];
-    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    // HB edge "spsc-slot-reuse" (consumer side): pairs with the producer's
+    // tail_ acquire load (spsc.tail.acquire); frees the slot for reuse only
+    // after our read of it is ordered.
+    tail_.store((tail + 1) & mask_, PG_SYNC_ORDER("spsc.tail.free", sync::release));
     return true;
   }
 
@@ -89,15 +101,14 @@ class SpscQueue {
   }
 
   [[nodiscard]] bool empty() const noexcept {
-    return head_.load(std::memory_order_acquire) ==
-           tail_.load(std::memory_order_acquire);
+    return head_.load(sync::acquire) == tail_.load(sync::acquire);
   }
 
   /// Occupancy snapshot. Racy by nature (either end may move concurrently)
   /// but always in [0, capacity()]; exact when the queue is quiescent.
   [[nodiscard]] std::size_t size() const noexcept {
-    const std::size_t head = head_.load(std::memory_order_acquire);
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(sync::acquire);
+    const std::size_t tail = tail_.load(sync::acquire);
     return (head - tail) & mask_;
   }
 
@@ -116,10 +127,10 @@ class SpscQueue {
  private:
   std::vector<T> buf_;
   std::size_t mask_ = 0;
-  alignas(64) std::atomic<std::size_t> head_{0};  // producer writes
-  alignas(64) std::size_t tail_cache_ = 0;        // producer-private
-  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer writes
-  alignas(64) std::size_t head_cache_ = 0;        // consumer-private
+  alignas(64) sync::Atomic<std::size_t> head_{0};  // producer writes
+  alignas(64) std::size_t tail_cache_ = 0;         // producer-private
+  alignas(64) sync::Atomic<std::size_t> tail_{0};  // consumer writes
+  alignas(64) std::size_t head_cache_ = 0;         // consumer-private
 #if PG_AUDIT_ENABLED
   audit::ThreadAffinity producer_aff_;
   audit::ThreadAffinity consumer_aff_;

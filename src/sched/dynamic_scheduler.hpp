@@ -9,11 +9,11 @@
 // counter) handing out chunks of task indices.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <optional>
 
 #include "src/common/expect.hpp"
+#include "src/common/sync.hpp"
 #include "src/metrics/histogram.hpp"
 #include "src/metrics/trace.hpp"
 
@@ -39,8 +39,8 @@ class DynamicScheduler {
     PG_CHECK(chunk >= 1);
     total_ = total;
     chunk_ = chunk;
-    next_.store(0, std::memory_order_relaxed);
-    retrievals_.store(0, std::memory_order_relaxed);
+    next_.store(0, sync::relaxed);
+    retrievals_.store(0, sync::relaxed);
   }
 
   /// Grab the next chunk; empty optional when the phase is drained.
@@ -48,11 +48,11 @@ class DynamicScheduler {
     // Cheap early-out once the phase is drained: without it, idle threads
     // spinning on an exhausted scheduler keep fetch_add-ing, growing next_
     // without bound and bouncing the cache line between cores.
-    if (next_.load(std::memory_order_relaxed) >= total_) return std::nullopt;
+    if (next_.load(sync::relaxed) >= total_) return std::nullopt;
     const std::size_t begin =
-        next_.fetch_add(chunk_, std::memory_order_relaxed);
+        next_.fetch_add(chunk_, sync::relaxed);
     if (begin >= total_) return std::nullopt;
-    retrievals_.fetch_add(1, std::memory_order_relaxed);
+    retrievals_.fetch_add(1, sync::relaxed);
     const TaskRange r{begin,
                       begin + chunk_ < total_ ? begin + chunk_ : total_};
 #if PG_TRACE_ENABLED
@@ -72,7 +72,7 @@ class DynamicScheduler {
   /// Number of successful chunk retrievals — the scheduling-overhead proxy
   /// consumed by the performance model.
   [[nodiscard]] std::uint64_t retrievals() const noexcept {
-    return retrievals_.load(std::memory_order_relaxed);
+    return retrievals_.load(sync::relaxed);
   }
 
  private:
@@ -81,8 +81,8 @@ class DynamicScheduler {
 #endif
   std::size_t total_;
   std::size_t chunk_;
-  alignas(64) std::atomic<std::size_t> next_{0};
-  alignas(64) std::atomic<std::uint64_t> retrievals_{0};
+  alignas(64) sync::Atomic<std::size_t> next_{0};
+  alignas(64) sync::Atomic<std::uint64_t> retrievals_{0};
 };
 
 }  // namespace phigraph::sched

@@ -5,9 +5,9 @@
 // the appropriate primitive; std::mutex would dominate the critical section.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <thread>
+
+#include "src/common/sync.hpp"
 
 namespace phigraph::sched {
 
@@ -20,40 +20,46 @@ class SpinLock {
   void lock() noexcept {
     int backoff = 1;
     for (;;) {
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // HB edge "spinlock-critical-section": the acquire side of the
+      // exchange pairs with the previous holder's release store
+      // (spinlock.release), ordering its critical-section writes before
+      // ours. The store half of the exchange needs no release — we publish
+      // nothing by taking the lock.
+      if (!flag_.exchange(true, PG_SYNC_ORDER("spinlock.acquire", sync::acquire)))
+        return;
       // Test loop: spin on a plain load to avoid cache-line ping-pong.
-      while (flag_.load(std::memory_order_relaxed)) {
-        for (int i = 0; i < backoff; ++i) cpu_relax();
-        if (backoff < 1024) {
-          backoff <<= 1;
+      while (flag_.load(sync::relaxed)) {
+        if constexpr (sync::kModelBuild) {
+          // Cooperative scheduler: hand the baton over instead of burning
+          // steps — the holder cannot progress while we monopolize it.
+          sync::thread_yield();
         } else {
-          // Oversubscribed host: give the lock holder a timeslice.
-          yield_thread();
+          for (int i = 0; i < backoff; ++i) sync::cpu_relax();
+          if (backoff < 1024) {
+            backoff <<= 1;
+          } else {
+            // Oversubscribed host: give the lock holder a timeslice.
+            sync::thread_yield();
+          }
         }
       }
     }
   }
 
   [[nodiscard]] bool try_lock() noexcept {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+    return !flag_.load(sync::relaxed) &&
+           !flag_.exchange(true, PG_SYNC_ORDER("spinlock.acquire", sync::acquire));
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+    // HB edge "spinlock-critical-section": pairs with the next holder's
+    // acquire exchange (spinlock.acquire); publishes this critical section.
+    flag_.store(false, PG_SYNC_ORDER("spinlock.release", sync::release));
+  }
 
  private:
-  static void yield_thread() noexcept;
-  static void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
-#else
-    std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-  }
-  std::atomic<bool> flag_{false};
+  sync::Atomic<bool> flag_{false};
 };
-
-inline void SpinLock::yield_thread() noexcept { std::this_thread::yield(); }
 
 /// RAII guard (usable with any lock/unlock pair, including SpinLock).
 template <typename Lock>

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <numeric>
@@ -14,6 +15,7 @@
 #include "src/comm/remote_buffer.hpp"
 #include "src/common/rng.hpp"
 #include "src/fault/fault.hpp"
+#include "tests/watchdog.hpp"
 
 namespace {
 
@@ -251,6 +253,127 @@ TEST(RemoteBuffer, ConcurrentOverlappingDepositsAreExactPerDestination) {
     EXPECT_EQ(dst, 3u);
     EXPECT_EQ(v, 7u);
   });
+}
+
+// ---- AllToAll timeout / retraction ------------------------------------------
+
+namespace {
+// One rank (the laggard) sits out while the others run a deadline-bounded
+// round. The laggard only moves once both prompt ranks have observed their
+// timeout, so the scenario is deterministic: at the moment a prompt rank
+// times out, the laggard's deposit round is provably behind and the timeout
+// must blame it — not a peer whose deposit was merely retracted.
+struct LaggardRound {
+  static constexpr int kRanks = 3;
+  static constexpr int kLaggard = 2;
+
+  comm::AllToAll<int> x{kRanks};
+  std::atomic<int> prompt_timeouts{0};
+  std::array<comm::AllToAll<int>::Result, kRanks> results;
+
+  static std::vector<int> payload(int rank, int salt) {
+    std::vector<int> out(kRanks, 0);
+    for (int dst = 0; dst < kRanks; ++dst) out[dst] = salt + 10 * rank + dst;
+    return out;
+  }
+
+  void run(std::uint64_t seed) {
+    Rng rng(seed);
+    const auto jitter0 = std::chrono::milliseconds(rng.below(8));
+    const auto jitter1 = std::chrono::milliseconds(rng.below(8));
+    std::vector<std::thread> threads;
+    for (int rank = 0; rank < kRanks - 1; ++rank) {
+      const auto jitter = rank == 0 ? jitter0 : jitter1;
+      threads.emplace_back([this, rank, jitter] {
+        std::this_thread::sleep_for(jitter);
+        results[rank] = x.exchange_for(rank, payload(rank, 100),
+                                       std::chrono::milliseconds(300));
+        prompt_timeouts.fetch_add(1, std::memory_order_release);
+      });
+    }
+    threads.emplace_back([this] {
+      while (prompt_timeouts.load(std::memory_order_acquire) <
+             kRanks - 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // Every prompt deposit was retracted by now; this late round finds an
+      // empty matrix and must itself time out rather than hang.
+      results[kLaggard] = x.exchange_for(kLaggard, payload(kLaggard, 100),
+                                         std::chrono::milliseconds(50));
+    });
+    for (auto& th : threads) th.join();
+  }
+};
+}  // namespace
+
+TEST(AllToAllTimeout, RetractionLeavesMatrixReusableAndBlamesTheLaggard) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(120));
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    LaggardRound round;
+    round.run(seed);
+
+    // Both prompt ranks timed out and named the laggard — not each other,
+    // even though each other's deposits were retracted and look absent.
+    for (int rank = 0; rank < LaggardRound::kRanks - 1; ++rank) {
+      EXPECT_EQ(round.results[rank].status, comm::ExchangeStatus::kTimeout)
+          << "rank " << rank;
+      EXPECT_EQ(round.results[rank].fault.rank, LaggardRound::kLaggard)
+          << "rank " << rank << " blamed the wrong peer";
+    }
+    EXPECT_EQ(round.results[LaggardRound::kLaggard].status,
+              comm::ExchangeStatus::kTimeout);
+
+    // The retracted matrix is fully reusable: a clean round with every rank
+    // present must succeed and deliver exactly the fresh values.
+    std::vector<std::thread> threads;
+    std::array<comm::AllToAll<int>::Result, LaggardRound::kRanks> clean;
+    for (int rank = 0; rank < LaggardRound::kRanks; ++rank)
+      threads.emplace_back([&, rank] {
+        clean[rank] = round.x.exchange_for(rank,
+                                           LaggardRound::payload(rank, 500),
+                                           std::chrono::seconds(30));
+      });
+    for (auto& th : threads) th.join();
+    for (int rank = 0; rank < LaggardRound::kRanks; ++rank) {
+      ASSERT_EQ(clean[rank].status, comm::ExchangeStatus::kOk)
+          << "rank " << rank << " after retraction";
+      for (int src = 0; src < LaggardRound::kRanks; ++src) {
+        if (src == rank) continue;
+        EXPECT_EQ(clean[rank].values[src], 500 + 10 * src + rank)
+            << "stale or lost slot " << src << " -> " << rank;
+      }
+    }
+  }
+}
+
+TEST(AllToAllTimeout, PoisonAfterTimeoutNamesTheLaggardEverywhere) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(120));
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    LaggardRound round;
+    round.run(seed);
+    ASSERT_EQ(round.results[0].status, comm::ExchangeStatus::kTimeout);
+
+    // Rank 0 escalates its timeout verdict into poison. The report carries
+    // the culprit its own timeout_result named — the laggard.
+    fault::FaultReport report;
+    report.rank = round.results[0].fault.rank;
+    report.superstep = 7;
+    report.phase = "exchange";
+    report.what = "peer missed the all-to-all deadline";
+    round.x.poison(0, report);
+    EXPECT_TRUE(round.x.poisoned());
+
+    // Every later call from any rank — including the laggard itself — fails
+    // fast with the same diagnosis; the channel never re-arms.
+    for (int rank = 0; rank < LaggardRound::kRanks; ++rank) {
+      auto r = round.x.exchange_for(rank, LaggardRound::payload(rank, 900),
+                                    std::chrono::seconds(30));
+      EXPECT_EQ(r.status, comm::ExchangeStatus::kPeerFailed) << "rank " << rank;
+      EXPECT_EQ(r.fault.rank, LaggardRound::kLaggard) << "rank " << rank;
+      EXPECT_EQ(r.fault.superstep, 7) << "rank " << rank;
+    }
+  }
 }
 
 TEST(RemoteBuffer, ParallelShardDrainsPartitionTheDestinations) {

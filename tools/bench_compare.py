@@ -20,7 +20,10 @@ Semantics:
   * counter totals (msgs_local, edges_scanned, ...) are compared exactly:
     the engines are deterministic given a scale, so a drifting counter means
     the workload changed and the timing comparison is meaningless — that is
-    reported as an error, not a regression.
+    reported as an error, not a regression,
+  * a workload counter present on only one side is an error too ("renamed or
+    dropped"): silently skipping it would let a counter rename disarm the
+    drift check without anyone noticing.
 """
 
 from __future__ import annotations
@@ -154,25 +157,54 @@ def main() -> int:
         b, c = base_vs[name], cand_vs[name]
 
         bt, ct = b.get("totals", {}), c.get("totals", {})
-        for counter in WORKLOAD_COUNTERS:
-            if counter in bt and counter in ct and bt[counter] != ct[counter]:
+        for side, totals, path in (
+            ("baseline", bt, args.baseline),
+            ("candidate", ct, args.candidate),
+        ):
+            if not isinstance(totals, dict):
                 rep.errors.append(
-                    f"{name}: workload drift — {counter} "
-                    f"{bt[counter]} -> {ct[counter]} (same scale should give "
-                    f"identical counters; timings are not comparable)"
+                    f"{name}: 'totals' in the {side} ({path}) is "
+                    f"{type(totals).__name__}, not an object"
                 )
+        if isinstance(bt, dict) and isinstance(ct, dict):
+            for counter in WORKLOAD_COUNTERS:
+                in_b, in_c = counter in bt, counter in ct
+                if in_b != in_c:
+                    present = "baseline" if in_b else "candidate"
+                    absent = "candidate" if in_b else "baseline"
+                    rep.errors.append(
+                        f"{name}: counter '{counter}' exists in the {present} "
+                        f"but not the {absent} — renamed or dropped? The "
+                        f"workload-drift check cannot run without it."
+                    )
+                elif in_b and bt[counter] != ct[counter]:
+                    rep.errors.append(
+                        f"{name}: workload drift — {counter} "
+                        f"{bt[counter]} -> {ct[counter]} (same scale should "
+                        f"give identical counters; timings are not comparable)"
+                    )
+
+        def time_field(version: dict, side: str, field: str) -> float:
+            raw = version.get(field, 0.0)
+            try:
+                return float(raw)
+            except (TypeError, ValueError):
+                rep.errors.append(
+                    f"{name}: '{field}' in the {side} is {raw!r}, not a number"
+                )
+                return 0.0
 
         rep.compare_time(
             f"{name} exec_s",
-            float(b.get("exec_s", 0.0)),
-            float(c.get("exec_s", 0.0)),
+            time_field(b, "baseline", "exec_s"),
+            time_field(c, "candidate", "exec_s"),
             args.threshold,
             args.min_seconds,
         )
         rep.compare_time(
             f"{name} comm_s",
-            float(b.get("comm_s", 0.0)),
-            float(c.get("comm_s", 0.0)),
+            time_field(b, "baseline", "comm_s"),
+            time_field(c, "candidate", "comm_s"),
             args.threshold,
             args.min_seconds,
         )

@@ -40,10 +40,21 @@ if grep -rn 'aligned_alloc' --include='*.hpp' --include='*.cpp' src \
   violation "aligned_alloc outside src/common/aligned.hpp; use aligned_vector"
 fi
 
-# 4. No volatile-as-synchronization: cross-thread state must be std::atomic
+# 4. No volatile-as-synchronization: cross-thread state must be sync::Atomic
 #    (volatile neither orders nor atomicizes accesses).
 if grep -rnE '\bvolatile\b' --include='*.hpp' --include='*.cpp' src; then
-  violation "volatile found; use std::atomic for cross-thread state"
+  violation "volatile found; use sync::Atomic for cross-thread state"
+fi
+
+# 5. No raw atomics outside the sync facade: every atomic in production code
+#    must go through phigraph::sync (src/common/sync.hpp), which is what lets
+#    the PHIGRAPH_MODEL build route it through the model checker. A raw
+#    std::atomic or spelled-out std::memory_order is a synchronization point
+#    the checker cannot see — a silent verification blind spot.
+if grep -rnE 'std::atomic|std::memory_order|#include <atomic>' \
+    --include='*.hpp' --include='*.cpp' src \
+    | grep -vE '^src/(model/|common/sync\.hpp)'; then
+  violation "raw std::atomic / std::memory_order outside src/model/ and src/common/sync.hpp; route it through phigraph::sync so the model checker sees it"
 fi
 
 # --- clang-tidy --------------------------------------------------------------

@@ -279,14 +279,25 @@ void JsonEmitter::append_phases(const metrics::PhaseTrace& phases) {
 
 void JsonEmitter::set_failover(const metrics::FailoverStats& f) {
   if (!enabled_) return;
-  char buf[160];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "\n  \"failover\": {\"failed_over\": %llu, "
-                "\"lost_supersteps\": %llu, \"recovery_ms\": %.3f},",
+                "\"attempts\": %llu, \"epochs\": %llu, \"rung\": %llu, "
+                "\"lost_supersteps\": %llu, \"recovery_ms\": %.3f, "
+                "\"epoch_recovery_ms\": [",
                 static_cast<unsigned long long>(f.failed_over),
+                static_cast<unsigned long long>(f.attempts),
+                static_cast<unsigned long long>(f.epochs),
+                static_cast<unsigned long long>(f.rung),
                 static_cast<unsigned long long>(f.lost_supersteps),
                 f.recovery_ms);
   failover_json_ = buf;
+  for (std::size_t i = 0; i < f.epoch_recovery_ms.size(); ++i) {
+    if (i > 0) failover_json_ += ", ";
+    std::snprintf(buf, sizeof(buf), "%.3f", f.epoch_recovery_ms[i]);
+    failover_json_ += buf;
+  }
+  failover_json_ += "]},";
 }
 
 void JsonEmitter::set_ranks(const std::vector<metrics::RankIo>& io) {
@@ -315,8 +326,9 @@ JsonEmitter::~JsonEmitter() {
   body_ += "\n  ],";
   body_ += ranks_json_;
   body_ += failover_json_.empty()
-               ? "\n  \"failover\": {\"failed_over\": 0, "
-                 "\"lost_supersteps\": 0, \"recovery_ms\": 0.000},"
+               ? "\n  \"failover\": {\"failed_over\": 0, \"attempts\": 0, "
+                 "\"epochs\": 0, \"rung\": 0, \"lost_supersteps\": 0, "
+                 "\"recovery_ms\": 0.000, \"epoch_recovery_ms\": []},"
                : failover_json_.c_str();
   body_.pop_back();  // drop the trailing comma after the last member
   body_ += "\n}\n";

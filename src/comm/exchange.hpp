@@ -164,10 +164,19 @@ class Exchange {
 /// consumed (so rounds cannot overtake each other), then deposits, then
 /// waits for all inbound slots, consumes them, and wakes the depositors.
 ///
-/// Fault semantics are identical to Exchange<T>: poison() is first-wins and
-/// permanent; a timeout retracts this rank's unconsumed deposits so the
+/// Fault semantics are identical to Exchange<T> *within an epoch*: poison()
+/// is first-wins; a timeout retracts this rank's unconsumed deposits so the
 /// matrix is not left half-advanced, and reports the first peer that had not
 /// arrived (Result::fault.rank) so the caller can name the suspect.
+///
+/// Recovery epochs: the ladder in ClusterEngine aborts a round, restores
+/// engines from a checkpoint, and reuses the same channel. advance_epoch()
+/// bumps a generation counter, clears the poison, and wipes every staged
+/// deposit and round count. Deposits are stamped with the epoch current when
+/// their exchange_for() *entered*, and consumption only accepts
+/// current-epoch stamps — so a straggler from an aborted round can neither
+/// leak a stale value into the new epoch nor satisfy its rendezvous (it
+/// returns kPeerFailed with an "epoch advanced" report instead).
 template <typename T>
 class AllToAll {
  public:
@@ -188,6 +197,7 @@ class AllToAll {
         slot_(static_cast<std::size_t>(num_ranks) *
               static_cast<std::size_t>(num_ranks)),
         present_(slot_.size(), 0),
+        slot_epoch_(slot_.size(), 0),
         round_(static_cast<std::size_t>(num_ranks), 0) {
     PG_CHECK_MSG(num_ranks >= 1, "AllToAll needs at least one rank");
   }
@@ -210,14 +220,19 @@ class AllToAll {
     }
     const auto until = std::chrono::steady_clock::now() + deadline;
     std::unique_lock<sync::Mutex> l(mu_);
+    // Deposits made by this call belong to the epoch current at entry. If
+    // recovery advances the epoch while this rank is blocked below, its
+    // rendezvous is void: it bails out instead of consuming new-epoch slots.
+    const std::uint64_t my_epoch = epoch_;
     // Phase 1: wait until this rank's previous deposits were all consumed.
     if (!cv_.wait_until(l, until, [&] {
-          if (poisoned_) return true;
+          if (poisoned_ || epoch_ != my_epoch) return true;
           for (int dst = 0; dst < n_; ++dst)
             if (dst != rank && present_[idx(rank, dst)]) return false;
           return true;
         }))
       return timeout_result(rank);
+    if (epoch_ != my_epoch) return stale_epoch_result(my_epoch);
     if (poisoned_) return poisoned_result();
     // Slot elements are plain shared state; every touch is under mu_ (the
     // model AllToAll test drives deposit/drain/retract through the race
@@ -227,6 +242,7 @@ class AllToAll {
       sync::plain_write(&slot_[idx(rank, dst)], "AllToAll staging slot");
       slot_[idx(rank, dst)] = std::move(outgoing[dst]);
       present_[idx(rank, dst)] = 1;
+      slot_epoch_[idx(rank, dst)] = my_epoch;
     }
     // Round bookkeeping for timeout attribution: a retracted deposit leaves
     // the slot indistinguishable from "never deposited", but the depositor's
@@ -235,10 +251,14 @@ class AllToAll {
     ++round_[static_cast<std::size_t>(rank)];
     cv_.notify_all();
     // Phase 2: wait for every inbound slot, then consume them all at once.
+    // A slot stamped with a different epoch counts as absent: it was staged
+    // for a rendezvous that no longer exists.
     if (!cv_.wait_until(l, until, [&] {
-          if (poisoned_) return true;
+          if (poisoned_ || epoch_ != my_epoch) return true;
           for (int src = 0; src < n_; ++src)
-            if (src != rank && !present_[idx(src, rank)]) return false;
+            if (src != rank && !(present_[idx(src, rank)] &&
+                                 slot_epoch_[idx(src, rank)] == my_epoch))
+              return false;
           return true;
         })) {
       // Retract whatever nobody consumed yet so the channel stays usable.
@@ -252,6 +272,7 @@ class AllToAll {
       }
       return timeout_result(rank);
     }
+    if (epoch_ != my_epoch) return stale_epoch_result(my_epoch);
     if (poisoned_) return poisoned_result();
     Result r;
     r.values.resize(static_cast<std::size_t>(n_));
@@ -266,7 +287,7 @@ class AllToAll {
   }
 
   /// Marks the channel dead on behalf of `rank` and wakes every waiter. The
-  /// first report wins; there is no un-poison.
+  /// first report wins; only advance_epoch() can clear it.
   void poison(int rank, fault::FaultReport reason) {
     PG_CHECK(rank >= 0 && rank < n_);
     {
@@ -277,6 +298,35 @@ class AllToAll {
       }
     }
     cv_.notify_all();
+  }
+
+  /// Start a new recovery epoch: clear the poison, wipe every staged deposit
+  /// and round count, and wake any waiter (which will observe the epoch
+  /// change and bail out with a stale-epoch report). Called by the recovery
+  /// ladder after all rank threads of the aborted epoch have been joined —
+  /// but the epoch stamps keep even an unjoined straggler harmless.
+  void advance_epoch() {
+    {
+      sync::LockGuard l(mu_);
+      ++epoch_;
+      poisoned_ = false;
+      fault_ = {};
+      for (std::size_t i = 0; i < slot_.size(); ++i) {
+        if (present_[i]) {
+          sync::plain_write(&slot_[i], "AllToAll staging slot");
+          slot_[i] = T{};
+          present_[i] = 0;
+        }
+      }
+      for (auto& r : round_) r = 0;
+    }
+    cv_.notify_all();
+  }
+
+  /// The current recovery epoch (0 until the first advance_epoch()).
+  [[nodiscard]] std::uint64_t epoch() const {
+    sync::LockGuard l(mu_);
+    return epoch_;
   }
 
   [[nodiscard]] bool poisoned() const {
@@ -298,6 +348,22 @@ class AllToAll {
 
   Result poisoned_result() const {
     return Result{ExchangeStatus::kPeerFailed, {}, fault_};
+  }
+
+  /// Caller holds mu_. The epoch advanced while this rank was inside its
+  /// rendezvous: the round is void. Reported as kPeerFailed (the caller's
+  /// run is over either way) with a self-describing reason; rank -1 keeps
+  /// the report from being mistaken for a genuine peer diagnosis.
+  Result stale_epoch_result(std::uint64_t entered) const {
+    Result r;
+    r.status = ExchangeStatus::kPeerFailed;
+    r.fault.superstep = -1;
+    r.fault.phase = "exchange";
+    r.fault.kind = fault::FaultKind::kTransient;
+    r.fault.what = "recovery epoch advanced mid-rendezvous (entered epoch " +
+                   std::to_string(entered) + ", now " + std::to_string(epoch_) +
+                   ")";
+    return r;
   }
 
   /// Caller holds mu_. Names the likeliest dead rank so handle_peer_down can
@@ -329,7 +395,9 @@ class AllToAll {
   sync::CondVar cv_;
   std::vector<T> slot_;                 // [src * n + dst]
   std::vector<std::uint8_t> present_;   // parallel to slot_
-  std::vector<std::uint64_t> round_;    // deposits completed per rank
+  std::vector<std::uint64_t> slot_epoch_;  // epoch each deposit was staged in
+  std::vector<std::uint64_t> round_;    // deposits completed per epoch+rank
+  std::uint64_t epoch_ = 0;             // recovery generation (guarded by mu_)
   bool poisoned_ = false;
   fault::FaultReport fault_;
 };

@@ -173,6 +173,29 @@ class RemoteBuffer {
     for (std::size_t s = 0; s < shards_.size(); ++s) drain_shard(s, f);
   }
 
+  /// Start a new recovery epoch: discard every buffered deposit (an aborted
+  /// superstep's half-staged messages must not leak into the resumed run).
+  /// Clears the has_ flags through the touched lists, so the cost is
+  /// proportional to what was buffered, like drain(). The caller must be
+  /// quiescent — no concurrent deposits or drains; the recovery ladder runs
+  /// this after every rank thread of the aborted epoch has been joined.
+  void advance_epoch() {
+    for (Shard& s : shards_) {
+      sync::plain_write(&s.touched, "RemoteBuffer shard touched list");
+      for (vid_t dst : s.touched) {
+        sync::plain_write(&has_[dst], "RemoteBuffer has flag");
+        has_[dst] = 0;
+      }
+      s.touched.clear();
+      sync::plain_write(&s.raw, "RemoteBuffer shard raw list");
+      s.raw.clear();
+    }
+    ++epoch_;
+  }
+
+  /// The current recovery epoch (0 until the first advance_epoch()).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
  private:
   struct RawEntry {
     vid_t dst;
@@ -211,6 +234,7 @@ class RemoteBuffer {
   std::size_t shard_mask_;
   int num_ranks_;
   std::vector<Shard> shards_;
+  std::uint64_t epoch_ = 0;  // recovery generation; bumped while quiescent
 };
 
 }  // namespace phigraph::comm

@@ -6,6 +6,7 @@
 #include "src/buffer/csb.hpp"
 #include "src/core/direction.hpp"
 #include "src/fault/checkpoint.hpp"
+#include "src/fault/fault.hpp"
 #include "src/simd/simd.hpp"
 
 namespace phigraph::core {
@@ -105,6 +106,17 @@ struct EngineConfig {
   /// In a heterogeneous run both devices must use the same interval so their
   /// frames land on the same superstep boundaries.
   fault::CheckpointConfig checkpoint;
+
+  /// Transient-fault retry budget for the recovery ladder (DESIGN.md §12).
+  /// Read from rank 0's config by ClusterEngine; per-rank values are
+  /// meaningless (recovery is a cluster-level decision).
+  fault::RetryPolicy retry;
+
+  /// Worker threads for the single-device recovery engine (ladder rung 3).
+  /// 0 = size it from the combined thread budgets of every rank — the dead
+  /// cluster's whole allotment is free, so the rerun should use the whole
+  /// machine. Tests that need a deterministic recovery pin this to 1.
+  int recovery_threads = 0;
 
   [[nodiscard]] int total_threads() const noexcept {
     return mode == ExecMode::kPipelining ? threads + movers : threads;

@@ -202,9 +202,15 @@ class DeviceEngine {
   }
 
   /// Reload state from a checkpoint snapshot (local-indexed values + active
-  /// bitmap) and arrange for run() to resume at `superstep`. Only valid
-  /// before run() is (re)invoked on a freshly constructed engine — the
-  /// failover path builds a new single-device engine and seeds it here.
+  /// bitmap) and arrange for run() to resume at `superstep`. Valid on a
+  /// freshly constructed engine (the single-device failover path) and on an
+  /// engine whose previous run() already returned — the recovery ladder
+  /// restores the surviving ranks in place, so every trace of the aborted
+  /// epoch is discarded here: buffered remote deposits, accumulated traffic
+  /// counters, and (via the next prepare()) the dirtied CSB groups. If a
+  /// checkpoint store is attached, the restored state is written back as a
+  /// frame at `superstep`, so the cluster keeps a common resume point for
+  /// any *subsequent* fault.
   void restore(std::span<const Value> values,
                std::span<const std::uint8_t> active, int superstep) {
     PG_CHECK_MSG(values.size() == values_.size() &&
@@ -227,7 +233,18 @@ class DeviceEngine {
     dir_policy_.reset();
     last_direction_ = Direction::kPush;
     explored_edges_est_ = 0;
+    // Epoch hygiene for in-place restores: half-staged remote messages from
+    // the aborted superstep must not leak into the resumed run, and traffic
+    // accounting restarts (the aborted epoch's RunResult already reported
+    // its bytes).
+    if (remote_) remote_->advance_epoch();
+    std::fill(bytes_to_.begin(), bytes_to_.end(), 0);
+    std::fill(bytes_from_.begin(), bytes_from_.end(), 0);
+    // The resumed run may be driven by a freshly spawned cluster thread;
+    // let the checked build re-bind its one-orchestrator invariant to it.
+    if (team_) team_->rebind_orchestrator();
     start_superstep_ = superstep;
+    if (ckpt_) ckpt_->write(make_frame(superstep));
   }
 
 #if PG_AUDIT_ENABLED
@@ -254,15 +271,27 @@ class DeviceEngine {
     int s = start_superstep_;
     for (; s < cfg_.max_supersteps; ++s) {
       StepOutcome out;
+      // Classification (DESIGN.md §12): injected faults carry their armed
+      // kind; fault::TransientError marks retryable failures; every other
+      // exception is permanent. Catch order matters — both special types
+      // derive from std::exception.
       try {
         out = superstep(s, res);
+      } catch (const fault::FaultInjected& e) {
+        if (!peer_) throw;
+        fail_run(res, s, e.what(), e.kind);
+        break;
+      } catch (const fault::TransientError& e) {
+        if (!peer_) throw;
+        fail_run(res, s, e.what(), fault::FaultKind::kTransient);
+        break;
       } catch (const std::exception& e) {
         if (!peer_) throw;
-        fail_run(res, s, e.what());
+        fail_run(res, s, e.what(), fault::FaultKind::kPermanent);
         break;
       } catch (...) {
         if (!peer_) throw;
-        fail_run(res, s, "unknown exception");
+        fail_run(res, s, "unknown exception", fault::FaultKind::kPermanent);
         break;
       }
       if (out == StepOutcome::kPeerFailed) break;
@@ -448,12 +477,14 @@ class DeviceEngine {
 #endif
 
   /// Convert a fault on this rank into a peer poison + failed RunResult.
-  void fail_run(RunResult& res, int s, const char* what) {
+  void fail_run(RunResult& res, int s, const char* what,
+                fault::FaultKind kind) {
     fault::FaultReport rep;
     rep.rank = rank();
     rep.superstep = s;
     rep.phase = phase_;
     rep.what = what;
+    rep.kind = kind;
     peer_->data->poison(rank(), rep);
     peer_->control->poison(rank(), rep);
     res.failed = true;
@@ -479,6 +510,10 @@ class DeviceEngine {
       rep.phase = phase_;
       rep.what = "exchange deadline exceeded: peer did not arrive within " +
                  std::to_string(cfg_.exchange_deadline_ms) + " ms";
+      // A missed deadline says nothing definitive about the peer — it may be
+      // wedged, slow, or dead. Classify transient so the ladder gives it a
+      // bounded second chance before writing the rank off.
+      rep.kind = fault::FaultKind::kTransient;
       peer_->data->poison(rank(), rep);
       peer_->control->poison(rank(), rep);
       res.fault = std::move(rep);
@@ -500,17 +535,23 @@ class DeviceEngine {
     phase_ = "checkpoint";
     PG_TRACE_SCOPE(kCheckpoint, s, rank());
     PG_FAULT_POINT(kCheckpointWrite, rank(), s);
+    ckpt_->write(make_frame(s + 1));
+  }
+
+  /// A sealed frame of the engine's current state, resuming at
+  /// `resume_superstep`.
+  [[nodiscard]] fault::CheckpointFrame make_frame(int resume_superstep) const {
     static_assert(std::is_trivially_copyable_v<Value>,
                   "checkpointing snapshots vertex values bytewise");
     fault::CheckpointFrame f;
-    f.superstep = s + 1;
+    f.superstep = resume_superstep;
     f.values.resize(values_.size() * sizeof(Value));
     if (!values_.empty())
       std::memcpy(f.values.data(), values_.data(), f.values.size());
     f.active = active_;
     f.frontier = frontier_;
     f.seal();
-    ckpt_->write(f);
+    return f;
   }
 
   /// Run a job on the team, capturing the first exception any worker throws

@@ -8,18 +8,35 @@
 // and every other rank on its own host thread. The paper's CPU+MIC
 // configuration is the two-rank case, exposed unchanged as HeteroEngine.
 //
-// Fault tolerance (DESIGN.md §6): the spawned rank threads are joined by a
-// scope guard, so an exception on the rank-0 path can no longer
+// Fault tolerance (DESIGN.md §6/§12): the spawned rank threads are joined by
+// a scope guard, so an exception on the rank-0 path can no longer
 // std::terminate the process with a joinable thread in flight. When any rank
-// faults, run() falls over to a single-device engine covering ALL
-// partitions, seeded from the newest superstep checkpoint that CRC-validates
-// in *every* rank's store (or restarted from superstep 0 when checkpointing
-// is off / no common frame survives), and finishes the computation CPU-only.
-// The outcome — origin FaultReport, lost supersteps, recovery wall time — is
-// reported in Result::failover.
+// faults, run() walks a graceful-degradation recovery ladder instead of
+// collapsing straight to one device:
+//
+//   rung 1 — transient respawn: for a fault classified kTransient (timeouts,
+//     fault::TransientError, injected transient specs), rebuild the failed
+//     rank's engine, restore every rank from the newest checkpoint frame
+//     that CRC-validates on ALL ranks, advance the channels' recovery epoch,
+//     and resume all N ranks. Bounded by fault::RetryPolicy (max attempts,
+//     exponential backoff).
+//   rung 2 — survivor repartition: for a permanent fault (or an exhausted
+//     retry budget) with a known culprit and at least two survivors, deal
+//     the dead rank's vertices over the N-1 survivors (reweighted by their
+//     thread budgets), rebuild fresh channels + engines, restore from the
+//     same common frame, and finish on N-1 ranks.
+//   rung 3 — single-device rerun: the pre-ladder behaviour; one engine over
+//     ALL partitions, seeded from the newest common frame (or restarted from
+//     superstep 0), finishes the computation CPU-only.
+//
+// The outcome — origin FaultReport, attempts, epochs, deepest rung, lost
+// supersteps, per-epoch recovery wall time — is reported in
+// Result::failover.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -35,6 +52,7 @@
 #include "src/fault/checkpoint.hpp"
 #include "src/fault/fault.hpp"
 #include "src/metrics/counters.hpp"
+#include "src/partition/partition.hpp"
 
 namespace phigraph::core {
 
@@ -90,12 +108,16 @@ class ClusterEngine {
 
     // Fault-tolerance outcome. On a fault-free run: completed == true,
     // failover all-zero, fault invalid, recovery empty. After a rank fault:
-    // `fault` is the origin report, `recovery` the CPU-only rerun's
-    // RunResult, and global_values holds the recovered values. completed is
-    // false only if the recovery run itself failed.
+    // `fault` is the origin report (the FIRST fault of the run),
+    // `failover` records the ladder walk; `recovery_ranks` holds the
+    // survivors' traces when rung 2 finished the run, `recovery` the
+    // CPU-only rerun's trace when rung 3 did. After a successful rung-1
+    // respawn, `ranks` holds the final (resumed) traces of all N ranks.
+    // completed is false only if every rung failed.
     bool completed = true;
     fault::FaultReport fault;
     RunResult recovery;
+    std::vector<RunResult> recovery_ranks;
     metrics::FailoverStats failover;
   };
 
@@ -108,45 +130,144 @@ class ClusterEngine {
         nranks_(static_cast<int>(cfgs.size())),
         data_(static_cast<int>(cfgs.size())),
         control_(static_cast<int>(cfgs.size())),
-        recovery_cfg_(cfgs.empty() ? EngineConfig{} : cfgs.front()) {
-    PG_CHECK_MSG(!cfgs.empty(), "ClusterEngine needs at least one rank");
-    for (const EngineConfig& c : cfgs)
-      PG_CHECK_MSG(c.checkpoint.interval == cfgs.front().checkpoint.interval,
+        owner_rank_(std::move(owner_rank)),
+        cfgs_(std::move(cfgs)),
+        recovery_cfg_(cfgs_.empty() ? EngineConfig{} : cfgs_.front()),
+        retry_(cfgs_.empty() ? fault::RetryPolicy{} : cfgs_.front().retry) {
+    PG_CHECK_MSG(!cfgs_.empty(), "ClusterEngine needs at least one rank");
+    for (const EngineConfig& c : cfgs_)
+      PG_CHECK_MSG(c.checkpoint.interval == cfgs_.front().checkpoint.interval,
                    "all ranks must checkpoint at the same interval so their "
                    "frames land on the same superstep boundaries");
     // The recovery engine runs single-device after the fault; it must not
     // trip armed fault-injection specs at checkpoint.write or overwrite the
     // frames being recovered from.
     recovery_cfg_.checkpoint = {};
-    auto parts = LocalGraph::split_n(g, std::move(owner_rank), nranks_);
-    using PeerLink = typename Engine::PeerLink;
+    // Size the rerun's team from the whole cluster's thread budget — the
+    // dead cluster's full allotment is free, so the single-device fallback
+    // should use the whole machine, not rank 0's slice of it. An explicit
+    // recovery_threads pins the total instead (deterministic recoveries).
+    {
+      int combined = 0;
+      for (const EngineConfig& c : cfgs_) combined += c.total_threads();
+      const int budget = recovery_cfg_.recovery_threads > 0
+                             ? recovery_cfg_.recovery_threads
+                             : combined;
+      recovery_cfg_.threads =
+          recovery_cfg_.mode == ExecMode::kPipelining
+              ? std::max(1, budget - recovery_cfg_.movers)
+              : std::max(1, budget);
+    }
+    auto parts = LocalGraph::split_n(g, owner_rank_, nranks_);
     engines_.reserve(static_cast<std::size_t>(nranks_));
     for (int r = 0; r < nranks_; ++r)
       engines_.push_back(std::make_unique<Engine>(
-          std::move(parts[static_cast<std::size_t>(r)]), prog,
-          cfgs[static_cast<std::size_t>(r)], PeerLink{r, &data_, &control_}));
+          std::move(parts[static_cast<std::size_t>(r)]), prog_,
+          cfgs_[static_cast<std::size_t>(r)],
+          typename Engine::PeerLink{r, &data_, &control_}));
   }
 
   Result run() {
     Result res;
-    res.ranks.resize(static_cast<std::size_t>(nranks_));
-    {
-      std::vector<std::thread> threads;
-      ThreadGroupJoiner joiner(threads);
-      threads.reserve(static_cast<std::size_t>(nranks_ - 1));
-      for (int r = 1; r < nranks_; ++r)
-        threads.emplace_back([this, r, &res] {
-          res.ranks[static_cast<std::size_t>(r)] =
-              engines_[static_cast<std::size_t>(r)]->run();
-        });
-      res.ranks[0] = engines_[0]->run();
-    }
-    bool failed = false;
-    for (const RunResult& r : res.ranks) failed = failed || r.failed;
-    if (failed) {
-      fail_over(res);
+    int backoff_ms = retry_.backoff_ms;
+    for (;;) {
+      run_ranks(res);
+      fault::FaultReport epoch_fault;
+      if (!collect_failure(res, epoch_fault)) {
+        finish_full_cluster(res);
+        return res;
+      }
+      // The origin report of the whole run is the FIRST epoch's fault;
+      // later epochs update only the ladder statistics.
+      if (!res.fault.valid()) res.fault = epoch_fault;
+      res.failover.failed_over = 1;
+      // Rung 1: bounded transient respawn with exponential backoff.
+      if (epoch_fault.kind == fault::FaultKind::kTransient &&
+          static_cast<int>(res.failover.attempts) < retry_.max_attempts) {
+        if (backoff_ms > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(
+            retry_.max_backoff_ms,
+            std::max(backoff_ms + 1,
+                     static_cast<int>(static_cast<double>(backoff_ms) *
+                                      retry_.backoff_factor)));
+        ++res.failover.attempts;
+        if (try_respawn(epoch_fault, res)) continue;
+        // Respawn itself failed (e.g. a fault point fired while restoring):
+        // fall through the remaining rungs.
+      }
+      // Rung 2: repartition over the survivors. Finalizes res on its own
+      // (including the rung-3 fallback from *its* checkpoints if the
+      // survivor run faults again); returns false only when repartitioning
+      // is impossible here.
+      if (try_repartition(res, epoch_fault)) return res;
+      // Rung 3: the single-device rerun, resuming from the old rank set's
+      // checkpoint frames.
+      fail_over(res, epoch_fault, engines_);
       return res;
     }
+  }
+
+  [[nodiscard]] int num_ranks() const noexcept { return nranks_; }
+  [[nodiscard]] const Engine& engine(int r) const {
+    PG_CHECK(r >= 0 && r < nranks_);
+    return *engines_[static_cast<std::size_t>(r)];
+  }
+
+  /// The effective config of the rung-3 single-device recovery engine
+  /// (checkpointing stripped, team sized from the combined rank budgets).
+  [[nodiscard]] const EngineConfig& recovery_config() const noexcept {
+    return recovery_cfg_;
+  }
+
+ private:
+  static void gather(const Engine& e, std::vector<Value>& out) {
+    const auto& lg = e.local_graph();
+    const auto vals = e.values();
+    for (vid_t u = 0; u < lg.num_local_vertices(); ++u)
+      out[lg.global_id[u]] = vals[u];
+  }
+
+  /// One BSP epoch over the full rank set: rank 0 on the calling thread,
+  /// every other rank on its own host thread, joined by a scope guard.
+  void run_ranks(Result& res) {
+    res.ranks.clear();
+    res.ranks.resize(static_cast<std::size_t>(nranks_));
+    std::vector<std::thread> threads;
+    ThreadGroupJoiner joiner(threads);
+    threads.reserve(static_cast<std::size_t>(nranks_ - 1));
+    for (int r = 1; r < nranks_; ++r)
+      threads.emplace_back([this, r, &res] {
+        res.ranks[static_cast<std::size_t>(r)] =
+            engines_[static_cast<std::size_t>(r)]->run();
+      });
+    res.ranks[0] = engines_[0]->run();
+  }
+
+  /// True if any rank failed; fills `out` with this epoch's origin report:
+  /// the first failed rank carrying a valid fault (a rank that observed a
+  /// peer failure carries the origin's report, so any valid one names the
+  /// true culprit), falling back to the first failure.
+  static bool collect_failure(const Result& res, fault::FaultReport& out) {
+    bool failed = false;
+    for (const RunResult& r : res.ranks) failed = failed || r.failed;
+    if (!failed) return false;
+    for (const RunResult& r : res.ranks)
+      if (r.failed && r.fault.valid()) {
+        out = r.fault;
+        return true;
+      }
+    for (const RunResult& r : res.ranks)
+      if (r.failed) {
+        out = r.fault;
+        break;
+      }
+    return true;
+  }
+
+  /// Success path for the full rank set (fault-free run or a completed
+  /// rung-1 respawn): consistency checks + gather.
+  void finish_full_cluster(Result& res) {
     for (const RunResult& r : res.ranks)
       PG_CHECK_MSG(r.supersteps == res.ranks[0].supersteps,
                    "ranks must execute the same superstep count");
@@ -163,71 +284,269 @@ class ClusterEngine {
                    audit::phase_name(
                        engines_[static_cast<std::size_t>(r)]->audit_phase()));
 #endif
-
     res.global_values.resize(graph_->num_vertices());
     for (const auto& e : engines_) gather(*e, res.global_values);
-    return res;
   }
 
-  [[nodiscard]] int num_ranks() const noexcept { return nranks_; }
-  [[nodiscard]] const Engine& engine(int r) const {
-    PG_CHECK(r >= 0 && r < nranks_);
-    return *engines_[static_cast<std::size_t>(r)];
+  /// Account one recovery epoch: bump the epoch count, track the deepest
+  /// rung, and record its rebuild+restore wall time and superstep loss
+  /// (epoch fault superstep minus the resume point it restored from).
+  void record_epoch(Result& res, const fault::FaultReport& epoch_fault,
+                    int resume, std::uint64_t rung, double ms) {
+    ++res.failover.epochs;
+    res.failover.rung = std::max(res.failover.rung, rung);
+    res.failover.epoch_recovery_ms.push_back(ms);
+    res.failover.recovery_ms += ms;
+    const std::uint64_t lost = static_cast<std::uint64_t>(
+        epoch_fault.superstep > resume ? epoch_fault.superstep - resume : 0);
+    res.failover.lost_supersteps = std::max(res.failover.lost_supersteps, lost);
   }
 
- private:
-  static void gather(const Engine& e, std::vector<Value>& out) {
-    const auto& lg = e.local_graph();
-    const auto vals = e.values();
-    for (vid_t u = 0; u < lg.num_local_vertices(); ++u)
-      out[lg.global_id[u]] = vals[u];
-  }
-
-  /// Single-device failover: rebuild one engine over ALL partitions, seed it
-  /// from the newest checkpoint superstep that validates on every rank
-  /// (falling back to superstep 0), and run it to completion.
-  void fail_over(Result& res) {
-    PG_TRACE_SCOPE(kRecovery, -1, 0);
-    Timer rec;
-    // The origin report: the first failed rank carrying a valid fault (a
-    // rank that observed a peer failure carries the origin's report, so any
-    // valid one names the true culprit); fall back to the first failure.
-    for (const RunResult& r : res.ranks)
-      if (r.failed && r.fault.valid()) {
-        res.fault = r.fault;
-        break;
+  /// Newest resume superstep whose frame CRC-validates in EVERY store of
+  /// `src` — a frame corrupted on any rank (torn write, injected fault, bit
+  /// flip) drops that superstep and the search falls back to the previous
+  /// one. Leaves `frames` empty (resume 0) when any store is missing or no
+  /// superstep validates everywhere.
+  static void find_common_frames(
+      const std::vector<std::unique_ptr<Engine>>& src, int& resume,
+      std::vector<fault::CheckpointFrame>& frames) {
+    resume = 0;
+    frames.clear();
+    for (const auto& e : src)
+      if (e->checkpoint_store() == nullptr) return;
+    for (int s : src[0]->checkpoint_store()->valid_supersteps()) {
+      std::vector<fault::CheckpointFrame> cand;
+      cand.reserve(src.size());
+      for (const auto& e : src) {
+        auto f = e->checkpoint_store()->frame_at(s);
+        if (!f) break;
+        cand.push_back(std::move(*f));
       }
-    if (!res.fault.valid())
-      for (const RunResult& r : res.ranks)
-        if (r.failed) {
-          res.fault = r.fault;
-          break;
-        }
-
-    // Newest resume superstep whose frame CRC-validates in EVERY store — a
-    // frame corrupted on any rank (torn write, injected fault, bit flip)
-    // drops that superstep and the search falls back to the previous one.
-    int resume = 0;
-    std::vector<fault::CheckpointFrame> frames;
-    bool all_stores = true;
-    for (const auto& e : engines_)
-      all_stores = all_stores && e->checkpoint_store() != nullptr;
-    if (all_stores) {
-      for (int s : engines_[0]->checkpoint_store()->valid_supersteps()) {
-        std::vector<fault::CheckpointFrame> cand;
-        cand.reserve(engines_.size());
-        for (const auto& e : engines_) {
-          auto f = e->checkpoint_store()->frame_at(s);
-          if (!f) break;
-          cand.push_back(std::move(*f));
-        }
-        if (cand.size() == engines_.size()) {
-          frames = std::move(cand);
-          resume = s;
-          break;
-        }
+      if (cand.size() == src.size()) {
+        frames = std::move(cand);
+        resume = s;
+        return;
       }
     }
+  }
+
+  /// Restore one engine in place from its own rank's frame. Returns false on
+  /// a shape mismatch (e.g. a structurally damaged but CRC-lucky file).
+  static bool restore_from_frame(Engine& e, const fault::CheckpointFrame& f,
+                                 int resume) {
+    const std::size_t n =
+        static_cast<std::size_t>(e.local_graph().num_local_vertices());
+    if (f.values.size() != n * sizeof(Value) || f.active.size() != n)
+      return false;
+    std::vector<Value> vals(n);
+    if (n > 0) std::memcpy(vals.data(), f.values.data(), f.values.size());
+    e.restore(vals, f.active, resume);
+    return true;
+  }
+
+  /// Rebuild rank r's engine from scratch over its original partition (the
+  /// channels are shared members, so the new engine rejoins the same
+  /// rendezvous).
+  void rebuild_engine(int r) {
+    auto parts = LocalGraph::split_n(*graph_, owner_rank_, nranks_);
+    engines_[static_cast<std::size_t>(r)] = std::make_unique<Engine>(
+        std::move(parts[static_cast<std::size_t>(r)]), prog_,
+        cfgs_[static_cast<std::size_t>(r)],
+        typename Engine::PeerLink{r, &data_, &control_});
+  }
+
+  void rebuild_all_engines() {
+    auto parts = LocalGraph::split_n(*graph_, owner_rank_, nranks_);
+    for (int r = 0; r < nranks_; ++r)
+      engines_[static_cast<std::size_t>(r)] = std::make_unique<Engine>(
+          std::move(parts[static_cast<std::size_t>(r)]), prog_,
+          cfgs_[static_cast<std::size_t>(r)],
+          typename Engine::PeerLink{r, &data_, &control_});
+  }
+
+  /// Ladder rung 1: respawn the failed rank's engine, restore every rank
+  /// from the newest common frame (surviving ranks restore in place; with no
+  /// usable frame, or an unidentified culprit, everything is rebuilt and the
+  /// run restarts from superstep 0), and open a fresh channel epoch so
+  /// nothing staged in the aborted round can leak into the resumed one.
+  /// Returns false when the respawn itself fails — the caller falls further
+  /// down the ladder.
+  bool try_respawn(const fault::FaultReport& epoch_fault, Result& res) {
+    PG_TRACE_SCOPE(kRecovery, -1, 0);
+    Timer rec;
+    try {
+      int resume = 0;
+      std::vector<fault::CheckpointFrame> frames;
+      find_common_frames(engines_, resume, frames);
+      const int dead = epoch_fault.rank;
+      if (frames.empty() || dead < 0 || dead >= nranks_) {
+        rebuild_all_engines();
+        if (!frames.empty()) {
+          for (int r = 0; r < nranks_; ++r)
+            if (!restore_from_frame(*engines_[static_cast<std::size_t>(r)],
+                                    frames[static_cast<std::size_t>(r)],
+                                    resume)) {
+              rebuild_all_engines();  // shape mismatch: restart from scratch
+              resume = 0;
+              break;
+            }
+        } else {
+          resume = 0;
+        }
+      } else {
+        rebuild_engine(dead);
+        for (int r = 0; r < nranks_; ++r)
+          if (!restore_from_frame(*engines_[static_cast<std::size_t>(r)],
+                                  frames[static_cast<std::size_t>(r)],
+                                  resume)) {
+            rebuild_all_engines();
+            resume = 0;
+            break;
+          }
+      }
+      data_.advance_epoch();
+      control_.advance_epoch();
+      record_epoch(res, epoch_fault, resume, /*rung=*/1, rec.millis());
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  /// Ladder rung 2: write the dead rank off and finish on the N-1 survivors.
+  /// The dead rank's vertices are dealt over the survivors weighted by their
+  /// thread budgets (partition::reassign_after_loss), fresh channels and
+  /// engines are built for the reduced rank set, and every survivor engine
+  /// is seeded from the newest common frame of the OLD rank set scattered
+  /// through global vertex ids (the repartition moves vertices between
+  /// ranks, so per-rank frames cannot be restored in place).
+  ///
+  /// Finalizes `res` on success AND when the survivor run faults again (that
+  /// falls to rung 3 using the survivors' own checkpoint stores, so progress
+  /// made on N-1 ranks is not thrown away). Returns false only when
+  /// repartitioning is impossible — fewer than two survivors, an
+  /// unidentified culprit, or a failure while rebuilding — in which case
+  /// `res` is untouched and the caller runs rung 3 from the old rank set.
+  bool try_repartition(Result& res, const fault::FaultReport& epoch_fault) {
+    const int dead = epoch_fault.rank;
+    if (nranks_ < 3 || dead < 0 || dead >= nranks_) return false;
+    PG_TRACE_SCOPE(kRecovery, -1, 0);
+    Timer rec;
+    const int m = nranks_ - 1;
+    std::vector<std::unique_ptr<Engine>> survivors;
+    comm::AllToAll<typename Engine::Batch> data2(m);
+    comm::AllToAll<std::uint64_t> control2(m);
+    int resume = 0;
+    try {
+      partition::RankWeights w;
+      std::vector<EngineConfig> scfgs;
+      w.reserve(static_cast<std::size_t>(m));
+      scfgs.reserve(static_cast<std::size_t>(m));
+      for (int r = 0; r < nranks_; ++r) {
+        if (r == dead) continue;
+        scfgs.push_back(cfgs_[static_cast<std::size_t>(r)]);
+        w.push_back(
+            std::max(1, cfgs_[static_cast<std::size_t>(r)].total_threads()));
+      }
+      auto owner2 =
+          partition::reassign_after_loss(*graph_, owner_rank_, nranks_, dead, w);
+
+      // Global restore state from the old rank set's newest common frame.
+      std::vector<fault::CheckpointFrame> frames;
+      find_common_frames(engines_, resume, frames);
+      const vid_t n = graph_->num_vertices();
+      std::vector<Value> vals;
+      std::vector<std::uint8_t> act;
+      bool have_state = false;
+      if (!frames.empty()) {
+        vals.assign(n, Value{});
+        act.assign(n, 0);
+        bool ok = true;
+        for (std::size_t r = 0; r < frames.size(); ++r)
+          ok = ok && apply_frame(frames[r], engines_[r]->local_graph(), vals,
+                                 act);
+        if (ok)
+          have_state = true;
+        else
+          resume = 0;  // frame shape mismatch: restart from scratch
+      }
+
+      auto parts = LocalGraph::split_n(*graph_, std::move(owner2), m);
+      survivors.reserve(static_cast<std::size_t>(m));
+      for (int r = 0; r < m; ++r)
+        survivors.push_back(std::make_unique<Engine>(
+            std::move(parts[static_cast<std::size_t>(r)]),  prog_,
+            scfgs[static_cast<std::size_t>(r)],
+            typename Engine::PeerLink{r, &data2, &control2}));
+      if (have_state) {
+        for (auto& e : survivors) {
+          const auto& lg = e->local_graph();
+          const std::size_t ln =
+              static_cast<std::size_t>(lg.num_local_vertices());
+          std::vector<Value> lv(ln);
+          std::vector<std::uint8_t> la(ln);
+          for (std::size_t u = 0; u < ln; ++u) {
+            lv[u] = vals[lg.global_id[u]];
+            la[u] = act[lg.global_id[u]];
+          }
+          e->restore(lv, la, resume);
+        }
+      }
+    } catch (...) {
+      return false;  // rebuilding failed: rung 3 from the old rank set
+    }
+    record_epoch(res, epoch_fault, resume, /*rung=*/2, rec.millis());
+
+    std::vector<RunResult> rr(static_cast<std::size_t>(m));
+    {
+      std::vector<std::thread> threads;
+      ThreadGroupJoiner joiner(threads);
+      threads.reserve(static_cast<std::size_t>(m - 1));
+      for (int r = 1; r < m; ++r)
+        threads.emplace_back([&rr, &survivors, r] {
+          rr[static_cast<std::size_t>(r)] =
+              survivors[static_cast<std::size_t>(r)]->run();
+        });
+      rr[0] = survivors[0]->run();
+    }
+    res.recovery_ranks = std::move(rr);
+    fault::FaultReport f2;
+    bool failed = false;
+    for (const RunResult& r : res.recovery_ranks) failed = failed || r.failed;
+    if (failed) {
+      for (const RunResult& r : res.recovery_ranks)
+        if (r.failed && r.fault.valid()) {
+          f2 = r.fault;
+          break;
+        }
+      if (!f2.valid())
+        for (const RunResult& r : res.recovery_ranks)
+          if (r.failed) {
+            f2 = r.fault;
+            break;
+          }
+      // The survivors checkpointed their own progress; rung 3 resumes from
+      // THEIR newest common frame, not the pre-repartition one.
+      fail_over(res, f2, survivors);
+      return true;
+    }
+    res.global_values.resize(graph_->num_vertices());
+    for (const auto& e : survivors) gather(*e, res.global_values);
+    return true;
+  }
+
+  /// Ladder rung 3 — single-device failover: rebuild one engine over ALL
+  /// partitions, seed it from the newest checkpoint superstep that validates
+  /// on every rank of `src` (falling back to superstep 0), and run it to
+  /// completion.
+  void fail_over(Result& res, const fault::FaultReport& epoch_fault,
+                 const std::vector<std::unique_ptr<Engine>>& src) {
+    PG_TRACE_SCOPE(kRecovery, -1, 0);
+    Timer rec;
+
+    int resume = 0;
+    std::vector<fault::CheckpointFrame> frames;
+    find_common_frames(src, resume, frames);
 
     // LocalGraph::whole maps local == global, so scattering each partition's
     // snapshot through its global_id table lands directly on the recovery
@@ -239,28 +558,22 @@ class ClusterEngine {
       std::vector<std::uint8_t> act(n, 0);
       bool ok = true;
       for (std::size_t r = 0; r < frames.size(); ++r)
-        ok = ok &&
-             apply_frame(frames[r], engines_[r]->local_graph(), vals, act);
+        ok = ok && apply_frame(frames[r], src[r]->local_graph(), vals, act);
       if (!ok)
         resume = 0;  // frame shape mismatch: restart from scratch
       else
         engine.restore(vals, act, resume);
     }
+    record_epoch(res, epoch_fault, resume, /*rung=*/3, rec.millis());
 
     try {
       res.recovery = engine.run();
     } catch (const std::exception& e) {
       res.completed = false;
       res.fault.what += std::string("; recovery also failed: ") + e.what();
-      res.failover.failed_over = 1;
-      res.failover.recovery_ms = rec.millis();
       return;
     }
     res.global_values.assign(engine.values().begin(), engine.values().end());
-    res.failover.failed_over = 1;
-    res.failover.lost_supersteps = static_cast<std::uint64_t>(
-        res.fault.superstep > resume ? res.fault.superstep - resume : 0);
-    res.failover.recovery_ms = rec.millis();
   }
 
   /// Scatter one rank's checkpointed values/active bits into global-indexed
@@ -287,7 +600,10 @@ class ClusterEngine {
   int nranks_;
   comm::AllToAll<typename Engine::Batch> data_;
   comm::AllToAll<std::uint64_t> control_;
+  std::vector<int> owner_rank_;      // kept for rebuilds and repartitioning
+  std::vector<EngineConfig> cfgs_;   // per-rank configs, kept for rebuilds
   EngineConfig recovery_cfg_;
+  fault::RetryPolicy retry_;
   std::vector<std::unique_ptr<Engine>> engines_;
 };
 

@@ -17,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "src/common/expect.hpp"
 #include "src/common/sync.hpp"
 #include "src/common/thread_safety.hpp"
 #include "src/common/types.hpp"
+#include "src/fault/fault_injection.hpp"
 #include "src/metrics/trace.hpp"
 
 namespace phigraph::fault {
@@ -267,10 +270,17 @@ class CheckpointStore {
     return std::nullopt;  // writer kept racing us; treat as not-yet-present
   }
 
-  static void write_file(const std::string& path, const CheckpointFrame& f) {
-    std::FILE* fp = std::fopen(path.c_str(), "wb");
+  /// Crash-consistent slot write: serialize into `<path>.tmp`, fsync it, and
+  /// only then rename over the slot file. rename(2) is atomic on POSIX, so a
+  /// crash (or an injected checkpoint.rename fault) at any point leaves the
+  /// slot file either wholly old or wholly new — a torn write can damage at
+  /// most the temp file, never a published slot, and the *other* slot is
+  /// untouched throughout.
+  void write_file(const std::string& path, const CheckpointFrame& f) const {
+    const std::string tmp = path + ".tmp";
+    std::FILE* fp = std::fopen(tmp.c_str(), "wb");
     PG_CHECK_FMT(fp != nullptr, "cannot open checkpoint file %s for writing",
-                 path.c_str());
+                 tmp.c_str());
     bool ok = true;
     auto put = [&](const void* p, std::size_t bytes) {
       ok = ok && std::fwrite(p, 1, bytes, fp) == bytes;
@@ -285,8 +295,23 @@ class CheckpointStore {
     put(f.active.data(), f.active.size());
     put(f.frontier.data(), f.frontier.size() * sizeof(vid_t));
     put(&f.crc, sizeof f.crc);
+    // Flush userspace buffers and force the bytes to stable storage before
+    // the rename: otherwise the rename could land while the data is still
+    // only in the page cache, and a power loss would publish a torn frame.
+    ok = ok && std::fflush(fp) == 0;
+    ok = ok && ::fsync(::fileno(fp)) == 0;
     ok = std::fclose(fp) == 0 && ok;
-    PG_CHECK_FMT(ok, "write failure on checkpoint file %s", path.c_str());
+    if (!ok) std::remove(tmp.c_str());
+    PG_CHECK_FMT(ok, "write failure on checkpoint file %s", tmp.c_str());
+    try {
+      PG_FAULT_POINT(kCheckpointRename, rank_, f.superstep);
+    } catch (...) {
+      std::remove(tmp.c_str());  // a "crashed" write leaves no debris behind
+      throw;
+    }
+    const bool renamed = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!renamed) std::remove(tmp.c_str());
+    PG_CHECK_FMT(renamed, "cannot publish checkpoint file %s", path.c_str());
   }
 
   /// Returns nullopt on any structural damage (missing file, bad magic,

@@ -80,14 +80,23 @@ struct SuperstepCounters {
   }
 };
 
-/// Fault-tolerance outcome of a heterogeneous run (DESIGN.md §6). All zero
-/// on a fault-free run; filled by HeteroEngine when a device fault triggered
-/// the CPU-only failover path. Surfaced in the bench JSON next to the
+/// Fault-tolerance outcome of a cluster run (DESIGN.md §6/§12). All zero on
+/// a fault-free run; filled by the recovery ladder in ClusterEngine when a
+/// rank fault triggered recovery. Surfaced in the bench JSON next to the
 /// superstep counters.
+///
+/// `rung` records how far down the ladder the run had to go:
+///   0 = no fault; 1 = transient respawn (all N ranks resumed);
+///   2 = survivor repartition (N-1 ranks finished the run);
+///   3 = single-device rerun (the pre-ladder behaviour).
 struct FailoverStats {
-  std::uint64_t failed_over = 0;     // 1 if the run completed via failover
-  std::uint64_t lost_supersteps = 0; // fault superstep - resume superstep
-  double recovery_ms = 0;            // rebuild + re-run wall time
+  std::uint64_t failed_over = 0;     // 1 if the run completed via recovery
+  std::uint64_t attempts = 0;        // transient respawn attempts consumed
+  std::uint64_t epochs = 0;          // recovery epochs entered (all rungs)
+  std::uint64_t rung = 0;            // deepest ladder rung reached (0-3)
+  std::uint64_t lost_supersteps = 0; // max over epochs: fault - resume
+  double recovery_ms = 0;            // total rebuild + restore wall time
+  std::vector<double> epoch_recovery_ms;  // per-epoch rebuild + restore time
 };
 
 /// Per-peer exchange traffic of one rank across a whole run, indexed by the

@@ -490,6 +490,64 @@ std::vector<int> hybrid_partition_k(const graph::Csr& g, const RankWeights& w,
   return hybrid_partition_k(blocked_min_cut(g, opt), w);
 }
 
+std::vector<int> reassign_after_loss(const graph::Csr& g,
+                                     std::span<const int> owner_rank,
+                                     int nranks, int dead,
+                                     const RankWeights& w) {
+  PG_CHECK(owner_rank.size() == g.num_vertices());
+  PG_CHECK_MSG(nranks >= 2, "reassign_after_loss needs a survivor");
+  PG_CHECK_MSG(dead >= 0 && dead < nranks, "dead rank outside [0, nranks)");
+  PG_CHECK_MSG(static_cast<int>(w.size()) == nranks - 1,
+               "one weight per surviving rank is required");
+  const int wsum = check_weights(w);
+  const std::size_t k = w.size();
+  // Compacted id of each surviving old rank, and the survivors' current
+  // normalized edge loads (their vertices stay put — the checkpointed local
+  // state must remain valid).
+  std::vector<int> compact(static_cast<std::size_t>(nranks), -1);
+  for (int r = 0, c = 0; r < nranks; ++r)
+    if (r != dead) compact[static_cast<std::size_t>(r)] = c++;
+  std::vector<double> share(k), assigned(k, 0.0);
+  for (std::size_t r = 0; r < k; ++r)
+    share[r] = static_cast<double>(w[r]) / wsum;
+  const vid_t n = g.num_vertices();
+  std::vector<int> owner(static_cast<std::size_t>(n), 0);
+  std::vector<vid_t> orphans;
+  for (vid_t v = 0; v < n; ++v) {
+    const int r = owner_rank[static_cast<std::size_t>(v)];
+    PG_CHECK_MSG(r >= 0 && r < nranks, "owner rank outside [0, nranks)");
+    if (r == dead) {
+      orphans.push_back(v);
+    } else {
+      const std::size_t c = static_cast<std::size_t>(compact[r]);
+      owner[static_cast<std::size_t>(v)] = static_cast<int>(c);
+      assigned[c] += static_cast<double>(g.out_degree(v));
+    }
+  }
+  // Deal the dead rank's vertices heaviest-first to the survivor with the
+  // lowest normalized load — the same LPT rule hybrid_partition_k applies
+  // to blocks.
+  std::sort(orphans.begin(), orphans.end(), [&](vid_t a, vid_t b) {
+    return g.out_degree(a) > g.out_degree(b);
+  });
+  for (vid_t v : orphans) {
+    const double vw = static_cast<double>(g.out_degree(v)) + 1e-9;
+    std::size_t best = 0;
+    double best_load = 1e300;
+    for (std::size_t r = 0; r < k; ++r) {
+      const double load =
+          share[r] == 0 ? 1e300 : (assigned[r] + vw) / share[r];
+      if (load < best_load) {
+        best_load = load;
+        best = r;
+      }
+    }
+    owner[static_cast<std::size_t>(v)] = static_cast<int>(best);
+    assigned[best] += vw;
+  }
+  return owner;
+}
+
 KwayStats evaluate_partition_k(const graph::Csr& g,
                                std::span<const int> owner_rank, int nranks) {
   PG_CHECK(owner_rank.size() == g.num_vertices());

@@ -123,6 +123,18 @@ struct KwayStats {
                                              std::span<const int> owner_rank,
                                              int nranks);
 
+/// Survivor repartitioning (recovery ladder rung 2, DESIGN.md §12): rebuild
+/// an owner map after rank `dead` is written off. Surviving ranks keep their
+/// vertices — their checkpointed local state stays valid — with rank ids
+/// compacted to [0, nranks-1), and the dead rank's vertices are dealt
+/// heaviest-first to the survivor whose normalized load (assigned edges /
+/// weight share) is lowest, the same LPT rule hybrid_partition_k uses for
+/// blocks. `w` holds one weight per *surviving* rank, indexed by compacted
+/// rank id.
+[[nodiscard]] std::vector<int> reassign_after_loss(
+    const graph::Csr& g, std::span<const int> owner_rank, int nranks, int dead,
+    const RankWeights& w);
+
 // ---- evaluation ---------------------------------------------------------------
 
 struct PartitionStats {

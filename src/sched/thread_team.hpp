@@ -32,6 +32,15 @@ class ThreadTeam {
   /// Not reentrant: one run() at a time per team.
   void run(const std::function<void(int)>& job);
 
+  /// Forgets the orchestrator binding (checked build only, no-op otherwise):
+  /// a recovery epoch may legally resume this engine from a different
+  /// driving thread, and the next run() re-binds to it.
+  void rebind_orchestrator() noexcept {
+#if PG_AUDIT_ENABLED
+    orchestrator_.rebind();
+#endif
+  }
+
  private:
   void worker_loop(int tid);
 

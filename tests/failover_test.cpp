@@ -26,6 +26,7 @@
 #include "src/apps/pagerank.hpp"
 #include "src/apps/reference.hpp"
 #include "src/core/hetero_engine.hpp"
+#include "src/fault/fault.hpp"
 #include "src/gen/generators.hpp"
 #include "src/graph/paper_example.hpp"
 #include "tests/watchdog.hpp"
@@ -159,6 +160,10 @@ TEST(HeteroFailover, PageRankFromScratchRecoveryIsBitIdentical) {
   det.simd_bytes = simd::kCpuSimdBytes;
   det.threads = 1;
   det.max_supersteps = 12;
+  // The ladder sizes the recovery engine from the COMBINED rank budgets by
+  // default (2 threads here), which would change float reduction order; pin
+  // it back to one thread so bit-identity against run_single holds.
+  det.recovery_threads = 1;
   const ThrowOn<apps::PageRank> prog(apps::PageRank(), owner, Device::Mic,
                                      /*superstep=*/3);
   core::HeteroEngine<ThrowOn<apps::PageRank>> he(g, *owner, prog, det, det);
@@ -248,11 +253,226 @@ class ThrowOnRank : public Base {
   std::shared_ptr<std::atomic<bool>> fired_;
 };
 
-// Kill each rank of a 4-rank cluster exactly once. Whichever rank dies, the
-// survivors' checkpoint stores recombine to the newest superstep present in
-// *all* of them, the recovery run finishes the job, lost work stays under
-// the checkpoint interval, and BFS levels (min-combine, order-independent)
+/// K-shot thrower: fires at most `shots` times, process-wide, while updating
+/// a vertex owned (in the ORIGINAL owner map) by `rank` during `superstep`.
+/// A CAS loop caps the total fire count exactly, so a retried epoch re-hits
+/// the fault until the shots run out — a transient fault that eventually
+/// clears (transient=true, fault::TransientError) or a permanent one that
+/// follows its vertices through a repartition (transient=false). Give the
+/// firing rank a single-threaded config when a test needs exactly one fire
+/// per epoch.
+template <typename Base>
+class ShotThrowOnRank : public Base {
+ public:
+  ShotThrowOnRank(Base base, std::shared_ptr<const std::vector<int>> owner,
+                  int rank, int superstep, int shots, bool transient)
+      : Base(std::move(base)),
+        owner_(std::move(owner)),
+        rank_(rank),
+        superstep_(superstep),
+        shots_(shots),
+        transient_(transient),
+        fired_(std::make_shared<std::atomic<int>>(0)) {}
+
+  template <typename View>
+  bool update_vertex(const typename Base::message_t& msg, View& g,
+                     vid_t u) const {
+    if (g.superstep == superstep_ && (*owner_)[g.global_id[u]] == rank_) {
+      int n = fired_->load();
+      bool won = false;
+      while (n < shots_ && !(won = fired_->compare_exchange_weak(n, n + 1))) {
+      }
+      if (won) {
+        if (transient_)
+          throw fault::TransientError("synthetic transient fault");
+        throw std::runtime_error("synthetic permanent fault");
+      }
+    }
+    return Base::update_vertex(msg, g, u);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<int>> owner_;
+  int rank_;
+  int superstep_;
+  int shots_;
+  bool transient_;
+  std::shared_ptr<std::atomic<int>> fired_;
+};
+
+// ---- recovery ladder rungs in isolation -------------------------------------
+
+// Rung 1: a one-shot transient fault respawns the failed rank from the
+// newest common checkpoint frame and resumes ALL THREE ranks — no
+// repartition, no single-device rerun — and the resumed run's BFS levels
 // are bit-identical to the fault-free answer.
+TEST(RecoveryLadder, TransientFaultRespawnsAllRanks) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(300));
+  const auto g = test_graph();
+  constexpr int kRanks = 3;
+  constexpr int kInterval = 2;
+  constexpr int kVictim = 1;
+  auto owner = std::make_shared<std::vector<int>>(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    (*owner)[v] = static_cast<int>(v % kRanks);
+  const ShotThrowOnRank<apps::Bfs> prog(apps::Bfs(0), owner, kVictim,
+                                        /*superstep=*/3, /*shots=*/1,
+                                        /*transient=*/true);
+  std::vector<EngineConfig> cfgs;
+  for (int r = 0; r < kRanks; ++r) {
+    auto c = cpu_cfg();
+    if (r == kVictim) c.threads = 1;  // exactly one fire per epoch
+    c.checkpoint.interval = kInterval;
+    c.retry.backoff_ms = 0;  // keep the test fast
+    cfgs.push_back(c);
+  }
+  core::ClusterEngine<ShotThrowOnRank<apps::Bfs>> ce(g, *owner, prog, cfgs);
+  const auto res = ce.run();
+
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  EXPECT_EQ(res.fault.rank, kVictim);
+  EXPECT_EQ(res.fault.kind, fault::FaultKind::kTransient);
+  EXPECT_EQ(res.failover.rung, 1u);
+  EXPECT_EQ(res.failover.attempts, 1u);
+  EXPECT_EQ(res.failover.epochs, 1u);
+  EXPECT_EQ(res.failover.epoch_recovery_ms.size(), 1u);
+  EXPECT_LT(res.failover.lost_supersteps,
+            static_cast<std::uint64_t>(kInterval));
+  // The resumed epoch ran on the FULL rank set: no survivor traces, no
+  // single-device rerun, and every rank's final trace completed.
+  EXPECT_TRUE(res.recovery_ranks.empty());
+  EXPECT_EQ(res.recovery.supersteps, 0);
+  ASSERT_EQ(res.ranks.size(), static_cast<std::size_t>(kRanks));
+  for (const auto& rr : res.ranks) EXPECT_FALSE(rr.failed);
+
+  const auto classic = apps::classic_bfs(g, 0);
+  ASSERT_EQ(res.global_values.size(), classic.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(res.global_values[v], classic[v]) << "vertex " << v;
+}
+
+// Retry budget: a transient fault that re-fires on every respawn exhausts
+// RetryPolicy::max_attempts and falls down the ladder. With only two ranks
+// rung 2 is impossible (no survivor pair), so the run finishes on rung 3's
+// single-device engine.
+TEST(RecoveryLadder, ExhaustedRetryBudgetFallsToSingleDevice) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(300));
+  const auto g = test_graph();
+  constexpr int kRanks = 2;
+  constexpr int kVictim = 1;
+  constexpr int kMaxAttempts = 2;
+  auto owner = std::make_shared<std::vector<int>>(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    (*owner)[v] = static_cast<int>(v % kRanks);
+  // One more shot than the budget: both respawned epochs re-fault, the
+  // budget runs dry, and the last shot is consumed before rung 3 runs.
+  const ShotThrowOnRank<apps::Bfs> prog(apps::Bfs(0), owner, kVictim,
+                                        /*superstep=*/2,
+                                        /*shots=*/kMaxAttempts + 1,
+                                        /*transient=*/true);
+  std::vector<EngineConfig> cfgs;
+  for (int r = 0; r < kRanks; ++r) {
+    auto c = cpu_cfg();
+    if (r == kVictim) c.threads = 1;
+    c.retry.max_attempts = kMaxAttempts;
+    c.retry.backoff_ms = 0;
+    cfgs.push_back(c);
+  }
+  core::ClusterEngine<ShotThrowOnRank<apps::Bfs>> ce(g, *owner, prog, cfgs);
+  const auto res = ce.run();
+
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  EXPECT_EQ(res.failover.attempts, static_cast<std::uint64_t>(kMaxAttempts));
+  EXPECT_EQ(res.failover.rung, 3u);
+  // Two rung-1 respawns + the final rung-3 epoch.
+  EXPECT_EQ(res.failover.epochs, 3u);
+  EXPECT_EQ(res.failover.epoch_recovery_ms.size(), 3u);
+  EXPECT_GT(res.recovery.supersteps, 0);
+
+  const auto classic = apps::classic_bfs(g, 0);
+  ASSERT_EQ(res.global_values.size(), classic.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(res.global_values[v], classic[v]) << "vertex " << v;
+}
+
+// Rung 2 -> rung 3 handoff: a permanent fault repartitions onto the
+// survivors, a SECOND permanent fault (following the dead rank's vertices to
+// their new owner) kills the survivor run too, and rung 3 finishes the job
+// from the SURVIVORS' checkpoint stores.
+TEST(RecoveryLadder, RepartitionFaultFallsToSingleDevice) {
+  phigraph::testing::Watchdog dog(std::chrono::seconds(300));
+  const auto g = test_graph();
+  constexpr int kRanks = 4;
+  constexpr int kInterval = 2;
+  constexpr int kVictim = 2;
+  auto owner = std::make_shared<std::vector<int>>(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    (*owner)[v] = static_cast<int>(v % kRanks);
+  const ShotThrowOnRank<apps::Bfs> prog(apps::Bfs(0), owner, kVictim,
+                                        /*superstep=*/3, /*shots=*/2,
+                                        /*transient=*/false);
+  std::vector<EngineConfig> cfgs;
+  for (int r = 0; r < kRanks; ++r) {
+    auto c = cpu_cfg();
+    if (r == kVictim) c.threads = 1;
+    c.checkpoint.interval = kInterval;
+    c.retry.backoff_ms = 0;
+    cfgs.push_back(c);
+  }
+  core::ClusterEngine<ShotThrowOnRank<apps::Bfs>> ce(g, *owner, prog, cfgs);
+  const auto res = ce.run();
+
+  ASSERT_TRUE(res.completed) << res.fault.to_string();
+  EXPECT_EQ(res.failover.failed_over, 1u);
+  EXPECT_EQ(res.fault.kind, fault::FaultKind::kPermanent);
+  EXPECT_EQ(res.failover.attempts, 0u);  // permanent faults get no retries
+  EXPECT_EQ(res.failover.rung, 3u);
+  EXPECT_EQ(res.failover.epochs, 2u);  // rung-2 epoch + rung-3 epoch
+  EXPECT_EQ(res.recovery_ranks.size(), static_cast<std::size_t>(kRanks - 1));
+  EXPECT_GT(res.recovery.supersteps, 0);
+  EXPECT_LT(res.failover.lost_supersteps,
+            static_cast<std::uint64_t>(kInterval));
+
+  const auto classic = apps::classic_bfs(g, 0);
+  ASSERT_EQ(res.global_values.size(), classic.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(res.global_values[v], classic[v]) << "vertex " << v;
+}
+
+// The rung-3 engine's thread team is sized from the COMBINED rank budgets
+// (the dead cluster's whole allotment is free), unless recovery_threads pins
+// it explicitly.
+TEST(RecoveryLadder, RecoveryEngineSizesThreadsFromCombinedBudgets) {
+  const auto g = graph::paper_example_graph();
+  auto owner = std::make_shared<std::vector<int>>(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v)
+    (*owner)[v] = static_cast<int>(v % 2);
+  // cpu_cfg: 3 threads (locking); mic_cfg: 3 workers + 2 movers (pipelining)
+  // -> combined budget 8. Rank 0 is locking, so the recovery engine gets all
+  // 8 as workers.
+  {
+    core::ClusterEngine<apps::Bfs> ce(g, *owner, apps::Bfs(0),
+                                      {cpu_cfg(), mic_cfg()});
+    EXPECT_EQ(ce.recovery_config().threads, 8);
+    EXPECT_EQ(ce.recovery_config().checkpoint.interval, 0);
+  }
+  {
+    auto cc = cpu_cfg();
+    cc.recovery_threads = 1;  // explicit pin wins (deterministic recoveries)
+    core::ClusterEngine<apps::Bfs> ce(g, *owner, apps::Bfs(0),
+                                      {cc, mic_cfg()});
+    EXPECT_EQ(ce.recovery_config().threads, 1);
+  }
+}
+
+// Kill each rank of a 4-rank cluster exactly once with a PERMANENT fault.
+// The ladder's rung 2 writes the victim off: its vertices are repartitioned
+// over the three survivors, which restore from the newest superstep present
+// in *all* checkpoint stores and finish the run on N-1 ranks. Lost work
+// stays under the checkpoint interval, and BFS levels (min-combine,
+// order-independent) are bit-identical to the fault-free answer.
 TEST(ClusterFailover, KillEachRankRecoversBitIdentical) {
   phigraph::testing::Watchdog dog(std::chrono::seconds(300));
   const auto g = test_graph();
@@ -281,6 +501,15 @@ TEST(ClusterFailover, KillEachRankRecoversBitIdentical) {
     EXPECT_EQ(res.fault.rank, victim) << "origin report names wrong rank";
     EXPECT_EQ(res.fault.superstep, kFaultAt) << "victim " << victim;
     EXPECT_EQ(res.fault.phase, "update") << "victim " << victim;
+    // A permanent fault with a known culprit and 3 survivors stops at rung 2
+    // (survivor repartition); no retry attempts are spent on it.
+    EXPECT_EQ(res.failover.rung, 2u) << "victim " << victim;
+    EXPECT_EQ(res.failover.attempts, 0u) << "victim " << victim;
+    EXPECT_EQ(res.failover.epochs, 1u) << "victim " << victim;
+    EXPECT_EQ(res.recovery_ranks.size(), static_cast<std::size_t>(kRanks - 1))
+        << "victim " << victim;
+    for (const auto& rr : res.recovery_ranks)
+      EXPECT_FALSE(rr.failed) << "victim " << victim;
     EXPECT_LT(res.failover.lost_supersteps,
               static_cast<std::uint64_t>(kInterval))
         << "victim " << victim;

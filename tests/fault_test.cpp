@@ -155,6 +155,24 @@ TEST_F(FileCheckpointTest, TruncatedFrameFileIsRejected) {
   EXPECT_FALSE(store.latest_valid().has_value());
 }
 
+TEST_F(FileCheckpointTest, WritesLeaveNoTempFilesAndBothSlotsValidate) {
+  // Crash-consistent write path: each frame goes to a .tmp sibling, is
+  // fsynced, and only then renamed over the slot — so after any number of
+  // completed writes no .tmp residue may remain and both slots validate.
+  CheckpointConfig cfg;
+  cfg.interval = 2;
+  cfg.file_backed = true;
+  cfg.dir = dir_;
+  CheckpointStore store(cfg, /*rank=*/0);
+  store.write(make_frame(2));
+  store.write(make_frame(4));
+  store.write(make_frame(6));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "stray temp file: " << entry.path();
+  EXPECT_EQ(store.valid_supersteps(), (std::vector<int>{6, 4}));
+}
+
 // ---- fault plans ------------------------------------------------------------
 
 TEST(FaultPlan, FromSeedIsDeterministic) {
@@ -175,12 +193,36 @@ TEST(FaultPlan, FromSeedIsDeterministic) {
 TEST(FaultPlan, ArmRejectsInvalidSpecs) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   FaultPlan plan;
-  EXPECT_DEATH(plan.arm({Point::kEngineGenerate, /*rank=*/2, 0, 1}),
-               "rank must be 0 or 1");
+  // Rank 2+ is legal now (N-rank clusters); negative ranks still are not.
+  EXPECT_DEATH(plan.arm({Point::kEngineGenerate, /*rank=*/-1, 0, 1}),
+               "rank must be >= 0");
   EXPECT_DEATH(plan.arm({Point::kEngineGenerate, 0, /*superstep=*/-1, 1}),
                "out of range");
   EXPECT_DEATH(plan.arm({Point::kEngineGenerate, 0, 0, /*occurrence=*/0}),
                "out of range");
+  EXPECT_DEATH(plan.arm({Point::kEngineGenerate, 0, 0, 1,
+                         fault::FaultKind::kTransient, /*shots=*/0}),
+               "shots out of range");
+}
+
+TEST(FaultPlan, ChaosFromSeedIsDeterministicAndBounded) {
+  const auto a = FaultPlan::chaos_from_seed(7, /*max_superstep=*/9, /*nranks=*/4);
+  const auto b = FaultPlan::chaos_from_seed(7, 9, 4);
+  ASSERT_EQ(a.specs().size(), b.specs().size());
+  ASSERT_GE(a.specs().size(), 1u);
+  ASSERT_LE(a.specs().size(), 3u);
+  for (std::size_t i = 0; i < a.specs().size(); ++i) {
+    EXPECT_EQ(a.specs()[i].point, b.specs()[i].point);
+    EXPECT_EQ(a.specs()[i].rank, b.specs()[i].rank);
+    EXPECT_EQ(a.specs()[i].superstep, b.specs()[i].superstep);
+    EXPECT_EQ(a.specs()[i].kind, b.specs()[i].kind);
+    EXPECT_EQ(a.specs()[i].shots, b.specs()[i].shots);
+    EXPECT_GE(a.specs()[i].rank, 0);
+    EXPECT_LT(a.specs()[i].rank, 4);
+    EXPECT_LE(a.specs()[i].superstep, 9);
+    EXPECT_GE(a.specs()[i].shots, 1);
+    EXPECT_LE(a.specs()[i].shots, 2);
+  }
 }
 
 TEST(FaultPoints, EveryPointHasAName) {
@@ -308,6 +350,64 @@ TEST_P(SeededFaults, RunsToCorrectValuesUnderSeededPlan) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededFaults,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
                                            9u, 10u));
+
+// ---- k-shot firing semantics ------------------------------------------------
+
+// A spec fires on reaches [occurrence, occurrence + shots), then goes quiet
+// — the property the transient-retry tests lean on: a replayed superstep
+// re-fires until the shots run out, after which the retry genuinely
+// succeeds.
+TEST(FaultShots, FiresForShotsConsecutiveReachesThenStops) {
+  FaultPlan plan;
+  plan.arm({Point::kEngineGenerate, /*rank=*/0, /*superstep=*/3,
+            /*occurrence=*/2, fault::FaultKind::kTransient, /*shots=*/2});
+  fault::ScopedPlan armed(plan);
+  int fires = 0;
+  for (int reach = 1; reach <= 6; ++reach) {
+    try {
+      PG_FAULT_POINT(kEngineGenerate, 0, 3);
+    } catch (const fault::FaultInjected& e) {
+      ++fires;
+      EXPECT_TRUE(reach == 2 || reach == 3) << "fired on reach " << reach;
+      EXPECT_EQ(e.kind, fault::FaultKind::kTransient);
+    }
+  }
+  EXPECT_EQ(fires, 2);
+  // Different (rank, superstep) coordinates never fire.
+  EXPECT_NO_THROW(PG_FAULT_POINT(kEngineGenerate, 1, 3));
+  EXPECT_NO_THROW(PG_FAULT_POINT(kEngineGenerate, 0, 4));
+}
+
+// ---- crash-consistent file checkpoints --------------------------------------
+
+// A crash between the fsynced temp write and the atomic rename
+// (checkpoint.rename) must leave BOTH existing slots valid — the torn write
+// can invalidate neither — and once the fault clears the same superstep can
+// be rewritten successfully.
+TEST_F(FileCheckpointTest, RenameFaultCannotInvalidateEitherSlot) {
+  CheckpointConfig cfg;
+  cfg.interval = 2;
+  cfg.file_backed = true;
+  cfg.dir = dir_;
+  CheckpointStore store(cfg, /*rank=*/0);
+  store.write(make_frame(2));
+  store.write(make_frame(4));
+  {
+    FaultPlan plan;
+    plan.arm({Point::kCheckpointRename, /*rank=*/0, /*superstep=*/6, 1});
+    fault::ScopedPlan armed(plan);
+    EXPECT_THROW(store.write(make_frame(6)), fault::FaultInjected);
+  }
+  // The aborted write may not have touched either published slot, and its
+  // temp file must have been cleaned up.
+  EXPECT_EQ(store.valid_supersteps(), (std::vector<int>{4, 2}));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "stray temp file: " << entry.path();
+  // Fault cleared: the rewrite publishes normally.
+  store.write(make_frame(6));
+  EXPECT_EQ(store.valid_supersteps(), (std::vector<int>{6, 4}));
+}
 
 #endif  // PG_FAULTS_ENABLED
 

@@ -46,6 +46,19 @@ PHASE_FIELDS = (
     "checkpoint",
 )
 
+# Numeric fields every top-level "failover" object must carry (the recovery
+# ladder's outcome: attempts/epochs/rung/lost_supersteps plus wall time). A
+# missing or renamed field is a schema error — the emitter and this gate must
+# move in lockstep, or a rename would silently disarm the failover check.
+FAILOVER_FIELDS = (
+    "failed_over",
+    "attempts",
+    "epochs",
+    "rung",
+    "lost_supersteps",
+    "recovery_ms",
+)
+
 
 def load(path: str) -> dict:
     try:
@@ -66,6 +79,42 @@ def versions_by_name(doc: dict, path: str) -> dict[str, dict]:
             sys.exit(f"bench_compare: {path} has a version without a name")
         out[name] = v
     return out
+
+
+def check_failover(doc: dict, path: str, rep: "Report") -> None:
+    """Validate the top-level "failover" object against FAILOVER_FIELDS.
+
+    Every bench emits the object (all-zero on fault-free runs), so a missing
+    object or a missing/non-numeric field is a hard schema error.
+    """
+    fo = doc.get("failover")
+    if not isinstance(fo, dict):
+        rep.errors.append(
+            f"{path}: top-level 'failover' object is missing or not an "
+            f"object (the bench emitter always writes one)"
+        )
+        return
+    for field in FAILOVER_FIELDS:
+        if field not in fo:
+            rep.errors.append(
+                f"{path}: failover field '{field}' is missing — renamed or "
+                f"dropped? The failover-schema gate cannot run without it."
+            )
+        elif not isinstance(fo[field], (int, float)) or isinstance(
+            fo[field], bool
+        ):
+            rep.errors.append(
+                f"{path}: failover field '{field}' is {fo[field]!r}, "
+                f"not a number"
+            )
+    erm = fo.get("epoch_recovery_ms")
+    if not isinstance(erm, list) or not all(
+        isinstance(x, (int, float)) and not isinstance(x, bool) for x in erm
+    ):
+        rep.errors.append(
+            f"{path}: failover field 'epoch_recovery_ms' must be a list of "
+            f"numbers (got {erm!r})"
+        )
 
 
 def phase_totals(version: dict) -> dict[str, float] | None:
@@ -139,6 +188,8 @@ def main() -> int:
     cand_vs = versions_by_name(cand_doc, args.candidate)
 
     rep = Report()
+    check_failover(base_doc, args.baseline, rep)
+    check_failover(cand_doc, args.candidate, rep)
     for key in ("figure", "app", "scale"):
         if base_doc.get(key) != cand_doc.get(key):
             rep.errors.append(

@@ -300,6 +300,26 @@ void JsonEmitter::set_failover(const metrics::FailoverStats& f) {
   failover_json_ += "]},";
 }
 
+void JsonEmitter::set_serving(const ServingSummary& s) {
+  if (!enabled_) return;
+  char buf[448];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\n  \"serving\": {\"jobs\": %llu, \"batches\": %llu, "
+      "\"lanes\": %llu, \"jobs_per_sec\": %.3f, "
+      "\"edge_scans_sequential\": %llu, \"edge_scans_batched\": %llu, "
+      "\"scan_reduction\": %.3f, \"p50_latency_ms\": %.3f, "
+      "\"p99_latency_ms\": %.3f, \"max_queue_depth\": %llu},",
+      static_cast<unsigned long long>(s.jobs),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<unsigned long long>(s.lanes), s.jobs_per_sec,
+      static_cast<unsigned long long>(s.edge_scans_sequential),
+      static_cast<unsigned long long>(s.edge_scans_batched), s.scan_reduction,
+      s.p50_latency_ms, s.p99_latency_ms,
+      static_cast<unsigned long long>(s.max_queue_depth));
+  serving_json_ = buf;
+}
+
 void JsonEmitter::set_ranks(const std::vector<metrics::RankIo>& io) {
   if (!enabled_) return;
   std::string out = "\n  \"ranks\": [";
@@ -330,6 +350,13 @@ JsonEmitter::~JsonEmitter() {
                  "\"epochs\": 0, \"rung\": 0, \"lost_supersteps\": 0, "
                  "\"recovery_ms\": 0.000, \"epoch_recovery_ms\": []},"
                : failover_json_.c_str();
+  body_ += serving_json_.empty()
+               ? "\n  \"serving\": {\"jobs\": 0, \"batches\": 0, "
+                 "\"lanes\": 0, \"jobs_per_sec\": 0.000, "
+                 "\"edge_scans_sequential\": 0, \"edge_scans_batched\": 0, "
+                 "\"scan_reduction\": 0.000, \"p50_latency_ms\": 0.000, "
+                 "\"p99_latency_ms\": 0.000, \"max_queue_depth\": 0},"
+               : serving_json_.c_str();
   body_.pop_back();  // drop the trailing comma after the last member
   body_ += "\n}\n";
   if (std::FILE* f = std::fopen(path_.c_str(), "w")) {

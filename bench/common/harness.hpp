@@ -69,6 +69,23 @@ struct DeviceSetup {
 [[nodiscard]] DeviceSetup cpu_setup(core::ExecMode mode, bool use_simd = true);
 [[nodiscard]] DeviceSetup mic_setup(core::ExecMode mode, bool use_simd = true);
 
+/// Whole-run summary of a serving bench (fig 7): throughput, the shared
+/// scan's edge savings against the sequential baseline, and tail latency
+/// from the QueryEngine's histograms. Mirrors metrics::FailoverStats' role
+/// for the failover object — plain data the JSON gate can schema-check.
+struct ServingSummary {
+  std::uint64_t jobs = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t lanes = 0;
+  double jobs_per_sec = 0;
+  std::uint64_t edge_scans_sequential = 0;
+  std::uint64_t edge_scans_batched = 0;
+  double scan_reduction = 0;  // sequential / batched edge scans
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
 /// Per-application cost weights for the performance model (see
 /// sim::ExecProfile): 1/1/false for the arithmetic-reduction apps;
 /// SemiClustering's merge/scoring is far heavier and branchy.
@@ -220,6 +237,12 @@ class JsonEmitter {
   /// fault-free run); emitted as a top-level "failover" object.
   void set_failover(const metrics::FailoverStats& f);
 
+  /// Record the serving bench's summary (all-zero for non-serving benches);
+  /// emitted as a top-level "serving" object. Like the failover object, the
+  /// destructor writes an all-zero default when this is never called, so
+  /// every bench JSON carries the schema the compare gate checks.
+  void set_serving(const ServingSummary& s);
+
   /// Record per-rank exchange traffic (bytes to / from every peer rank) of
   /// a heterogeneous / cluster run; emitted as a top-level "ranks" array.
   /// ranks[r] is rank r's RankIo from its RunResult.
@@ -234,6 +257,7 @@ class JsonEmitter {
   std::string path_;
   std::string body_;
   std::string failover_json_;
+  std::string serving_json_;
   std::string ranks_json_;
   bool first_version_ = true;
 };

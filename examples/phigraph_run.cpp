@@ -5,9 +5,18 @@
 //   phigraph_run --app=sssp --graph=web.adj --source=0 --mode=pipe
 //   phigraph_run --app=pagerank --gen=pokec:100000:1800000 --hetero
 //                --ratio=3:5 --partition-out=web.part --out=ranks.txt
+//   printf 'bfs 0\nsssp 17\ncc 42\n' | phigraph_run --serve --gen=pokec:20000:250000
 //
 // Flags:
-//   --app=pagerank|bfs|sssp|sc|cc|toposort   (required)
+//   --app=pagerank|bfs|sssp|sc|cc|toposort   (required unless --serve)
+//   --serve              serving mode: read one query per line from stdin
+//                        ("bfs V", "sssp V", "cc V", "ppr V"), batch them
+//                        through the QueryEngine admission queue (up to 64
+//                        compatible queries share one bit-parallel run), and
+//                        print each answer in submission order
+//   --batch-max=K        serve: max queries fused into one batch (1-64)
+//   --batch-wait-ms=W    serve: how long a batch waits for co-riders
+//   --queue-cap=C        serve: admission-queue bound (submit blocks beyond)
 //   --graph=FILE         adjacency-list (.adj), binary (.pgb) or edge list
 //   --gen=KIND:N:M       pokec | dblp | dag | er  (instead of --graph)
 //   --source=V           BFS/SSSP source (default 0)
@@ -27,10 +36,13 @@
 //   --partition=FILE     use an existing partitioning file
 //   --partition-out=FILE save the computed partitioning
 //   --out=FILE           write per-vertex results
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -41,6 +53,7 @@
 #include "src/apps/sssp.hpp"
 #include "src/apps/toposort.hpp"
 #include "src/core/hetero_engine.hpp"
+#include "src/core/query_engine.hpp"
 #include "src/gen/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/partition/partition.hpp"
@@ -66,6 +79,10 @@ struct Options {
   core::DirectionMode direction = core::DirectionMode::kAuto;
   bool hetero = false;
   partition::Ratio ratio{1, 1};
+  bool serve = false;
+  int batch_max = core::EngineConfig{}.serve_batch_max;
+  int batch_wait_ms = core::EngineConfig{}.serve_batch_wait_ms;
+  int queue_cap = static_cast<int>(core::EngineConfig{}.serve_queue_capacity);
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -106,7 +123,11 @@ Options parse(int argc, char** argv) {
       else if (*vd == "push") o.direction = core::DirectionMode::kForcePush;
       else if (*vd == "pull") o.direction = core::DirectionMode::kForcePull;
       else usage("bad --direction (auto|push|pull)");
-    } else if (arg == "--hetero") o.hetero = true;
+    } else if (arg == "--serve") o.serve = true;
+    else if (auto vb = val("--batch-max")) o.batch_max = std::stoi(*vb);
+    else if (auto vw = val("--batch-wait-ms")) o.batch_wait_ms = std::stoi(*vw);
+    else if (auto vq = val("--queue-cap")) o.queue_cap = std::stoi(*vq);
+    else if (arg == "--hetero") o.hetero = true;
     else if (auto v10 = val("--ratio")) {
       if (std::sscanf(v10->c_str(), "%d:%d", &o.ratio.cpu, &o.ratio.mic) != 2)
         usage("bad --ratio, expected A:B");
@@ -115,7 +136,8 @@ Options parse(int argc, char** argv) {
     else if (auto v13 = val("--out")) o.out_path = *v13;
     else usage(("unknown flag: " + arg).c_str());
   }
-  if (o.app.empty()) usage("--app is required");
+  if (o.app.empty() && !o.serve) usage("--app is required");
+  if (!o.app.empty() && o.serve) usage("--serve takes queries, not --app");
   if (o.graph_path.empty() && o.gen_spec.empty())
     usage("one of --graph or --gen is required");
   return o;
@@ -209,6 +231,86 @@ int run_app(const Options& o, const graph::Csr& g, const Program& prog,
   return 0;
 }
 
+// Serving mode: one query per stdin line, answers printed in submission
+// order. Compatible queries that arrive within the batch window share one
+// bit-parallel run, so piping many sources is much cheaper than running
+// phigraph_run once per source.
+int run_serve(const Options& o, const graph::Csr& g) {
+  core::EngineConfig cfg = make_cfg(o, 10'000);
+  cfg.serve_queue_capacity = static_cast<std::size_t>(o.queue_cap);
+  cfg.serve_batch_max = o.batch_max;
+  cfg.serve_batch_wait_ms = o.batch_wait_ms;
+  core::QueryEngine qe(g, cfg);
+
+  std::vector<std::shared_ptr<core::QueryTicket>> tickets;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    char kindbuf[8];
+    unsigned long long v = 0;
+    if (std::sscanf(line.c_str(), "%7s %llu", kindbuf, &v) != 2)
+      usage(("bad query line: " + line).c_str());
+    const std::string k = kindbuf;
+    core::QueryKind kind;
+    if (k == "bfs") kind = core::QueryKind::kBfs;
+    else if (k == "sssp") kind = core::QueryKind::kSssp;
+    else if (k == "cc") kind = core::QueryKind::kComponent;
+    else if (k == "ppr") kind = core::QueryKind::kPpr;
+    else usage(("bad query kind (bfs|sssp|cc|ppr): " + k).c_str());
+    if (v >= g.num_vertices())
+      usage(("query source out of range: " + line).c_str());
+    tickets.push_back(qe.submit({kind, static_cast<vid_t>(v)}));
+  }
+
+  for (const auto& t : tickets) {
+    const auto r = t->get();
+    switch (r.kind) {
+      case core::QueryKind::kBfs: {
+        std::uint64_t reached = 0;
+        std::int32_t ecc = 0;
+        for (auto lv : r.level)
+          if (lv >= 0) { ++reached; ecc = std::max(ecc, lv); }
+        std::printf("bfs %u: reached %llu vertices, eccentricity %d", r.source,
+                    static_cast<unsigned long long>(reached), ecc);
+        break;
+      }
+      case core::QueryKind::kSssp: {
+        std::uint64_t reached = 0;
+        for (auto d : r.dist)
+          if (d < apps::MsSssp::kInfinity) ++reached;
+        std::printf("sssp %u: reached %llu vertices", r.source,
+                    static_cast<unsigned long long>(reached));
+        break;
+      }
+      case core::QueryKind::kComponent: {
+        std::uint64_t size = 0;
+        for (auto m : r.member) size += m;
+        std::printf("cc %u: component size %llu", r.source,
+                    static_cast<unsigned long long>(size));
+        break;
+      }
+      case core::QueryKind::kPpr:
+        std::printf("ppr %u: rank(source) %.6f", r.source,
+                    static_cast<double>(r.rank[r.source]));
+        break;
+    }
+    std::printf("  [%d-lane batch, %d supersteps, %.2f ms]\n", r.batch_lanes,
+                r.supersteps, r.latency_ms);
+  }
+
+  qe.shutdown();
+  const auto stats = qe.stats();
+  std::printf(
+      "served %llu queries in %llu shared runs (p50 %.2f ms, p99 %.2f ms, "
+      "max queue depth %llu)\n",
+      static_cast<unsigned long long>(stats.jobs),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<double>(stats.latency_us.quantile_bound(0.5)) / 1000.0,
+      static_cast<double>(stats.latency_us.quantile_bound(0.99)) / 1000.0,
+      static_cast<unsigned long long>(stats.max_queue_depth));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,6 +321,12 @@ int main(int argc, char** argv) {
     usage("bad numeric flag value");
   }
 
+  if (o.serve) {
+    // Weights up front: a "sssp V" line may arrive at any point and the
+    // engine refuses SSSP jobs on an unweighted graph.
+    const auto g = load_graph(o, true);
+    return run_serve(o, g);
+  }
   if (o.app == "pagerank") {
     const auto g = load_graph(o, false);
     return run_app(o, g, apps::PageRank{}, 20,

@@ -1,0 +1,369 @@
+// Multi-source bit-parallel vertex programs for the serving layer
+// (core/query_engine.hpp).
+//
+// The serving trick (after Then et al.'s MS-BFS and the BFS vectorization
+// line of work): pack up to 64 concurrent point queries into the lanes of
+// one machine word, so a whole admission batch rides a single CSB edge scan.
+// MsBfs carries one frontier-membership bit per query; a vertex's message is
+// the uint64_t OR of its in-edges' masks, and one BSP run answers all 64
+// BFS/reachability queries. MsSssp and MsPpr batch by value lanes instead:
+// 64 float distance (resp. rank) lanes share the edge scan, with lane-wise
+// min (resp. sum) reduction.
+//
+// Lane-exactness contract (what tests/query_differential_test.cpp enforces):
+// each lane of a batched run is bit-identical to the same query run
+// single-source through the ordinary apps:: programs. The arguments:
+//   * MsBfs: lane l's frontier evolves one hop per superstep exactly as the
+//     single-source BFS frontier does; a lane's level is the superstep of
+//     first arrival, which is the same in both runs.
+//   * MsSssp: lane l improves at vertex v in superstep s iff single-source
+//     SSSP improves v at s (induction over supersteps), and the improving
+//     value is the same float expression d + w evaluated in the same order.
+//     Batching adds only re-sends of already-propagated lane values, which
+//     the lane-wise min absorbs without effect.
+//   * MsPpr sums float lanes, so its results are fold-order-dependent like
+//     PageRank's; batched-vs-batch-of-1 equality holds under a single
+//     worker, and determinism (same batch twice) holds everywhere.
+//
+// Tail masking: when a batch has fewer than 64 queries, the unused high
+// lanes must stay dead. MsBfs masks every message with the batch's lane
+// mask, and the audit build aborts if an out-of-mask bit ever appears
+// (a stale tail word would silently answer queries nobody asked).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/audit.hpp"
+#include "src/common/types.hpp"
+#include "src/core/program_traits.hpp"
+
+namespace phigraph::apps {
+
+/// Lanes per batch word: one uint64_t of frontier bits (MsBfs), or one
+/// 64-float block of distance/rank lanes (MsSssp / MsPpr).
+inline constexpr int kMaxQueryLanes = 64;
+
+/// Bitmask selecting the low `lanes` lanes (all 64 when lanes == 64).
+[[nodiscard]] constexpr std::uint64_t lane_mask(int lanes) noexcept {
+  return lanes >= kMaxQueryLanes ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << lanes) - 1;
+}
+
+/// Fixed-size source list of a batch (lanes beyond `count` are unused).
+struct SourceBatch {
+  std::array<vid_t, kMaxQueryLanes> source{};
+  int count = 0;
+
+  [[nodiscard]] std::uint64_t mask() const noexcept {
+    return lane_mask(count);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MsBfs: 64 BFS / reachability queries per uint64_t frontier word.
+// ---------------------------------------------------------------------------
+
+/// Per-vertex state of a 64-lane BFS batch. `seen` accumulates which lanes
+/// have reached this vertex, `frontier` holds the lanes that arrived in the
+/// previous superstep (what generate/pull advertises), and `level[l]` is the
+/// arrival superstep of lane l (-1 while unreached) — exactly the
+/// single-source BFS level.
+struct MsBfsValue {
+  std::uint64_t seen = 0;
+  std::uint64_t frontier = 0;
+  std::array<std::int32_t, kMaxQueryLanes> level{};
+};
+
+class MsBfs {
+ public:
+  using vertex_value_t = MsBfsValue;
+  using message_t = std::uint64_t;  // lane bitmask: "these queries reach you"
+  static constexpr bool kAllActive = false;
+  static constexpr bool kNeedsReduction = true;  // OR over all parents
+  static constexpr bool kSimdReduce = false;
+  static constexpr core::CombinerKind kCombiner = core::CombinerKind::kOr;
+  // Pull direction: a candidate vertex ORs the frontier words of its
+  // in-neighbors — the same word the push path would have delivered. The
+  // whole batch word is masked, so a short batch never resurrects tail
+  // lanes from a bottom-up scan.
+  static constexpr bool kPullable = true;
+
+  explicit MsBfs(const SourceBatch& batch)
+      : sources_(batch.source),
+        count_(std::min(batch.count, kMaxQueryLanes)),
+        mask_(lane_mask(batch.count)) {}
+
+  [[nodiscard]] std::uint64_t identity() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t combine(std::uint64_t a,
+                                      std::uint64_t b) const noexcept {
+    return a | b;
+  }
+
+  void init_vertex(vid_t global, MsBfsValue& value, bool& active,
+                   const core::InitInfo& /*info*/) const noexcept {
+    value.seen = 0;
+    value.frontier = 0;
+    value.level.fill(-1);
+    for (int l = 0; l < count_; ++l)
+      if (sources_[static_cast<std::size_t>(l)] == global) {
+        const std::uint64_t bit = std::uint64_t{1} << l;
+        value.seen |= bit;
+        value.frontier |= bit;
+        value.level[static_cast<std::size_t>(l)] = 0;
+      }
+    active = value.frontier != 0;
+  }
+
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    const std::uint64_t word = g.vertex_value[u].frontier & mask_;
+    if (word == 0) return;
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      sink.send_messages(g.edges[i], word);
+  }
+
+  template <typename VArr>
+  void process_messages(VArr& /*vmsgs*/) const {
+    // Scalar combine path (kSimdReduce == false); nothing to do here.
+  }
+
+  [[nodiscard]] std::uint64_t pull_message(const MsBfsValue& src,
+                                           float /*weight*/) const noexcept {
+    return src.frontier & mask_;
+  }
+  [[nodiscard]] bool pull_candidate(const MsBfsValue& value) const noexcept {
+    return (value.seen & mask_) != mask_;  // some lane still unreached
+  }
+
+  template <typename View>
+  bool update_vertex(const std::uint64_t& msg, View& g, vid_t u) const {
+    // Tail-word audit: a message bit outside the batch's lane mask means a
+    // stale tail word leaked through the frontier machinery.
+    PG_AUDIT_FMT((msg & ~mask_) == 0, "ms-lane-mask",
+                 "MsBfs message carries lanes outside the %d-lane batch "
+                 "(msg=%#llx mask=%#llx)",
+                 count_, static_cast<unsigned long long>(msg),
+                 static_cast<unsigned long long>(mask_));
+    MsBfsValue& v = g.vertex_value[u];
+    const std::uint64_t fresh = msg & ~v.seen & mask_;
+    v.frontier = fresh;
+    if (fresh == 0) return false;
+    v.seen |= fresh;
+    const std::int32_t lvl = g.superstep + 1;
+    std::uint64_t bits = fresh;
+    while (bits != 0) {
+      const int l = std::countr_zero(bits);
+      v.level[static_cast<std::size_t>(l)] = lvl;
+      bits &= bits - 1;
+    }
+    return true;
+  }
+
+  [[nodiscard]] int lanes() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t mask() const noexcept { return mask_; }
+
+ private:
+  std::array<vid_t, kMaxQueryLanes> sources_;
+  int count_;
+  std::uint64_t mask_;
+};
+
+// ---------------------------------------------------------------------------
+// MsSssp: 64 shortest-path queries per 64-float lane block.
+// ---------------------------------------------------------------------------
+
+/// One 64-float lane block, used as both vertex value and message. Unused
+/// tail lanes sit at +infinity (the min identity) and can never improve, so
+/// a short batch needs no explicit masking on this path — the audit build
+/// still checks the invariant in update_vertex.
+struct MsLanes {
+  std::array<float, kMaxQueryLanes> v{};
+};
+
+class MsSssp {
+ public:
+  using vertex_value_t = MsLanes;
+  using message_t = MsLanes;
+  static constexpr bool kAllActive = false;
+  static constexpr bool kNeedsReduction = true;
+  static constexpr bool kSimdReduce = false;  // struct message: scalar combine
+  static constexpr core::CombinerKind kCombiner = core::CombinerKind::kCustom;
+  static constexpr bool kPullable = true;
+
+  static constexpr float kInfinity = std::numeric_limits<float>::max();
+
+  explicit MsSssp(const SourceBatch& batch)
+      : sources_(batch.source),
+        count_(std::min(batch.count, kMaxQueryLanes)) {}
+
+  [[nodiscard]] MsLanes identity() const noexcept {
+    MsLanes m;
+    m.v.fill(kInfinity);
+    return m;
+  }
+  [[nodiscard]] MsLanes combine(const MsLanes& a,
+                                const MsLanes& b) const noexcept {
+    MsLanes r;
+    for (int l = 0; l < kMaxQueryLanes; ++l)
+      r.v[static_cast<std::size_t>(l)] =
+          std::min(a.v[static_cast<std::size_t>(l)],
+                   b.v[static_cast<std::size_t>(l)]);
+    return r;
+  }
+
+  void init_vertex(vid_t global, MsLanes& value, bool& active,
+                   const core::InitInfo& /*info*/) const noexcept {
+    value.v.fill(kInfinity);
+    active = false;
+    for (int l = 0; l < count_; ++l)
+      if (sources_[static_cast<std::size_t>(l)] == global) {
+        value.v[static_cast<std::size_t>(l)] = 0.0f;
+        active = true;
+      }
+  }
+
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    const MsLanes& mine = g.vertex_value[u];
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i) {
+      const float w = g.edge_value[i];
+      MsLanes m;
+      // FLT_MAX + w rounds back to FLT_MAX for any graph-scale weight, so
+      // unreached lanes keep offering the identity.
+      for (int l = 0; l < kMaxQueryLanes; ++l)
+        m.v[static_cast<std::size_t>(l)] =
+            mine.v[static_cast<std::size_t>(l)] + w;
+      sink.send_messages(g.edges[i], m);
+    }
+  }
+
+  template <typename VArr>
+  void process_messages(VArr& /*vmsgs*/) const {}
+
+  [[nodiscard]] MsLanes pull_message(const MsLanes& src,
+                                     float weight) const noexcept {
+    MsLanes m;
+    for (int l = 0; l < kMaxQueryLanes; ++l)
+      m.v[static_cast<std::size_t>(l)] =
+          src.v[static_cast<std::size_t>(l)] + weight;
+    return m;
+  }
+
+  template <typename View>
+  bool update_vertex(const MsLanes& msg, View& g, vid_t u) const {
+#if PG_AUDIT_ENABLED
+    for (int l = count_; l < kMaxQueryLanes; ++l)
+      PG_AUDIT_FMT(msg.v[static_cast<std::size_t>(l)] >= kInfinity,
+                   "ms-lane-mask",
+                   "MsSssp message improved tail lane %d of a %d-lane batch",
+                   l, count_);
+#endif
+    MsLanes& mine = g.vertex_value[u];
+    bool improved = false;
+    for (int l = 0; l < count_; ++l) {
+      const auto i = static_cast<std::size_t>(l);
+      if (msg.v[i] < mine.v[i]) {
+        mine.v[i] = msg.v[i];
+        improved = true;
+      }
+    }
+    return improved;
+  }
+
+  [[nodiscard]] int lanes() const noexcept { return count_; }
+
+ private:
+  std::array<vid_t, kMaxQueryLanes> sources_;
+  int count_;
+};
+
+// ---------------------------------------------------------------------------
+// MsPpr: 64 personalized-PageRank queries per lane block (kAllActive, fixed
+// superstep count like PageRank; float sums, so fold-order caveats apply).
+// ---------------------------------------------------------------------------
+
+/// Vertex state: rank lanes plus the teleport bitmask (bit l set when this
+/// vertex is lane l's personalization source — the restart mass returns
+/// there and only there).
+struct MsPprValue {
+  std::uint64_t teleport = 0;
+  std::array<float, kMaxQueryLanes> rank{};
+};
+
+class MsPpr {
+ public:
+  using vertex_value_t = MsPprValue;
+  using message_t = MsLanes;
+  static constexpr bool kAllActive = true;
+  static constexpr bool kNeedsReduction = true;
+  static constexpr bool kSimdReduce = false;
+  static constexpr core::CombinerKind kCombiner = core::CombinerKind::kCustom;
+
+  explicit MsPpr(const SourceBatch& batch, float damping = 0.85f)
+      : sources_(batch.source),
+        count_(std::min(batch.count, kMaxQueryLanes)),
+        damping_(damping) {}
+
+  [[nodiscard]] MsLanes identity() const noexcept { return MsLanes{}; }
+  [[nodiscard]] MsLanes combine(const MsLanes& a,
+                                const MsLanes& b) const noexcept {
+    MsLanes r;
+    for (int l = 0; l < kMaxQueryLanes; ++l)
+      r.v[static_cast<std::size_t>(l)] = a.v[static_cast<std::size_t>(l)] +
+                                         b.v[static_cast<std::size_t>(l)];
+    return r;
+  }
+
+  void init_vertex(vid_t global, MsPprValue& value, bool& active,
+                   const core::InitInfo& /*info*/) const noexcept {
+    value.teleport = 0;
+    value.rank.fill(0.0f);
+    for (int l = 0; l < count_; ++l)
+      if (sources_[static_cast<std::size_t>(l)] == global) {
+        value.teleport |= std::uint64_t{1} << l;
+        value.rank[static_cast<std::size_t>(l)] = 1.0f;
+      }
+    active = true;
+  }
+
+  template <typename View, typename Sink>
+  void generate_messages(vid_t u, const View& g, Sink& sink) const {
+    const eid_t deg = g.vertices[u + 1] - g.vertices[u];
+    if (deg == 0) return;
+    const MsPprValue& mine = g.vertex_value[u];
+    MsLanes share;
+    for (int l = 0; l < count_; ++l)
+      share.v[static_cast<std::size_t>(l)] =
+          mine.rank[static_cast<std::size_t>(l)] / static_cast<float>(deg);
+    for (eid_t i = g.vertices[u]; i < g.vertices[u + 1]; ++i)
+      sink.send_messages(g.edges[i], share);
+  }
+
+  template <typename VArr>
+  void process_messages(VArr& /*vmsgs*/) const {}
+
+  template <typename View>
+  bool update_vertex(const MsLanes& msg, View& g, vid_t u) const noexcept {
+    MsPprValue& mine = g.vertex_value[u];
+    for (int l = 0; l < count_; ++l) {
+      const auto i = static_cast<std::size_t>(l);
+      const float teleport =
+          (mine.teleport >> l) & 1u ? (1.0f - damping_) : 0.0f;
+      mine.rank[i] = teleport + damping_ * msg.v[i];
+    }
+    return true;
+  }
+
+  [[nodiscard]] int lanes() const noexcept { return count_; }
+
+ private:
+  std::array<vid_t, kMaxQueryLanes> sources_;
+  int count_;
+  float damping_;
+};
+
+}  // namespace phigraph::apps

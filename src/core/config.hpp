@@ -112,6 +112,21 @@ struct EngineConfig {
   /// meaningless (recovery is a cluster-level decision).
   fault::RetryPolicy retry;
 
+  /// Multi-query serving (core/query_engine.hpp). The admission queue is
+  /// bounded: submit() blocks — never drops — once serve_queue_capacity jobs
+  /// are waiting (backpressure propagates to the callers). The dispatcher
+  /// closes a batch at serve_batch_max lanes (<= 64, one bit / float lane
+  /// per query) or when the oldest waiting job has aged
+  /// serve_batch_wait_ms, whichever comes first — the classic
+  /// throughput-vs-latency knob pair.
+  std::size_t serve_queue_capacity = 256;
+  int serve_batch_max = 64;
+  int serve_batch_wait_ms = 2;
+
+  /// Fixed superstep count for personalized-PageRank jobs (PPR terminates by
+  /// iteration count, like PageRank).
+  int serve_ppr_supersteps = 10;
+
   /// Worker threads for the single-device recovery engine (ladder rung 3).
   /// 0 = size it from the combined thread budgets of every rank — the dead
   /// cluster's whole allotment is free, so the rerun should use the whole

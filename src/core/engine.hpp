@@ -933,6 +933,16 @@ class DeviceEngine {
       superstep_sparse_ = false;
       superstep_frontier_size_ = static_cast<std::uint64_t>(frontier_.size());
       pull_frontier_.assign_bytes(active_.data(), active_.size());
+      // Tail-word audit: when |V| is not a multiple of 64, the bits past n
+      // in the bitmap's last word must be dead — a stale tail bit would let
+      // the pull kernel treat a nonexistent vertex as frontier (and, for the
+      // 64-lane batch programs, answer query lanes nobody submitted).
+      PG_AUDIT_FMT(pull_frontier_.tail_bits() == 0, "frontier-tail-word",
+                   "pull frontier bitmap carries %llu stale tail bit(s) past "
+                   "|V|=%u",
+                   static_cast<unsigned long long>(
+                       __builtin_popcountll(pull_frontier_.tail_bits())),
+                   static_cast<unsigned>(n));
       const bool weighted = in_csr_->has_edge_values();
       sched_.reset(static_cast<std::size_t>(n), cfg_.sched_chunk);
       team_run_guarded([&](int tid) {

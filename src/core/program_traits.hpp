@@ -56,9 +56,13 @@ concept VertexProgram = requires {
 /// apply it at the send-side remote buffer before anything crosses a rank
 /// boundary:
 ///
-///   * kSum / kMin — combine() is the commutative, associative sum /
-///     minimum; the audit build spot-checks commutativity on real message
-///     pairs and aborts if the declaration lies.
+///   * kSum / kMin / kOr — combine() is the commutative, associative sum /
+///     minimum / bitwise OR; the audit build spot-checks commutativity on
+///     real message pairs and aborts if the declaration lies. kOr is the
+///     multi-source lane-merge (64 queries per uint64_t word, see
+///     apps/multi_source.hpp): each set bit is one query's frontier
+///     membership, and merging bitmasks from different in-edges is exactly
+///     the word-wide OR.
 ///   * kCustom — combine() is an arbitrary program-defined reduction the
 ///     runtime trusts to be order-insensitive enough to pre-combine (the
 ///     historical default: every program's remote messages have always been
@@ -68,13 +72,14 @@ concept VertexProgram = requires {
 ///
 /// Declared as `static constexpr CombinerKind kCombiner = ...;` — optional,
 /// programs without it keep the historical kCustom behavior.
-enum class CombinerKind : std::uint8_t { kNone = 0, kSum, kMin, kCustom };
+enum class CombinerKind : std::uint8_t { kNone = 0, kSum, kMin, kOr, kCustom };
 
 constexpr const char* combiner_kind_name(CombinerKind k) noexcept {
   switch (k) {
     case CombinerKind::kNone: return "none";
     case CombinerKind::kSum: return "sum";
     case CombinerKind::kMin: return "min";
+    case CombinerKind::kOr: return "or";
     case CombinerKind::kCustom: return "custom";
   }
   return "?";
@@ -99,7 +104,8 @@ template <typename P>
 template <typename P>
 [[nodiscard]] consteval bool combiner_claims_commutative() noexcept {
   return combiner_kind<P>() == CombinerKind::kSum ||
-         combiner_kind<P>() == CombinerKind::kMin;
+         combiner_kind<P>() == CombinerKind::kMin ||
+         combiner_kind<P>() == CombinerKind::kOr;
 }
 
 /// Pull-direction opt-in (direction-optimizing traversal, core/direction.hpp).

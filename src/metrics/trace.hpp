@@ -57,9 +57,10 @@ enum class Phase : std::uint8_t {
   kExchangeWait,   // rendezvous wait inside Exchange::exchange_for
   kRecovery,       // CPU-only failover rebuild + rerun
   kPullScan,       // bottom-up pull kernel (inside generate, team threads)
+  kServeBatch,     // one QueryEngine batch: formation through fulfillment
 };
 
-inline constexpr int kNumPhases = 12;
+inline constexpr int kNumPhases = 13;
 
 constexpr const char* phase_name(Phase p) noexcept {
   switch (p) {
@@ -75,6 +76,7 @@ constexpr const char* phase_name(Phase p) noexcept {
     case Phase::kExchangeWait: return "exchange-wait";
     case Phase::kRecovery: return "recovery";
     case Phase::kPullScan: return "pull-scan";
+    case Phase::kServeBatch: return "serve-batch";
   }
   return "?";
 }

@@ -60,6 +60,21 @@ class DenseBitset {
       else
         words_[i / 64] &= ~(1ull << (i % 64));
     }
+    // Tail-word masking: bits >= size_ must stay dead. count() and the
+    // 64-lane batch kernels consume whole words, so a stale tail bit would
+    // count phantom frontier vertices (or resurrect unasked query lanes).
+    // set()/resize() preserve this on their own; re-assert it here so a
+    // caller handing an oversized byte map can never smuggle tail bits in.
+    if (!words_.empty() && size_ % 64 != 0)
+      words_.back() &= (1ull << (size_ % 64)) - 1;
+  }
+
+  /// Bits past size_ in the last word, which must always be zero (the
+  /// tail-word invariant above). Exposed so the audit build and the frontier
+  /// regression tests can assert it cheaply.
+  [[nodiscard]] std::uint64_t tail_bits() const noexcept {
+    if (words_.empty() || size_ % 64 == 0) return 0;
+    return words_.back() & ~((1ull << (size_ % 64)) - 1);
   }
 
   bool test(std::size_t i) const {

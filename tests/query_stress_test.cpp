@@ -1,0 +1,246 @@
+// Serving-layer concurrency stress: many submitter threads against the
+// QueryEngine's bounded admission queue, run under the tsan preset like the
+// other stress batteries.
+//
+// Properties enforced (the ISSUE's serving contract):
+//   * no lost results — every ticket a successful submit() returns is
+//     eventually fulfilled, shutdown included;
+//   * no duplicated results — QueryTicket::fulfill PG_CHECKs single
+//     fulfillment, so a double-serve aborts the test;
+//   * no cross-job mixups — each fulfilled result carries its own job's
+//     kind/source and the right answer for that source;
+//   * backpressure blocks rather than drops — with capacity C the observed
+//     queue depth never exceeds C and the fulfilled-job count still equals
+//     the submitted-job count;
+//   * clean shutdown with jobs in flight — shutdown() drains every queued
+//     job before the dispatcher exits, and submit() after shutdown returns
+//     nullptr instead of wedging or crashing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/apps/multi_source.hpp"
+#include "src/apps/reference.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/query_engine.hpp"
+#include "src/gen/generators.hpp"
+#include "src/graph/csr.hpp"
+#include "watchdog.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PG_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PG_TEST_SANITIZED 1
+#endif
+#endif
+#ifndef PG_TEST_SANITIZED
+#define PG_TEST_SANITIZED 0
+#endif
+
+namespace {
+
+using namespace phigraph;
+using core::EngineConfig;
+using core::QueryKind;
+
+graph::Csr make_graph(std::uint64_t seed) {
+  auto g = gen::pokec_like(120, 480, seed);
+  gen::add_random_weights(g, seed ^ 0x94d049bbull);
+  return g;
+}
+
+EngineConfig serving_cfg(std::size_t capacity, int batch_max, int wait_ms) {
+  EngineConfig e;
+  e.threads = 2;
+  e.movers = 1;
+  e.simd_bytes = simd::kCpuSimdBytes;
+  e.serve_queue_capacity = capacity;
+  e.serve_batch_max = batch_max;
+  e.serve_batch_wait_ms = wait_ms;
+  return e;
+}
+
+/// BFS references for every vertex a stress thread might query, computed
+/// once up front so result checks are just comparisons.
+std::map<vid_t, std::vector<std::int32_t>> bfs_refs(const graph::Csr& g,
+                                                    const std::vector<vid_t>& srcs) {
+  std::map<vid_t, std::vector<std::int32_t>> refs;
+  for (vid_t s : srcs)
+    if (refs.find(s) == refs.end()) refs.emplace(s, apps::classic_bfs(g, s));
+  return refs;
+}
+
+TEST(QueryStress, ConcurrentSubmittersNoLostNoMixedResults) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  const auto g = make_graph(0x57e5);
+  constexpr int kThreads = 4;
+  constexpr int kJobsEach = PG_TEST_SANITIZED ? 12 : 32;
+
+  // Per-thread deterministic source sequences, references precomputed.
+  std::vector<std::vector<vid_t>> plan(kThreads);
+  std::vector<vid_t> all;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(0x57e5u + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kJobsEach; ++i) {
+      plan[static_cast<std::size_t>(t)].push_back(
+          static_cast<vid_t>(rng.below(g.num_vertices())));
+      all.push_back(plan[static_cast<std::size_t>(t)].back());
+    }
+  }
+  const auto refs = bfs_refs(g, all);
+
+  core::QueryEngine qe(g, serving_cfg(/*capacity=*/4, /*batch_max=*/8,
+                                      /*wait_ms=*/1));
+  std::vector<std::vector<std::shared_ptr<core::QueryTicket>>> tickets(
+      kThreads);
+  {
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t)
+      submitters.emplace_back([&, t] {
+        for (vid_t src : plan[static_cast<std::size_t>(t)])
+          tickets[static_cast<std::size_t>(t)].push_back(
+              qe.submit({QueryKind::kBfs, src}));
+      });
+    for (auto& th : submitters) th.join();
+  }
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(tickets[static_cast<std::size_t>(t)].size(),
+              static_cast<std::size_t>(kJobsEach));
+    for (int i = 0; i < kJobsEach; ++i) {
+      auto& ticket = tickets[static_cast<std::size_t>(t)]
+                            [static_cast<std::size_t>(i)];
+      ASSERT_NE(ticket, nullptr) << "submit dropped a job pre-shutdown";
+      const auto& r = ticket->get();
+      const vid_t expect =
+          plan[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)];
+      ASSERT_EQ(r.kind, QueryKind::kBfs);
+      ASSERT_EQ(r.source, expect)
+          << "thread " << t << " job " << i << " got another job's result";
+      ASSERT_EQ(r.level, refs.at(expect))
+          << "thread " << t << " job " << i << " wrong answer";
+    }
+  }
+
+  qe.shutdown();
+  const auto s = qe.stats();
+  EXPECT_EQ(s.jobs, static_cast<std::uint64_t>(kThreads) * kJobsEach)
+      << "fulfilled-job count must equal submitted-job count";
+  EXPECT_EQ(s.latency_us.count, s.jobs);
+  EXPECT_LE(s.max_queue_depth, 4u)
+      << "backpressure must bound the queue at its capacity";
+}
+
+TEST(QueryStress, BackpressureBoundsDepthWithoutDropping) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  const auto g = make_graph(0xb10c);
+  constexpr std::size_t kCapacity = 2;
+  constexpr int kThreads = 3;
+  constexpr int kJobsEach = PG_TEST_SANITIZED ? 8 : 20;
+
+  core::QueryEngine qe(g, serving_cfg(kCapacity, /*batch_max=*/2,
+                                      /*wait_ms=*/1));
+  std::vector<std::thread> submitters;
+  sync::Atomic<std::uint64_t> fulfilled{0};
+  for (int t = 0; t < kThreads; ++t)
+    submitters.emplace_back([&, t] {
+      Rng rng(0xb10cu + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kJobsEach; ++i) {
+        const auto src = static_cast<vid_t>(rng.below(g.num_vertices()));
+        auto ticket = qe.submit({QueryKind::kBfs, src});
+        ASSERT_NE(ticket, nullptr);
+        // Waiting on every other job keeps submitters ahead of the
+        // dispatcher, so admission actually hits the capacity wall.
+        if (i % 2 == 0) {
+          const auto& r = ticket->get();
+          ASSERT_EQ(r.source, src);
+        }
+        fulfilled.fetch_add(1, sync::relaxed);
+      }
+    });
+  for (auto& th : submitters) th.join();
+  qe.shutdown();
+
+  const auto s = qe.stats();
+  EXPECT_EQ(fulfilled.load(sync::relaxed),
+            static_cast<std::uint64_t>(kThreads) * kJobsEach);
+  EXPECT_EQ(s.jobs, static_cast<std::uint64_t>(kThreads) * kJobsEach)
+      << "bounded queue must block, never drop";
+  EXPECT_LE(s.max_queue_depth, kCapacity);
+}
+
+TEST(QueryStress, ShutdownDrainsJobsInFlight) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  const auto g = make_graph(0xd5a1);
+  // A long batch wait guarantees jobs are still queued when shutdown lands;
+  // the dispatcher must skip the wait and drain them all.
+  auto cfg = serving_cfg(/*capacity=*/64, /*batch_max=*/4, /*wait_ms=*/5000);
+  Rng rng(0xd5a1);
+  std::vector<std::pair<vid_t, std::shared_ptr<core::QueryTicket>>> subs;
+  {
+    core::QueryEngine qe(g, cfg);
+    for (int i = 0; i < 10; ++i) {
+      const auto src = static_cast<vid_t>(rng.below(g.num_vertices()));
+      subs.emplace_back(src, qe.submit({QueryKind::kBfs, src}));
+      ASSERT_NE(subs.back().second, nullptr);
+    }
+    qe.shutdown();
+    EXPECT_EQ(qe.stats().jobs, 10u) << "shutdown left queued jobs unserved";
+    EXPECT_EQ(qe.submit({QueryKind::kBfs, 0}), nullptr)
+        << "submit after shutdown must refuse, not wedge";
+  }  // destructor after explicit shutdown: must be a no-op, not a crash
+  for (const auto& [src, ticket] : subs) {
+    ASSERT_TRUE(ticket->ready()) << "in-flight job lost at shutdown";
+    const auto& r = ticket->get();
+    EXPECT_EQ(r.source, src);
+    EXPECT_EQ(r.level, apps::classic_bfs(g, src));
+  }
+}
+
+TEST(QueryStress, SubmittersRacingShutdownNeverLoseAdmittedJobs) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  const auto g = make_graph(0xfade);
+  core::QueryEngine qe(g, serving_cfg(/*capacity=*/4, /*batch_max=*/4,
+                                      /*wait_ms=*/1));
+  constexpr int kThreads = 3;
+  std::vector<std::vector<std::shared_ptr<core::QueryTicket>>> tickets(
+      kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t)
+    submitters.emplace_back([&, t] {
+      Rng rng(0xfadeu + static_cast<std::uint64_t>(t));
+      // Submit until the engine refuses: nullptr marks the shutdown edge.
+      for (int i = 0; i < 1000; ++i) {
+        auto ticket = qe.submit(
+            {QueryKind::kBfs, static_cast<vid_t>(rng.below(g.num_vertices()))});
+        if (ticket == nullptr) break;
+        tickets[static_cast<std::size_t>(t)].push_back(std::move(ticket));
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  qe.shutdown();
+  for (auto& th : submitters) th.join();
+
+  std::uint64_t admitted = 0;
+  for (const auto& per_thread : tickets)
+    for (const auto& ticket : per_thread) {
+      ++admitted;
+      ASSERT_TRUE(ticket->ready())
+          << "a ticket the engine handed out was never fulfilled";
+    }
+  EXPECT_EQ(qe.stats().jobs, admitted)
+      << "every admitted job, and only those, must be served";
+}
+
+}  // namespace

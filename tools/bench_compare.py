@@ -59,6 +59,25 @@ FAILOVER_FIELDS = (
     "recovery_ms",
 )
 
+# Numeric fields every top-level "serving" object must carry (the multi-query
+# serving layer's outcome: batching effectiveness, the edge-scan savings of
+# the shared run, and tail latency). Same lockstep rule as FAILOVER_FIELDS:
+# a missing or renamed field is a schema error, not a silent skip. The values
+# themselves are NOT compared across files — throughput and latency are
+# host-noise; only the schema is gated here.
+SERVING_FIELDS = (
+    "jobs",
+    "batches",
+    "lanes",
+    "jobs_per_sec",
+    "edge_scans_sequential",
+    "edge_scans_batched",
+    "scan_reduction",
+    "p50_latency_ms",
+    "p99_latency_ms",
+    "max_queue_depth",
+)
+
 
 def load(path: str) -> dict:
     try:
@@ -115,6 +134,34 @@ def check_failover(doc: dict, path: str, rep: "Report") -> None:
             f"{path}: failover field 'epoch_recovery_ms' must be a list of "
             f"numbers (got {erm!r})"
         )
+
+
+def check_serving(doc: dict, path: str, rep: "Report") -> None:
+    """Validate the top-level "serving" object against SERVING_FIELDS.
+
+    Every bench emits the object (all-zero for non-serving benches), so a
+    missing object or a missing/non-numeric field is a hard schema error.
+    """
+    sv = doc.get("serving")
+    if not isinstance(sv, dict):
+        rep.errors.append(
+            f"{path}: top-level 'serving' object is missing or not an "
+            f"object (the bench emitter always writes one)"
+        )
+        return
+    for field in SERVING_FIELDS:
+        if field not in sv:
+            rep.errors.append(
+                f"{path}: serving field '{field}' is missing — renamed or "
+                f"dropped? The serving-schema gate cannot run without it."
+            )
+        elif not isinstance(sv[field], (int, float)) or isinstance(
+            sv[field], bool
+        ):
+            rep.errors.append(
+                f"{path}: serving field '{field}' is {sv[field]!r}, "
+                f"not a number"
+            )
 
 
 def phase_totals(version: dict) -> dict[str, float] | None:
@@ -190,6 +237,8 @@ def main() -> int:
     rep = Report()
     check_failover(base_doc, args.baseline, rep)
     check_failover(cand_doc, args.candidate, rep)
+    check_serving(base_doc, args.baseline, rep)
+    check_serving(cand_doc, args.candidate, rep)
     for key in ("figure", "app", "scale"):
         if base_doc.get(key) != cand_doc.get(key):
             rep.errors.append(

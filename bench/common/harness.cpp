@@ -320,6 +320,22 @@ void JsonEmitter::set_serving(const ServingSummary& s) {
   serving_json_ = buf;
 }
 
+void JsonEmitter::set_partition(const PartitionSummary& p) {
+  if (!enabled_) return;
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\n  \"partition\": {\"ranks\": %llu, "
+      "\"replication_factor\": %.3f, \"load_imbalance\": %.3f, "
+      "\"cut_bytes\": %llu, \"round_robin_replication_factor\": %.3f, "
+      "\"round_robin_cut_bytes\": %llu},",
+      static_cast<unsigned long long>(p.ranks), p.replication_factor,
+      p.load_imbalance, static_cast<unsigned long long>(p.cut_bytes),
+      p.round_robin_replication_factor,
+      static_cast<unsigned long long>(p.round_robin_cut_bytes));
+  partition_json_ = buf;
+}
+
 void JsonEmitter::set_ranks(const std::vector<metrics::RankIo>& io) {
   if (!enabled_) return;
   std::string out = "\n  \"ranks\": [";
@@ -357,6 +373,12 @@ JsonEmitter::~JsonEmitter() {
                  "\"scan_reduction\": 0.000, \"p50_latency_ms\": 0.000, "
                  "\"p99_latency_ms\": 0.000, \"max_queue_depth\": 0},"
                : serving_json_.c_str();
+  body_ += partition_json_.empty()
+               ? "\n  \"partition\": {\"ranks\": 0, "
+                 "\"replication_factor\": 0.000, \"load_imbalance\": 0.000, "
+                 "\"cut_bytes\": 0, \"round_robin_replication_factor\": "
+                 "0.000, \"round_robin_cut_bytes\": 0},"
+               : partition_json_.c_str();
   body_.pop_back();  // drop the trailing comma after the last member
   body_ += "\n}\n";
   if (std::FILE* f = std::fopen(path_.c_str(), "w")) {

@@ -86,6 +86,20 @@ struct ServingSummary {
   std::uint64_t max_queue_depth = 0;
 };
 
+/// Whole-run summary of the streaming vertex-cut comparison (fig 6, k-way
+/// block): HDRF's partition quality and measured cross-rank traffic side by
+/// side with round-robin's, the acceptance baseline. All-zero for benches
+/// that never run the comparison — the JSON gate checks the schema of every
+/// bench output, like the failover and serving objects.
+struct PartitionSummary {
+  std::uint64_t ranks = 0;
+  double replication_factor = 0;   // HDRF vertex-cut RF
+  double load_imbalance = 0;       // HDRF max normalized load / mean
+  std::uint64_t cut_bytes = 0;     // cross-rank bytes of a BFS under HDRF
+  double round_robin_replication_factor = 0;
+  std::uint64_t round_robin_cut_bytes = 0;
+};
+
 /// Per-application cost weights for the performance model (see
 /// sim::ExecProfile): 1/1/false for the arithmetic-reduction apps;
 /// SemiClustering's merge/scoring is far heavier and branchy.
@@ -243,6 +257,12 @@ class JsonEmitter {
   /// every bench JSON carries the schema the compare gate checks.
   void set_serving(const ServingSummary& s);
 
+  /// Record the streaming vertex-cut comparison (all-zero for benches that
+  /// skip it); emitted as a top-level "partition" object. Like failover and
+  /// serving, the destructor writes an all-zero default when never called,
+  /// so every bench JSON carries the schema the compare gate checks.
+  void set_partition(const PartitionSummary& p);
+
   /// Record per-rank exchange traffic (bytes to / from every peer rank) of
   /// a heterogeneous / cluster run; emitted as a top-level "ranks" array.
   /// ranks[r] is rank r's RankIo from its RunResult.
@@ -258,6 +278,7 @@ class JsonEmitter {
   std::string body_;
   std::string failover_json_;
   std::string serving_json_;
+  std::string partition_json_;
   std::string ranks_json_;
   bool first_version_ = true;
 };

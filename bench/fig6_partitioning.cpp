@@ -5,6 +5,13 @@
 // device) and communication time are reported separately, plus the paper's
 // headline speedups of hybrid over the other two and the cross-edge ratio
 // (round-robin cut 2.27x more edges than hybrid for PageRank).
+//
+// A k-way extension compares all five schemes — the paper's trio plus the
+// streaming vertex-cut partitioners HDRF and DBH (DESIGN.md §14) — at four
+// ranks on the power-law graph: replication factor, load imbalance, static
+// cross edges, and the cross-rank bytes a real 4-rank BFS actually ships
+// under each owner map. The HDRF-vs-round-robin pair is emitted in the
+// schema-gated "partition" bench-JSON object.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -15,6 +22,8 @@
 #include "src/apps/semiclustering.hpp"
 #include "src/apps/sssp.hpp"
 #include "src/apps/toposort.hpp"
+#include "src/graph/edge_stream.hpp"
+#include "src/partition/stream_partition.hpp"
 
 namespace {
 
@@ -88,6 +97,87 @@ void run_app(const char* app, const graph::Csr& g, const Program& prog,
   std::printf("   paper: %s\n", paper_band);
 }
 
+// ---- k-way streaming vertex-cut comparison (DESIGN.md §14) -----------------
+
+struct KwayRow {
+  const char* name;
+  partition::KwayStats stats;
+  double rf = 0;            // replication factor (native VertexCut for hdrf/dbh)
+  double imbalance = 0;     // load imbalance (native VertexCut for hdrf/dbh)
+  std::uint64_t bytes = 0;  // cross-rank bytes of a real 4-rank BFS
+};
+
+/// Runs BFS on a 4-rank ClusterEngine under the given owner map and returns
+/// the total cross-rank exchange bytes (sum of every rank's bytes_to).
+std::uint64_t measure_cluster_bytes(const graph::Csr& g, std::vector<int> owner,
+                                    int nranks) {
+  std::vector<core::EngineConfig> cfgs(static_cast<std::size_t>(nranks));
+  for (auto& c : cfgs) {
+    c.mode = ExecMode::kLocking;
+    c.threads = 2;
+    c.max_supersteps = 1000;
+  }
+  core::ClusterEngine<apps::Bfs> ce(g, std::move(owner),
+                                    apps::Bfs{g.num_vertices() / 16}, cfgs);
+  const auto res = ce.run();
+  std::uint64_t bytes = 0;
+  for (const auto& r : res.ranks)
+    for (std::uint64_t b : r.io.bytes_to) bytes += b;
+  return bytes;
+}
+
+void run_kway_comparison(const graph::Csr& g, bench::JsonEmitter* json) {
+  constexpr int k = 4;
+  const partition::RankWeights w(static_cast<std::size_t>(k), 1);
+
+  std::vector<KwayRow> rows;
+  const auto add = [&](const char* name, std::vector<int> owner, double rf,
+                       double imbalance) {
+    KwayRow row{name, partition::evaluate_partition_k(g, owner, k)};
+    row.rf = rf > 0 ? rf : row.stats.replication_factor;
+    row.imbalance = imbalance > 0 ? imbalance : row.stats.load_imbalance;
+    row.bytes = measure_cluster_bytes(g, std::move(owner), k);
+    rows.push_back(std::move(row));
+  };
+  add("continuous", partition::continuous_partition_k(g, w), 0, 0);
+  add("round-robin", partition::round_robin_partition_k(g, w), 0, 0);
+  add("hybrid",
+      partition::hybrid_partition_k(g, w, {.num_blocks = 256, .seed = 42}), 0,
+      0);
+  graph::CsrEdgeStream hdrf_stream(g);
+  const auto hdrf_cut = partition::Hdrf::partition(hdrf_stream, w);
+  add("hdrf", hdrf_cut.master, hdrf_cut.replication_factor(),
+      hdrf_cut.load_imbalance());
+  graph::CsrEdgeStream dbh_stream(g);
+  const auto dbh_cut = partition::Dbh::partition(dbh_stream, w);
+  add("dbh", dbh_cut.master, dbh_cut.replication_factor(),
+      dbh_cut.load_imbalance());
+
+  std::printf("\n-- k-way vertex-cut comparison (BFS, %d ranks) --\n", k);
+  std::printf("   %-12s %8s %10s %12s %14s\n", "scheme", "repl", "imbalance",
+              "cross edges", "cut bytes");
+  for (const auto& r : rows)
+    std::printf("   %-12s %8.3f %10.3f %12llu %14llu\n", r.name, r.rf,
+                r.imbalance,
+                static_cast<unsigned long long>(r.stats.cross_edges),
+                static_cast<unsigned long long>(r.bytes));
+  const auto& rr = rows[1];
+  const auto& hdrf = rows[3];
+  std::printf("   -> hdrf vs round-robin: %.2fx replication, %.2fx cut "
+              "bytes\n",
+              hdrf.rf / rr.rf,
+              static_cast<double>(hdrf.bytes) /
+                  static_cast<double>(rr.bytes ? rr.bytes : 1));
+
+  if (json)
+    json->set_partition({.ranks = k,
+                         .replication_factor = hdrf.rf,
+                         .load_imbalance = hdrf.imbalance,
+                         .cut_bytes = hdrf.bytes,
+                         .round_robin_replication_factor = rr.rf,
+                         .round_robin_cut_bytes = rr.bytes});
+}
+
 }  // namespace
 
 int main() {
@@ -108,6 +198,7 @@ int main() {
             /*emit_uncombined=*/true);
     run_app("BFS", g, apps::Bfs{g.num_vertices() / 16}, 1000, {4, 3}, false,
             {}, "1.31x / 1.09x", json.get());
+    run_kway_comparison(g, json.get());
   }
   {
     const auto g = bench::make_pokec(scale, true);

@@ -33,6 +33,10 @@
 //                        whenever the program and topology allow it)
 //   --hetero             run CPU+MIC with hybrid partitioning
 //   --ratio=A:B          CPU:MIC workload ratio (default 1:1)
+//   --scheme=S           partition scheme for --hetero: continuous | rr |
+//                        hybrid (default) | hdrf | dbh — the last two are
+//                        the streaming vertex-cut partitioners (owner map =
+//                        their master assignment)
 //   --partition=FILE     use an existing partitioning file
 //   --partition-out=FILE save the computed partitioning
 //   --out=FILE           write per-vertex results
@@ -57,6 +61,7 @@
 #include "src/gen/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/partition/partition.hpp"
+#include "src/partition/stream_partition.hpp"
 
 namespace {
 
@@ -79,6 +84,7 @@ struct Options {
   core::DirectionMode direction = core::DirectionMode::kAuto;
   bool hetero = false;
   partition::Ratio ratio{1, 1};
+  partition::Scheme scheme = partition::Scheme::kHybrid;
   bool serve = false;
   int batch_max = core::EngineConfig{}.serve_batch_max;
   int batch_wait_ms = core::EngineConfig{}.serve_batch_wait_ms;
@@ -131,6 +137,13 @@ Options parse(int argc, char** argv) {
     else if (auto v10 = val("--ratio")) {
       if (std::sscanf(v10->c_str(), "%d:%d", &o.ratio.cpu, &o.ratio.mic) != 2)
         usage("bad --ratio, expected A:B");
+    } else if (auto vs = val("--scheme")) {
+      if (*vs == "continuous") o.scheme = partition::Scheme::kContinuous;
+      else if (*vs == "rr") o.scheme = partition::Scheme::kRoundRobin;
+      else if (*vs == "hybrid") o.scheme = partition::Scheme::kHybrid;
+      else if (*vs == "hdrf") o.scheme = partition::Scheme::kHdrf;
+      else if (*vs == "dbh") o.scheme = partition::Scheme::kDbh;
+      else usage("bad --scheme (continuous|rr|hybrid|hdrf|dbh)");
     } else if (auto v11 = val("--partition")) o.partition_path = *v11;
     else if (auto v12 = val("--partition-out")) o.partition_out = *v12;
     else if (auto v13 = val("--out")) o.out_path = *v13;
@@ -191,10 +204,18 @@ int run_app(const Options& o, const graph::Csr& g, const Program& prog,
   int supersteps = 0;
   metrics::SuperstepCounters totals{};
   if (o.hetero) {
-    std::vector<Device> owner =
-        !o.partition_path.empty()
-            ? partition::load_partition(o.partition_path)
-            : partition::hybrid_partition(g, o.ratio, {.num_blocks = 256});
+    std::vector<Device> owner;
+    if (!o.partition_path.empty()) {
+      owner = partition::load_partition(o.partition_path);
+    } else {
+      // All five schemes flow through the k-way dispatcher with k = 2:
+      // rank 0 is the CPU, rank 1 the MIC, weighted by --ratio.
+      const auto ranks = partition::make_partition_k(
+          o.scheme, g, {o.ratio.cpu, o.ratio.mic});
+      owner.reserve(ranks.size());
+      for (int r : ranks)
+        owner.push_back(r == 0 ? Device::Cpu : Device::Mic);
+    }
     if (!o.partition_out.empty())
       partition::save_partition(owner, o.partition_out);
     auto cpu_cfg = make_cfg(o, default_iters);

@@ -7,6 +7,7 @@
 #include "src/core/direction.hpp"
 #include "src/fault/checkpoint.hpp"
 #include "src/fault/fault.hpp"
+#include "src/partition/scheme.hpp"
 #include "src/simd/simd.hpp"
 
 namespace phigraph::core {
@@ -126,6 +127,17 @@ struct EngineConfig {
   /// Fixed superstep count for personalized-PageRank jobs (PPR terminates by
   /// iteration count, like PageRank).
   int serve_ppr_supersteps = 10;
+
+  /// Partition scheme for ClusterEngine's owner-deriving constructor (the
+  /// one that takes no explicit owner map): vertex→rank assignments come
+  /// from this scheme with each rank weighted by its thread budget. Read
+  /// from rank 0's config, like `retry` — partitioning is a cluster-level
+  /// decision. Engines given an explicit owner map ignore it.
+  partition::Scheme partition_scheme = partition::Scheme::kRoundRobin;
+
+  /// Knobs for the streaming vertex-cut schemes (kHdrf / kDbh): λ, the hard
+  /// balance slack, the hash seed, and the streamed chunk granularity.
+  partition::StreamOptions stream_partition;
 
   /// Worker threads for the single-device recovery engine (ladder rung 3).
   /// 0 = size it from the combined thread budgets of every rank — the dead

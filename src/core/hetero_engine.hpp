@@ -53,6 +53,7 @@
 #include "src/fault/fault.hpp"
 #include "src/metrics/counters.hpp"
 #include "src/partition/partition.hpp"
+#include "src/partition/stream_partition.hpp"
 
 namespace phigraph::core {
 
@@ -165,6 +166,26 @@ class ClusterEngine {
           std::move(parts[static_cast<std::size_t>(r)]), prog_,
           cfgs_[static_cast<std::size_t>(r)],
           typename Engine::PeerLink{r, &data_, &control_}));
+  }
+
+  /// Scheme-deriving constructor: no explicit owner map — vertices are
+  /// assigned by rank 0's partition_scheme / stream_partition knobs, each
+  /// rank weighted by its thread budget (the same weighting the recovery
+  /// ladder's survivor repartition uses).
+  ClusterEngine(const graph::Csr& g, Program prog,
+                const std::vector<EngineConfig>& cfgs)
+      : ClusterEngine(g, owner_from_scheme(g, cfgs), std::move(prog), cfgs) {}
+
+  /// The owner map the scheme-deriving constructor would build — exposed so
+  /// callers (tests, benches) can evaluate the same assignment they run.
+  [[nodiscard]] static std::vector<int> owner_from_scheme(
+      const graph::Csr& g, const std::vector<EngineConfig>& cfgs) {
+    PG_CHECK_MSG(!cfgs.empty(), "ClusterEngine needs at least one rank");
+    partition::RankWeights w;
+    w.reserve(cfgs.size());
+    for (const EngineConfig& c : cfgs) w.push_back(c.total_threads());
+    return partition::make_partition_k(cfgs.front().partition_scheme, g, w,
+                                       cfgs.front().stream_partition);
   }
 
   Result run() {

@@ -1,0 +1,173 @@
+#include "src/graph/edge_stream.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "src/common/expect.hpp"
+
+namespace phigraph::graph {
+
+namespace {
+
+constexpr std::uint32_t kEdgeMagic = 0x50474531;  // "PGE1"
+constexpr std::size_t kHeaderBytes =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+std::size_t checked_chunk(std::size_t chunk_edges) {
+  PG_CHECK_MSG(chunk_edges > 0, "edge stream chunk size must be positive");
+  return chunk_edges;
+}
+
+}  // namespace
+
+// ---- MemoryEdgeStream --------------------------------------------------------
+
+MemoryEdgeStream::MemoryEdgeStream(vid_t num_vertices,
+                                   std::span<const StreamEdge> edges,
+                                   std::size_t chunk_edges)
+    : n_(num_vertices), edges_(edges), chunk_(checked_chunk(chunk_edges)) {
+  for (const StreamEdge& e : edges_)
+    PG_CHECK_FMT(e.u < n_ && e.v < n_,
+                 "edge (%u, %u) out of range (graph has %u vertices)", e.u,
+                 e.v, n_);
+}
+
+std::span<const StreamEdge> MemoryEdgeStream::next_chunk() {
+  const std::size_t take = std::min(chunk_, edges_.size() - pos_);
+  auto out = edges_.subspan(pos_, take);
+  pos_ += take;
+  return out;
+}
+
+// ---- CsrEdgeStream -----------------------------------------------------------
+
+CsrEdgeStream::CsrEdgeStream(const Csr& g, std::size_t chunk_edges) : g_(&g) {
+  buf_.reserve(checked_chunk(chunk_edges));
+}
+
+std::span<const StreamEdge> CsrEdgeStream::next_chunk() {
+  buf_.clear();
+  const vid_t n = g_->num_vertices();
+  while (next_u_ < n && buf_.size() < buf_.capacity()) {
+    const auto nbrs = g_->out_neighbors(next_u_);
+    while (next_slot_ < g_->offsets()[next_u_ + 1] &&
+           buf_.size() < buf_.capacity()) {
+      const eid_t local = next_slot_ - g_->offsets()[next_u_];
+      buf_.push_back({next_u_, nbrs[static_cast<std::size_t>(local)]});
+      ++next_slot_;
+    }
+    if (next_slot_ == g_->offsets()[next_u_ + 1]) ++next_u_;
+  }
+  return {buf_.data(), buf_.size()};
+}
+
+// ---- MmapEdgeStream ----------------------------------------------------------
+
+MmapEdgeStream::MmapEdgeStream(const std::string& path,
+                               std::size_t chunk_edges) {
+  buf_.reserve(checked_chunk(chunk_edges));
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  PG_CHECK_FMT(fd >= 0, "failed to open edge file '%s': %s", path.c_str(),
+               std::strerror(errno));
+  struct stat st {};
+  PG_CHECK_MSG(::fstat(fd, &st) == 0, "fstat on edge file failed");
+  map_bytes_ = static_cast<std::size_t>(st.st_size);
+  PG_CHECK_FMT(map_bytes_ >= kHeaderBytes,
+               "edge file '%s' too small for a PGE1 header", path.c_str());
+
+  map_ = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  PG_CHECK_FMT(map_ != MAP_FAILED, "mmap of edge file '%s' failed: %s",
+               path.c_str(), std::strerror(errno));
+  ::madvise(map_, map_bytes_, MADV_SEQUENTIAL);
+
+  const auto* p = static_cast<const unsigned char*>(map_);
+  std::uint32_t magic = 0;
+  std::uint64_t n64 = 0, m64 = 0;
+  std::memcpy(&magic, p, sizeof magic);
+  std::memcpy(&n64, p + sizeof magic, sizeof n64);
+  std::memcpy(&m64, p + sizeof magic + sizeof n64, sizeof m64);
+  PG_CHECK_FMT(magic == kEdgeMagic, "edge file '%s' has bad magic 0x%08x",
+               path.c_str(), magic);
+  PG_CHECK_FMT(n64 <= std::numeric_limits<vid_t>::max(),
+               "edge file '%s' vertex count does not fit vid_t", path.c_str());
+  const std::size_t want =
+      kHeaderBytes + static_cast<std::size_t>(m64) * sizeof(StreamEdge);
+  PG_CHECK_FMT(map_bytes_ == want,
+               "edge file '%s' truncated or padded: %zu bytes, header "
+               "declares %zu",
+               path.c_str(), map_bytes_, want);
+
+  n_ = static_cast<vid_t>(n64);
+  m_ = static_cast<eid_t>(m64);
+  records_ = p + kHeaderBytes;
+}
+
+MmapEdgeStream::~MmapEdgeStream() {
+  if (map_ != nullptr && map_ != MAP_FAILED) ::munmap(map_, map_bytes_);
+}
+
+std::span<const StreamEdge> MmapEdgeStream::next_chunk() {
+  const std::size_t take = static_cast<std::size_t>(
+      std::min<eid_t>(static_cast<eid_t>(buf_.capacity()), m_ - pos_));
+  buf_.resize(take);
+  // Copy out of the mapping instead of aliasing it: keeps the records
+  // naturally aligned for the consumer regardless of header size.
+  std::memcpy(buf_.data(), records_ + pos_ * sizeof(StreamEdge),
+              take * sizeof(StreamEdge));
+  pos_ += take;
+  return {buf_.data(), buf_.size()};
+}
+
+// ---- PGE1 writer -------------------------------------------------------------
+
+namespace {
+
+void write_header(std::ofstream& out, vid_t n, std::uint64_t m) {
+  const std::uint32_t magic = kEdgeMagic;
+  const std::uint64_t n64 = n;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&n64), sizeof n64);
+  out.write(reinterpret_cast<const char*>(&m), sizeof m);
+}
+
+}  // namespace
+
+void save_edge_binary(vid_t num_vertices, std::span<const StreamEdge> edges,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PG_CHECK_FMT(out.good(), "failed to open edge file '%s' for writing",
+               path.c_str());
+  write_header(out, num_vertices, edges.size());
+  for (const StreamEdge& e : edges)
+    PG_CHECK_FMT(e.u < num_vertices && e.v < num_vertices,
+                 "edge (%u, %u) out of range (graph has %u vertices)", e.u,
+                 e.v, num_vertices);
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(edges.size() * sizeof(StreamEdge)));
+  PG_CHECK_MSG(out.good(), "short write while saving edge file");
+}
+
+void save_edge_binary(const Csr& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PG_CHECK_FMT(out.good(), "failed to open edge file '%s' for writing",
+               path.c_str());
+  write_header(out, g.num_vertices(), g.num_edges());
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u)) {
+      const StreamEdge e{u, v};
+      out.write(reinterpret_cast<const char*>(&e), sizeof e);
+    }
+  PG_CHECK_MSG(out.good(), "short write while saving edge file");
+}
+
+}  // namespace phigraph::graph

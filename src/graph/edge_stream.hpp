@@ -1,0 +1,141 @@
+// Streaming edge readers for single-pass partitioning (DESIGN.md §14).
+//
+// An EdgeStream hands out the edge list in bounded chunks so a consumer
+// (the HDRF/DBH streaming partitioners, an out-of-core loader) never needs
+// the whole list resident. Three sources:
+//   * MemoryEdgeStream — a span already in RAM (tests, generators);
+//   * CsrEdgeStream    — re-streams an in-memory CSR in (source, slot) order;
+//   * MmapEdgeStream   — a binary edge file ("PGE1"), mapped and advised for
+//     sequential access, copied out one chunk at a time.
+// All three deliver the identical edge sequence for the same graph, and the
+// chunk size never changes *what* is streamed — only the batch granularity —
+// so chunked and one-shot consumers agree bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/graph/csr.hpp"
+
+namespace phigraph::graph {
+
+/// One streamed edge record. Fixed 8-byte wire layout: the PGE1 file body is
+/// a raw array of these, so a chunk is one copy out of the mapping.
+struct StreamEdge {
+  vid_t u = 0;
+  vid_t v = 0;
+
+  [[nodiscard]] bool operator==(const StreamEdge&) const noexcept = default;
+};
+static_assert(sizeof(StreamEdge) == 8, "PGE1 records are 8 bytes on disk");
+
+class EdgeStream {
+ public:
+  EdgeStream() = default;
+  EdgeStream(const EdgeStream&) = delete;
+  EdgeStream& operator=(const EdgeStream&) = delete;
+  virtual ~EdgeStream() = default;
+
+  [[nodiscard]] virtual vid_t num_vertices() const noexcept = 0;
+  [[nodiscard]] virtual eid_t num_edges() const noexcept = 0;
+
+  /// Next batch of at most chunk_edges() records; empty once exhausted.
+  /// The span stays valid until the next next_chunk()/reset() call.
+  [[nodiscard]] virtual std::span<const StreamEdge> next_chunk() = 0;
+
+  /// Rewind to the first edge (DBH needs two passes: degrees, then assign).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::size_t chunk_edges() const noexcept = 0;
+};
+
+/// Stream over an edge list already in memory.
+class MemoryEdgeStream final : public EdgeStream {
+ public:
+  MemoryEdgeStream(vid_t num_vertices, std::span<const StreamEdge> edges,
+                   std::size_t chunk_edges = 65536);
+
+  [[nodiscard]] vid_t num_vertices() const noexcept override { return n_; }
+  [[nodiscard]] eid_t num_edges() const noexcept override {
+    return static_cast<eid_t>(edges_.size());
+  }
+  [[nodiscard]] std::span<const StreamEdge> next_chunk() override;
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::size_t chunk_edges() const noexcept override {
+    return chunk_;
+  }
+
+ private:
+  vid_t n_;
+  std::span<const StreamEdge> edges_;
+  std::size_t chunk_;
+  std::size_t pos_ = 0;
+};
+
+/// Re-stream an in-memory CSR in (source ascending, slot ascending) order —
+/// the order from_edges() stores, and the order save_edge_binary() writes.
+class CsrEdgeStream final : public EdgeStream {
+ public:
+  explicit CsrEdgeStream(const Csr& g, std::size_t chunk_edges = 65536);
+
+  [[nodiscard]] vid_t num_vertices() const noexcept override {
+    return g_->num_vertices();
+  }
+  [[nodiscard]] eid_t num_edges() const noexcept override {
+    return g_->num_edges();
+  }
+  [[nodiscard]] std::span<const StreamEdge> next_chunk() override;
+  void reset() override {
+    next_u_ = 0;
+    next_slot_ = 0;
+  }
+  [[nodiscard]] std::size_t chunk_edges() const noexcept override {
+    return buf_.capacity();
+  }
+
+ private:
+  const Csr* g_;
+  std::vector<StreamEdge> buf_;
+  vid_t next_u_ = 0;
+  eid_t next_slot_ = 0;  // absolute edge index of the next record
+};
+
+/// Binary edge file, memory-mapped and streamed in chunk-sized batches.
+///
+/// PGE1 layout (little-endian): u32 magic "PGE1", u64 num_vertices,
+/// u64 num_edges, then num_edges raw StreamEdge records. The file size must
+/// match the header exactly — a torn/truncated file is rejected up front
+/// rather than silently yielding a short stream.
+class MmapEdgeStream final : public EdgeStream {
+ public:
+  explicit MmapEdgeStream(const std::string& path,
+                          std::size_t chunk_edges = 65536);
+  ~MmapEdgeStream() override;
+
+  [[nodiscard]] vid_t num_vertices() const noexcept override { return n_; }
+  [[nodiscard]] eid_t num_edges() const noexcept override { return m_; }
+  [[nodiscard]] std::span<const StreamEdge> next_chunk() override;
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::size_t chunk_edges() const noexcept override {
+    return buf_.capacity();
+  }
+
+ private:
+  vid_t n_ = 0;
+  eid_t m_ = 0;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  const unsigned char* records_ = nullptr;  // first StreamEdge in the mapping
+  std::vector<StreamEdge> buf_;
+  eid_t pos_ = 0;
+};
+
+/// Write a PGE1 binary edge file (MmapEdgeStream's input format).
+void save_edge_binary(vid_t num_vertices, std::span<const StreamEdge> edges,
+                      const std::string& path);
+void save_edge_binary(const Csr& g, const std::string& path);
+
+}  // namespace phigraph::graph

@@ -1,6 +1,7 @@
 #include "src/partition/partition.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <fstream>
 #include <numeric>
 #include <utility>
@@ -555,14 +556,36 @@ KwayStats evaluate_partition_k(const graph::Csr& g,
   KwayStats s;
   s.verts.assign(static_cast<std::size_t>(nranks), 0);
   s.edges.assign(static_cast<std::size_t>(nranks), 0);
+  // Presence masks for the replication factor: placing edge (u,v) on u's
+  // rank makes v present there too. Only tracked while ranks fit a mask word.
+  std::vector<std::uint64_t> present;
+  if (nranks <= 64) present.assign(g.num_vertices(), 0);
   for (vid_t u = 0; u < g.num_vertices(); ++u) {
     const int r = owner_rank[u];
     PG_CHECK_MSG(r >= 0 && r < nranks, "owner rank outside [0, nranks)");
     ++s.verts[static_cast<std::size_t>(r)];
     s.edges[static_cast<std::size_t>(r)] += g.out_degree(u);
-    for (vid_t v : g.out_neighbors(u))
+    if (!present.empty()) present[u] |= 1ull << r;
+    for (vid_t v : g.out_neighbors(u)) {
       if (owner_rank[u] != owner_rank[v]) ++s.cross_edges;
+      if (!present.empty()) present[v] |= 1ull << r;
+    }
   }
+  if (!present.empty() && g.num_vertices() > 0) {
+    std::uint64_t replicas = 0;
+    for (std::uint64_t mask : present)
+      replicas += static_cast<std::uint64_t>(std::popcount(mask));
+    s.replication_factor =
+        static_cast<double>(replicas) / static_cast<double>(g.num_vertices());
+  }
+  eid_t total = 0, worst = 0;
+  for (eid_t e : s.edges) {
+    total += e;
+    worst = std::max(worst, e);
+  }
+  if (total > 0)
+    s.load_imbalance = static_cast<double>(worst) * nranks /
+                       static_cast<double>(total);
   return s;
 }
 

@@ -99,6 +99,17 @@ struct KwayStats {
   std::vector<eid_t> edges;  // cumulative out-degree per rank
   eid_t cross_edges = 0;     // directed edges crossing rank boundaries
 
+  /// Mean ranks hosting each vertex when edges are placed on their source's
+  /// rank: a vertex is "present" on its own rank plus every rank that owns
+  /// an in-neighbor. 1 = no replication, nranks = fully replicated. This is
+  /// the same edge-placement metric VertexCut reports, so streaming and
+  /// static schemes compare on one scale. 0 when nranks > 64 (mask width).
+  double replication_factor = 0;
+
+  /// Max per-rank edge load over the mean (unweighted): 1 = perfectly
+  /// balanced, 2 = the worst rank carries twice the average. 0 if no edges.
+  double load_imbalance = 0;
+
   /// Largest relative error of any rank's achieved edge share vs. its
   /// requested share: 0 = perfect. Ranks with zero requested share are
   /// skipped (they should also receive ~nothing, which cross-checks below).

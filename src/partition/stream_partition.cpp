@@ -1,0 +1,319 @@
+#include "src/partition/stream_partition.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "src/common/expect.hpp"
+#include "src/common/rng.hpp"
+
+namespace phigraph::partition {
+
+namespace {
+
+/// Validated weight sum: at least one rank, no negative weights, Σw > 0,
+/// and k ≤ 64 so replica sets fit one bitmask word.
+std::uint64_t checked_weight_sum(const RankWeights& w) {
+  PG_CHECK_MSG(!w.empty(), "streaming partition needs at least one rank");
+  PG_CHECK_MSG(w.size() <= 64,
+               "streaming vertex-cut supports at most 64 ranks");
+  std::uint64_t sum = 0;
+  for (int x : w) {
+    PG_CHECK_MSG(x >= 0, "rank weights must be non-negative");
+    sum += static_cast<std::uint64_t>(x);
+  }
+  PG_CHECK_MSG(sum > 0, "rank weights must not all be zero");
+  return sum;
+}
+
+VertexCut make_cut(vid_t n, eid_t m, const RankWeights& w) {
+  VertexCut cut;
+  cut.nranks = static_cast<int>(w.size());
+  cut.weights = w;
+  cut.edge_rank.reserve(static_cast<std::size_t>(m));
+  cut.replicas.assign(n, 0);
+  cut.master.assign(n, -1);
+  cut.edge_load.assign(w.size(), 0);
+  return cut;
+}
+
+void host_edge(VertexCut& cut, graph::StreamEdge e, int r) {
+  cut.edge_rank.push_back(r);
+  ++cut.edge_load[static_cast<std::size_t>(r)];
+  const std::uint64_t bit = 1ull << r;
+  for (vid_t v : {e.u, e.v}) {
+    cut.replicas[v] |= bit;
+    if (cut.master[v] < 0) cut.master[v] = r;  // first replica owns the vertex
+  }
+}
+
+/// Deal masters to vertices no streamed edge ever touched: weighted
+/// round-robin over the positive-weight ranks, deterministic in vertex id.
+void assign_isolated_masters(VertexCut& cut, std::uint64_t wsum) {
+  std::vector<int> slot;
+  slot.reserve(static_cast<std::size_t>(wsum));
+  for (int r = 0; r < cut.nranks; ++r)
+    for (int i = 0; i < cut.weights[static_cast<std::size_t>(r)]; ++i)
+      slot.push_back(r);
+  std::uint64_t next = 0;
+  for (std::size_t v = 0; v < cut.master.size(); ++v) {
+    if (cut.master[v] < 0)
+      cut.master[v] = slot[static_cast<std::size_t>(next++ % wsum)];
+    cut.replicas[v] |= 1ull << cut.master[v];
+  }
+}
+
+}  // namespace
+
+// ---- VertexCut metrics -------------------------------------------------------
+
+double VertexCut::replication_factor() const noexcept {
+  if (replicas.empty()) return 1.0;
+  std::uint64_t total = 0;
+  for (std::uint64_t mask : replicas)
+    total += static_cast<std::uint64_t>(std::popcount(mask));
+  return static_cast<double>(total) / static_cast<double>(replicas.size());
+}
+
+double VertexCut::load_imbalance() const noexcept {
+  double total = 0, wsum = 0;
+  for (eid_t e : edge_load) total += static_cast<double>(e);
+  for (int x : weights) wsum += x;
+  if (total == 0 || wsum == 0) return 1.0;
+  double worst = 0;
+  for (std::size_t r = 0; r < edge_load.size(); ++r) {
+    const double share = static_cast<double>(weights[r]) / wsum;
+    if (share == 0) continue;
+    worst = std::max(worst,
+                     static_cast<double>(edge_load[r]) / (share * total));
+  }
+  return worst;
+}
+
+// ---- Hdrf --------------------------------------------------------------------
+
+Hdrf::Hdrf(vid_t num_vertices, eid_t num_edges, const RankWeights& weights,
+           const StreamOptions& opt)
+    : opt_(opt), cut_(make_cut(num_vertices, num_edges, weights)) {
+  PG_CHECK_MSG(opt_.lambda >= 0, "HDRF lambda must be non-negative");
+  PG_CHECK_MSG(opt_.balance_slack >= 1.0,
+               "HDRF balance_slack below 1 makes the cap infeasible");
+  const std::uint64_t wsum = checked_weight_sum(weights);
+  degree_.assign(num_vertices, 0);
+  share_.resize(weights.size());
+  cut_.load_cap.resize(weights.size());
+  for (std::size_t r = 0; r < weights.size(); ++r) {
+    share_[r] = static_cast<double>(weights[r]) / static_cast<double>(wsum);
+    // Hard balance bound: a rank may exceed its fair share of the declared
+    // edge count by at most the slack factor. Zero-weight ranks get cap 0,
+    // so they can never be a candidate.
+    cut_.load_cap[r] =
+        weights[r] == 0
+            ? 0
+            : std::max<eid_t>(
+                  1, static_cast<eid_t>(std::ceil(
+                         opt_.balance_slack * static_cast<double>(num_edges) *
+                         share_[r])));
+  }
+}
+
+int Hdrf::place(graph::StreamEdge e) {
+  // Partial degrees: HDRF sees degrees as they stand when the edge streams
+  // by — no pre-pass over the list.
+  ++degree_[e.u];
+  ++degree_[e.v];
+  const double du = static_cast<double>(degree_[e.u]);
+  const double dv = static_cast<double>(degree_[e.v]);
+  const double theta_u = du / (du + dv);  // 1 - theta_v
+
+  // Normalized loads for the balance term (load / weight share), so a rank
+  // with twice the weight looks half as loaded.
+  double max_nload = 0, min_nload = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < share_.size(); ++r) {
+    if (share_[r] == 0) continue;
+    const double nload = static_cast<double>(cut_.edge_load[r]) / share_[r];
+    max_nload = std::max(max_nload, nload);
+    min_nload = std::min(min_nload, nload);
+  }
+
+  int best = -1;
+  double best_score = 0, best_nload = 0;
+  for (int r = 0; r < cut_.nranks; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (cut_.weights[ri] == 0) continue;
+    if (cut_.edge_load[ri] >= cut_.load_cap[ri]) continue;  // balance bound
+
+    // C_rep: reward ranks already hosting a replica, weighted toward the
+    // lower-degree endpoint so the hub is the one that gets replicated.
+    double score = 0;
+    const std::uint64_t bit = 1ull << r;
+    if ((cut_.replicas[e.u] & bit) != 0) score += 1.0 + (1.0 - theta_u);
+    if ((cut_.replicas[e.v] & bit) != 0) score += 1.0 + theta_u;
+
+    // C_bal: reward lightly loaded ranks (λ trades replication for balance).
+    const double nload = static_cast<double>(cut_.edge_load[ri]) / share_[ri];
+    score += opt_.lambda * (max_nload - nload) /
+             (1.0 + max_nload - min_nload);
+
+    // Deterministic tie-break: higher score, then lighter rank, then lower id.
+    if (best < 0 || score > best_score ||
+        (score == best_score && nload < best_nload)) {
+      best = r;
+      best_score = score;
+      best_nload = nload;
+    }
+  }
+  PG_CHECK_MSG(best >= 0,
+               "HDRF ran out of capacity — stream longer than the declared "
+               "edge count?");
+  return best;
+}
+
+void Hdrf::consume(std::span<const graph::StreamEdge> chunk) {
+  PG_CHECK_MSG(!finished_, "consume after finish");
+  for (const graph::StreamEdge& e : chunk) {
+    PG_CHECK_FMT(e.u < degree_.size() && e.v < degree_.size(),
+                 "edge (%u, %u) out of range", e.u, e.v);
+    host_edge(cut_, e, place(e));
+    ++seen_;
+  }
+}
+
+VertexCut Hdrf::finish() {
+  PG_CHECK_MSG(!finished_, "finish called twice");
+  finished_ = true;
+  assign_isolated_masters(cut_, checked_weight_sum(cut_.weights));
+  return std::move(cut_);
+}
+
+VertexCut Hdrf::partition(graph::EdgeStream& stream,
+                          const RankWeights& weights,
+                          const StreamOptions& opt) {
+  Hdrf p(stream.num_vertices(), stream.num_edges(), weights, opt);
+  stream.reset();
+  for (auto chunk = stream.next_chunk(); !chunk.empty();
+       chunk = stream.next_chunk())
+    p.consume(chunk);
+  return p.finish();
+}
+
+// ---- Dbh ---------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t dbh_mix(std::uint64_t seed, vid_t v) {
+  SplitMix64 sm(seed * 0x9e3779b97f4a7c15ull + v);
+  return sm.next();
+}
+
+}  // namespace
+
+Dbh::Dbh(vid_t num_vertices, eid_t num_edges, const RankWeights& weights,
+         const StreamOptions& opt)
+    : opt_(opt), cut_(make_cut(num_vertices, num_edges, weights)) {
+  checked_weight_sum(weights);
+  degree_.assign(num_vertices, 0);
+}
+
+void Dbh::count(std::span<const graph::StreamEdge> chunk) {
+  PG_CHECK_MSG(!sealed_, "count after seal_degrees");
+  for (const graph::StreamEdge& e : chunk) {
+    PG_CHECK_FMT(e.u < degree_.size() && e.v < degree_.size(),
+                 "edge (%u, %u) out of range", e.u, e.v);
+    ++degree_[e.u];
+    ++degree_[e.v];
+    ++counted_;
+  }
+}
+
+void Dbh::seal_degrees() {
+  PG_CHECK_MSG(!sealed_, "seal_degrees called twice");
+  sealed_ = true;
+}
+
+int Dbh::hash_rank(graph::StreamEdge e, std::span<const eid_t> degree,
+                   const RankWeights& weights, std::uint64_t seed) {
+  // The partitioned endpoint is the one with the smaller degree (ties break
+  // to the smaller id): hubs stay cut, low-degree vertices stay whole.
+  vid_t chosen = e.u;
+  if (degree[e.v] < degree[e.u] ||
+      (degree[e.v] == degree[e.u] && e.v < e.u))
+    chosen = e.v;
+  std::uint64_t wsum = 0;
+  for (int x : weights) wsum += static_cast<std::uint64_t>(x);
+  // Weighted slots: rank r owns w[r] of the wsum hash slots, so zero-weight
+  // ranks own none and can never be hashed to.
+  std::uint64_t slot = dbh_mix(seed, chosen) % wsum;
+  for (std::size_t r = 0; r < weights.size(); ++r) {
+    const auto w = static_cast<std::uint64_t>(weights[r]);
+    if (slot < w) return static_cast<int>(r);
+    slot -= w;
+  }
+  PG_CHECK_MSG(false, "unreachable: slot exceeds weight sum");
+  return 0;
+}
+
+void Dbh::consume(std::span<const graph::StreamEdge> chunk) {
+  PG_CHECK_MSG(sealed_, "consume before seal_degrees — DBH needs full degrees");
+  PG_CHECK_MSG(!finished_, "consume after finish");
+  for (const graph::StreamEdge& e : chunk) {
+    PG_CHECK_FMT(e.u < degree_.size() && e.v < degree_.size(),
+                 "edge (%u, %u) out of range", e.u, e.v);
+    host_edge(cut_, e, hash_rank(e, degree_, cut_.weights, opt_.seed));
+    ++seen_;
+  }
+}
+
+VertexCut Dbh::finish() {
+  PG_CHECK_MSG(sealed_, "finish before seal_degrees");
+  PG_CHECK_MSG(!finished_, "finish called twice");
+  PG_CHECK_MSG(seen_ == counted_,
+               "assign pass saw a different edge count than the degree pass");
+  finished_ = true;
+  assign_isolated_masters(cut_, checked_weight_sum(cut_.weights));
+  return std::move(cut_);
+}
+
+VertexCut Dbh::partition(graph::EdgeStream& stream, const RankWeights& weights,
+                         const StreamOptions& opt) {
+  Dbh p(stream.num_vertices(), stream.num_edges(), weights, opt);
+  stream.reset();
+  for (auto chunk = stream.next_chunk(); !chunk.empty();
+       chunk = stream.next_chunk())
+    p.count(chunk);
+  p.seal_degrees();
+  stream.reset();
+  for (auto chunk = stream.next_chunk(); !chunk.empty();
+       chunk = stream.next_chunk())
+    p.consume(chunk);
+  return p.finish();
+}
+
+// ---- scheme dispatcher -------------------------------------------------------
+
+std::vector<int> make_partition_k(Scheme scheme, const graph::Csr& g,
+                                  const RankWeights& weights,
+                                  const StreamOptions& opt,
+                                  const BlockedOptions& blocked) {
+  switch (scheme) {
+    case Scheme::kContinuous:
+      return continuous_partition_k(g, weights);
+    case Scheme::kRoundRobin:
+      return round_robin_partition_k(g, weights);
+    case Scheme::kHybrid:
+      return hybrid_partition_k(g, weights, blocked);
+    case Scheme::kHdrf: {
+      graph::CsrEdgeStream stream(g, opt.chunk_edges);
+      return Hdrf::partition(stream, weights, opt).master;
+    }
+    case Scheme::kDbh: {
+      graph::CsrEdgeStream stream(g, opt.chunk_edges);
+      return Dbh::partition(stream, weights, opt).master;
+    }
+  }
+  PG_CHECK_MSG(false, "unknown partition scheme");
+  return {};
+}
+
+}  // namespace phigraph::partition

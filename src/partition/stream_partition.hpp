@@ -1,0 +1,126 @@
+// Streaming vertex-cut partitioning: HDRF and DBH (DESIGN.md §14).
+//
+// Unlike the static schemes in partition.hpp — which assign *vertices* to
+// ranks with the whole CSR resident — these consume the edge list as a
+// stream of bounded chunks and assign each *edge* to a rank the moment it is
+// seen. A vertex whose edges land on several ranks is *replicated*: one rank
+// holds the master copy, the others hold mirrors. The quality metrics are
+//   * replication factor — mean replicas per vertex (1 = vertex partition);
+//   * load imbalance     — max normalized per-rank edge load over the mean.
+//
+//   Hdrf — High-Degree Replicated First (Petroni et al., CIKM'15): greedy
+//     score C_rep + λ·C_bal per candidate rank, where C_rep favors ranks
+//     already holding a replica of either endpoint (weighted toward the
+//     *lower*-degree endpoint, so hubs are the ones replicated) and C_bal
+//     favors lightly loaded ranks. A hard cap load[r] ≤ ⌈slack·m·w[r]/Σw⌉
+//     makes the balance bound explicit rather than best-effort.
+//   Dbh — Degree-Based Hashing (Xie et al., NIPS'14): edge (u,v) goes to
+//     hash(endpoint with the smaller degree), cutting hubs. Needs exact
+//     degrees, so it streams twice (count, then assign); both passes are
+//     single sequential sweeps.
+//
+// The existing engine is vertex-partitioned, so VertexCut::master feeds
+// ClusterEngine as the owner map: a vertex's master is the rank that first
+// created a replica of it (the rank its first streamed edge landed on).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/csr.hpp"
+#include "src/graph/edge_stream.hpp"
+#include "src/partition/partition.hpp"
+#include "src/partition/scheme.hpp"
+
+namespace phigraph::partition {
+
+/// Result of a streaming vertex-cut pass.
+struct VertexCut {
+  int nranks = 0;
+  RankWeights weights;
+
+  std::vector<int> edge_rank;  // per edge, in stream order
+  std::vector<std::uint64_t> replicas;  // per vertex: bitmask of hosting ranks
+  std::vector<int> master;     // per vertex: the owner map for ClusterEngine
+  std::vector<eid_t> edge_load;  // per rank: edges assigned
+  std::vector<eid_t> load_cap;   // per rank: HDRF's hard bound (empty for DBH)
+
+  /// Mean replicas per vertex (masters count as one replica). In [1, k]
+  /// whenever the graph has at least one vertex.
+  [[nodiscard]] double replication_factor() const noexcept;
+
+  /// Max per-rank normalized edge load (load / fair share) over the total:
+  /// 1 = perfectly balanced, 2 = some rank carries twice its share.
+  [[nodiscard]] double load_imbalance() const noexcept;
+};
+
+/// Greedy streaming HDRF. Feed chunks in stream order via consume(), then
+/// finish() exactly once. partition() wraps the loop for an EdgeStream.
+class Hdrf {
+ public:
+  Hdrf(vid_t num_vertices, eid_t num_edges, const RankWeights& weights,
+       const StreamOptions& opt = {});
+
+  void consume(std::span<const graph::StreamEdge> chunk);
+  [[nodiscard]] VertexCut finish();
+
+  [[nodiscard]] static VertexCut partition(graph::EdgeStream& stream,
+                                           const RankWeights& weights,
+                                           const StreamOptions& opt = {});
+
+ private:
+  [[nodiscard]] int place(graph::StreamEdge e);
+
+  StreamOptions opt_;
+  VertexCut cut_;
+  std::vector<eid_t> degree_;  // partial degrees, grown as edges stream by
+  std::vector<double> share_;  // per rank: weight / Σweights
+  eid_t seen_ = 0;
+  bool finished_ = false;
+};
+
+/// Two-pass streaming DBH: count() every chunk, seal_degrees(), then
+/// consume() every chunk again (EdgeStream::reset() rewinds the source).
+class Dbh {
+ public:
+  Dbh(vid_t num_vertices, eid_t num_edges, const RankWeights& weights,
+      const StreamOptions& opt = {});
+
+  void count(std::span<const graph::StreamEdge> chunk);
+  void seal_degrees();
+  void consume(std::span<const graph::StreamEdge> chunk);
+  [[nodiscard]] VertexCut finish();
+
+  [[nodiscard]] static VertexCut partition(graph::EdgeStream& stream,
+                                           const RankWeights& weights,
+                                           const StreamOptions& opt = {});
+
+  /// The hashed rank for an edge given final degrees — exposed so tests can
+  /// state the DBH property ("every edge goes to the hash of its
+  /// lower-degree endpoint") against the same rule the partitioner uses.
+  [[nodiscard]] static int hash_rank(graph::StreamEdge e,
+                                     std::span<const eid_t> degree,
+                                     const RankWeights& weights,
+                                     std::uint64_t seed);
+
+ private:
+  StreamOptions opt_;
+  VertexCut cut_;
+  std::vector<eid_t> degree_;
+  eid_t counted_ = 0;
+  eid_t seen_ = 0;
+  bool sealed_ = false;
+  bool finished_ = false;
+};
+
+/// Scheme dispatcher: vertex→rank owner map for any Scheme. The static trio
+/// calls straight into partition.hpp; kHdrf/kDbh stream the CSR's edges (in
+/// chunks of opt.chunk_edges) and return the master map.
+[[nodiscard]] std::vector<int> make_partition_k(Scheme scheme,
+                                                const graph::Csr& g,
+                                                const RankWeights& weights,
+                                                const StreamOptions& opt = {},
+                                                const BlockedOptions& blocked = {});
+
+}  // namespace phigraph::partition

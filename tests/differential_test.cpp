@@ -356,15 +356,14 @@ std::vector<EngineConfig> cluster_cfgs(const Cell& c, int nranks,
   return cfgs;
 }
 
+// Runs the cluster and asserts bit-exactness vs. the sequential reference
+// plus pairwise byte conservation — shared by the round-robin rank matrix
+// and the partition-scheme battery below.
 template <typename Program>
-void check_cluster_cell(const graph::Csr& g, const Program& prog,
-                        const Cell& c, int nranks, std::uint64_t salt,
-                        const std::string& what) {
+void expect_cluster_bit_exact(const graph::Csr& g, const Program& prog,
+                              core::ClusterEngine<Program>& ce, int nranks,
+                              const std::string& what) {
   const auto ref = apps::reference_run(g, prog);
-  std::vector<int> owner = partition::round_robin_partition_k(
-      g, partition::RankWeights(static_cast<std::size_t>(nranks), 1));
-  core::ClusterEngine<Program> ce(g, std::move(owner), prog,
-                                  cluster_cfgs(c, nranks, salt));
   const auto res = ce.run();
   ASSERT_TRUE(res.completed) << what;
   ASSERT_FALSE(res.fault.valid()) << what << ": " << res.fault.what;
@@ -383,6 +382,33 @@ void check_cluster_cell(const graph::Csr& g, const Program& prog,
                     .io.bytes_from[static_cast<std::size_t>(a)])
           << what << ": bytes " << a << " -> " << b << " not conserved";
   }
+}
+
+template <typename Program>
+void check_cluster_cell(const graph::Csr& g, const Program& prog,
+                        const Cell& c, int nranks, std::uint64_t salt,
+                        const std::string& what) {
+  std::vector<int> owner = partition::round_robin_partition_k(
+      g, partition::RankWeights(static_cast<std::size_t>(nranks), 1));
+  core::ClusterEngine<Program> ce(g, std::move(owner), prog,
+                                  cluster_cfgs(c, nranks, salt));
+  expect_cluster_bit_exact(g, prog, ce, nranks, what);
+}
+
+// Partition-scheme axis: the cluster is built through the scheme-deriving
+// constructor (no explicit owner map), exercising the EngineConfig →
+// make_partition_k → ClusterEngine wiring end-to-end.
+template <typename Program>
+void check_scheme_cell(const graph::Csr& g, const Program& prog, const Cell& c,
+                       partition::Scheme scheme, int nranks,
+                       std::uint64_t salt, const std::string& what) {
+  auto cfgs = cluster_cfgs(c, nranks, salt);
+  for (auto& cfg : cfgs) {
+    cfg.partition_scheme = scheme;
+    cfg.stream_partition.seed = salt | 1;
+  }
+  core::ClusterEngine<Program> ce(g, prog, cfgs);
+  expect_cluster_bit_exact(g, prog, ce, nranks, what);
 }
 
 TEST(DifferentialBattery, RankMatrixBitExactAcrossRanks) {
@@ -412,6 +438,45 @@ TEST(DifferentialBattery, RankMatrixBitExactAcrossRanks) {
         }
     ++round;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Partition-scheme battery (satellite): BFS/SSSP/CC over HDRF- and DBH-
+// partitioned clusters, bit-exact vs. the sequential reference across ranks
+// {2, 3, 4} x direction {auto, push} x density {dense, sparse}, with the
+// same pairwise byte conservation the round-robin matrix enforces. The
+// vertex-cut master map is just another owner map to the engine — any value
+// difference here is a partitioner handing out an inconsistent assignment.
+// ---------------------------------------------------------------------------
+
+TEST(DifferentialBattery, PartitionSchemeMatrixBitExactAcrossRanks) {
+  phigraph::testing::Watchdog wd(
+      std::chrono::seconds(PG_TEST_SANITIZED ? 900 : 300));
+  const auto seed = static_cast<std::uint64_t>(0x8d0f);
+  const auto g = make_graph(Family::kPowerLaw, seed);
+  Rng pick(seed ^ 0x2545f491ull);
+  const auto src = static_cast<vid_t>(pick.below(g.num_vertices()));
+  int cell_idx = 0;
+  for (int nranks : {2, 3, 4})
+    for (partition::Scheme scheme :
+         {partition::Scheme::kHdrf, partition::Scheme::kDbh})
+      for (core::DirectionMode dir :
+           {core::DirectionMode::kAuto, core::DirectionMode::kForcePush})
+        for (double density : {0.0, 1.0}) {
+          const Cell c{ExecMode::kLocking, ColumnMode::kDynamic, density, true,
+                       dir};
+          const std::uint64_t salt =
+              seed + static_cast<std::uint64_t>(17 * cell_idx++);
+          const std::string what = std::string(partition::scheme_name(scheme)) +
+                                   " ranks=" + std::to_string(nranks) + " " +
+                                   cell_name(c);
+          check_scheme_cell(g, apps::Bfs(src), c, scheme, nranks, salt,
+                            what + " bfs");
+          check_scheme_cell(g, apps::Sssp(src), c, scheme, nranks, salt + 1,
+                            what + " sssp");
+          check_scheme_cell(g, apps::ConnectedComponents(), c, scheme, nranks,
+                            salt + 2, what + " cc");
+        }
 }
 
 // PageRank's float sums depend on fold order, and a different rank count is

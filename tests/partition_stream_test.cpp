@@ -1,0 +1,213 @@
+// Streaming vertex-cut partitioner properties (DESIGN.md §14): HDRF's hard
+// balance bound, DBH's degree-hash rule, replication-factor bounds,
+// chunk-size independence, and zero-weight rank exclusion — the PartitionKway
+// property style applied to the streaming schemes.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/gen/generators.hpp"
+#include "src/graph/edge_stream.hpp"
+#include "src/partition/partition.hpp"
+#include "src/partition/stream_partition.hpp"
+
+namespace {
+
+using namespace phigraph;
+using graph::CsrEdgeStream;
+using graph::MemoryEdgeStream;
+using graph::StreamEdge;
+using partition::Dbh;
+using partition::Hdrf;
+using partition::RankWeights;
+using partition::StreamOptions;
+using partition::VertexCut;
+
+std::vector<StreamEdge> edges_of(const graph::Csr& g) {
+  std::vector<StreamEdge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (vid_t u = 0; u < g.num_vertices(); ++u)
+    for (vid_t v : g.out_neighbors(u)) edges.push_back({u, v});
+  return edges;
+}
+
+TEST(PartitionStream, HdrfNeverExceedsBalanceBound) {
+  const auto power = gen::pokec_like(4000, 40000, 11);
+  const auto uniform = gen::erdos_renyi(2000, 20000, 5);
+  for (const auto* g : {&power, &uniform})
+    for (const RankWeights& w :
+         {RankWeights{1, 1}, RankWeights{1, 1, 1, 1}, RankWeights{3, 1, 1, 3}})
+      for (double lambda : {0.0, 1.1, 4.0}) {
+        StreamOptions opt;
+        opt.lambda = lambda;
+        CsrEdgeStream stream(*g);
+        const VertexCut cut = Hdrf::partition(stream, w, opt);
+        ASSERT_EQ(cut.load_cap.size(), w.size());
+        double wsum = 0;
+        for (int x : w) wsum += x;
+        eid_t placed = 0;
+        for (std::size_t r = 0; r < w.size(); ++r) {
+          EXPECT_LE(cut.edge_load[r], cut.load_cap[r])
+              << "rank " << r << " lambda " << lambda;
+          // The bound itself is the declared slack over the fair share.
+          EXPECT_LE(static_cast<double>(cut.load_cap[r]),
+                    opt.balance_slack * (w[r] / wsum) *
+                            static_cast<double>(g->num_edges()) +
+                        1.0);
+          placed += cut.edge_load[r];
+        }
+        EXPECT_EQ(placed, g->num_edges());
+        EXPECT_EQ(cut.edge_rank.size(), g->num_edges());
+      }
+}
+
+TEST(PartitionStream, DbhAssignsEveryEdgeToLowerDegreeEndpointHash) {
+  const auto g = gen::pokec_like(3000, 24000, 23);
+  const auto edges = edges_of(g);
+  // Degrees computed independently of the partitioner: both endpoint
+  // appearances count, exactly what the two-pass stream accumulates.
+  std::vector<eid_t> degree(g.num_vertices(), 0);
+  for (const StreamEdge& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  for (const RankWeights& w : {RankWeights{1, 1, 1}, RankWeights{2, 1, 1, 2}}) {
+    StreamOptions opt;
+    opt.seed = 99;
+    CsrEdgeStream stream(g);
+    const VertexCut cut = Dbh::partition(stream, w, opt);
+    ASSERT_EQ(cut.edge_rank.size(), edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      ASSERT_EQ(cut.edge_rank[i],
+                Dbh::hash_rank(edges[i], degree, w, opt.seed))
+          << "edge " << i;
+  }
+}
+
+TEST(PartitionStream, ReplicationFactorBounds) {
+  const auto g = gen::pokec_like(2000, 16000, 7);
+  for (int k : {1, 2, 3, 4, 8}) {
+    const RankWeights w(static_cast<std::size_t>(k), 1);
+    CsrEdgeStream s1(g), s2(g);
+    for (const VertexCut& cut :
+         {Hdrf::partition(s1, w), Dbh::partition(s2, w)}) {
+      const double rf = cut.replication_factor();
+      EXPECT_GE(rf, 1.0) << "k=" << k;
+      EXPECT_LE(rf, static_cast<double>(k)) << "k=" << k;
+      // Every vertex has a master hosting one of its replicas.
+      for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_GE(cut.master[v], 0);
+        ASSERT_LT(cut.master[v], k);
+        ASSERT_TRUE((cut.replicas[v] >> cut.master[v]) & 1) << "vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(PartitionStream, DeterministicAcrossChunkSizes) {
+  const auto g = gen::dblp_like(1500, 9000, 31);
+  const auto edges = edges_of(g);
+  const RankWeights w{2, 1, 1};
+  StreamOptions opt;
+  opt.seed = 5;
+
+  // One-shot reference: a single chunk holding the whole list.
+  MemoryEdgeStream whole(g.num_vertices(), edges, edges.size() + 1);
+  const VertexCut hdrf_ref = Hdrf::partition(whole, w, opt);
+  const VertexCut dbh_ref = Dbh::partition(whole, w, opt);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                            std::size_t{1024}}) {
+    MemoryEdgeStream chunked(g.num_vertices(), edges, chunk);
+    const VertexCut h = Hdrf::partition(chunked, w, opt);
+    EXPECT_EQ(h.edge_rank, hdrf_ref.edge_rank) << "chunk " << chunk;
+    EXPECT_EQ(h.master, hdrf_ref.master) << "chunk " << chunk;
+    EXPECT_EQ(h.replicas, hdrf_ref.replicas) << "chunk " << chunk;
+    EXPECT_EQ(h.edge_load, hdrf_ref.edge_load) << "chunk " << chunk;
+
+    const VertexCut d = Dbh::partition(chunked, w, opt);
+    EXPECT_EQ(d.edge_rank, dbh_ref.edge_rank) << "chunk " << chunk;
+    EXPECT_EQ(d.master, dbh_ref.master) << "chunk " << chunk;
+    EXPECT_EQ(d.replicas, dbh_ref.replicas) << "chunk " << chunk;
+  }
+
+  // The CSR re-streamer delivers the same sequence, so it must agree too.
+  CsrEdgeStream csr(g, 113);
+  EXPECT_EQ(Hdrf::partition(csr, w, opt).edge_rank, hdrf_ref.edge_rank);
+}
+
+TEST(PartitionStream, ZeroWeightRanksReceiveNoEdges) {
+  // erdos_renyi leaves some vertices isolated — their masters must also
+  // avoid the zero-weight rank.
+  const auto g = gen::erdos_renyi(800, 3000, 21);
+  const RankWeights w{1, 0, 2};
+  CsrEdgeStream s1(g), s2(g);
+  for (const VertexCut& cut : {Hdrf::partition(s1, w), Dbh::partition(s2, w)}) {
+    EXPECT_EQ(cut.edge_load[1], 0u);
+    for (int r : cut.edge_rank) EXPECT_NE(r, 1);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_NE(cut.master[v], 1) << "vertex " << v;
+      EXPECT_FALSE((cut.replicas[v] >> 1) & 1) << "vertex " << v;
+    }
+  }
+}
+
+// The acceptance property behind fig6: on a power-law graph at k = 4, HDRF
+// replicates strictly less than round-robin and its master map cuts fewer
+// cross-rank edges.
+TEST(PartitionStream, HdrfBeatsRoundRobinOnPowerLawAtFourRanks) {
+  const auto g = gen::pokec_like(20000, 250000, 1);
+  const RankWeights w{1, 1, 1, 1};
+
+  CsrEdgeStream stream(g);
+  const VertexCut cut = Hdrf::partition(stream, w);
+  const auto hdrf_stats = partition::evaluate_partition_k(g, cut.master, 4);
+  const auto rr_stats = partition::evaluate_partition_k(
+      g, partition::round_robin_partition_k(g, w), 4);
+
+  EXPECT_LT(cut.replication_factor(), rr_stats.replication_factor);
+  EXPECT_LT(hdrf_stats.cross_edges, rr_stats.cross_edges);
+  // And the streaming balance bound held while doing it.
+  // (+1e-4 absorbs the cap's ceil rounding relative to m = 250k edges.)
+  EXPECT_LE(cut.load_imbalance(), StreamOptions{}.balance_slack + 1e-4);
+}
+
+// KwayStats' new metrics on a hand-checkable graph: a 4-cycle dealt to two
+// ranks alternately places every edge on the other rank's vertex, so every
+// vertex is present on both ranks (RF = 2) and each rank carries half the
+// edges (imbalance = 1).
+TEST(PartitionStream, KwayStatsMetricsOnTinyGraph) {
+  const std::vector<std::pair<vid_t, vid_t>> ring{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const auto g = graph::Csr::from_edges(4, ring);
+  const std::vector<int> owner{0, 1, 0, 1};
+  const auto s = partition::evaluate_partition_k(g, owner, 2);
+  EXPECT_DOUBLE_EQ(s.replication_factor, 2.0);
+  EXPECT_DOUBLE_EQ(s.load_imbalance, 1.0);
+  EXPECT_EQ(s.cross_edges, 4u);
+}
+
+// The scheme dispatcher is what EngineConfig-driven construction calls:
+// every scheme yields a complete, in-range owner map, and the static trio
+// matches its direct form.
+TEST(PartitionStream, MakePartitionKCoversEveryScheme) {
+  const auto g = gen::pokec_like(2000, 16000, 3);
+  const RankWeights w{1, 1, 1};
+  using partition::Scheme;
+  EXPECT_EQ(partition::make_partition_k(Scheme::kRoundRobin, g, w),
+            partition::round_robin_partition_k(g, w));
+  EXPECT_EQ(partition::make_partition_k(Scheme::kContinuous, g, w),
+            partition::continuous_partition_k(g, w));
+  for (Scheme s : {Scheme::kContinuous, Scheme::kRoundRobin, Scheme::kHybrid,
+                   Scheme::kHdrf, Scheme::kDbh}) {
+    const auto owner = partition::make_partition_k(s, g, w);
+    ASSERT_EQ(owner.size(), g.num_vertices());
+    for (int r : owner) {
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, 3);
+    }
+  }
+}
+
+}  // namespace

@@ -78,6 +78,22 @@ SERVING_FIELDS = (
     "max_queue_depth",
 )
 
+# Numeric fields every top-level "partition" object must carry (the k-way
+# streaming vertex-cut comparison: HDRF's replication factor, load imbalance
+# and measured cut bytes against the round-robin baseline). Same lockstep
+# rule as the failover and serving objects: a missing or renamed field is a
+# schema error, not a silent skip. Values are not compared across files —
+# partition quality is a property of the scheme, gated by the bench's own
+# acceptance checks; only the schema is gated here.
+PARTITION_FIELDS = (
+    "ranks",
+    "replication_factor",
+    "load_imbalance",
+    "cut_bytes",
+    "round_robin_replication_factor",
+    "round_robin_cut_bytes",
+)
+
 
 def load(path: str) -> dict:
     try:
@@ -164,6 +180,35 @@ def check_serving(doc: dict, path: str, rep: "Report") -> None:
             )
 
 
+def check_partition(doc: dict, path: str, rep: "Report") -> None:
+    """Validate the top-level "partition" object against PARTITION_FIELDS.
+
+    Every bench emits the object (all-zero for benches that skip the k-way
+    comparison), so a missing object or a missing/non-numeric field is a
+    hard schema error.
+    """
+    pt = doc.get("partition")
+    if not isinstance(pt, dict):
+        rep.errors.append(
+            f"{path}: top-level 'partition' object is missing or not an "
+            f"object (the bench emitter always writes one)"
+        )
+        return
+    for field in PARTITION_FIELDS:
+        if field not in pt:
+            rep.errors.append(
+                f"{path}: partition field '{field}' is missing — renamed or "
+                f"dropped? The partition-schema gate cannot run without it."
+            )
+        elif not isinstance(pt[field], (int, float)) or isinstance(
+            pt[field], bool
+        ):
+            rep.errors.append(
+                f"{path}: partition field '{field}' is {pt[field]!r}, "
+                f"not a number"
+            )
+
+
 def phase_totals(version: dict) -> dict[str, float] | None:
     rows = version.get("phases")
     if not isinstance(rows, list) or not rows:
@@ -239,6 +284,8 @@ def main() -> int:
     check_failover(cand_doc, args.candidate, rep)
     check_serving(base_doc, args.baseline, rep)
     check_serving(cand_doc, args.candidate, rep)
+    check_partition(base_doc, args.baseline, rep)
+    check_partition(cand_doc, args.candidate, rep)
     for key in ("figure", "app", "scale"):
         if base_doc.get(key) != cand_doc.get(key):
             rep.errors.append(
